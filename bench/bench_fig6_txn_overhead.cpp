@@ -1,0 +1,53 @@
+// Figure 6: PERSEAS transaction overhead as a function of transaction size
+// (4 bytes to 1 MB, random database locations, log-log in the paper).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "workload/engines.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace perseas;
+
+workload::LabOptions lab_options() {
+  workload::LabOptions options;
+  options.db_size = 8 << 20;
+  options.perseas.undo_capacity = 4 << 20;
+  return options;
+}
+
+void print_figure6() {
+  bench::print_header("Figure 6: PERSEAS transaction overhead vs transaction size",
+                      "Papathanasiou & Markatos 1997, figure 6");
+  std::printf("%12s %18s %18s\n", "txn bytes", "overhead (us)", "txns/s");
+  for (std::uint64_t size = 4; size <= (1 << 20); size *= 4) {
+    workload::EngineLab lab(workload::EngineKind::kPerseas, lab_options());
+    workload::SyntheticWorkload w(lab.engine(), size);
+    const std::uint64_t n = size >= (1 << 18) ? 30 : 2000;
+    const auto result = w.run(n);
+    std::printf("%12llu %18.2f %18.0f\n", static_cast<unsigned long long>(size),
+                result.latency.mean_us(), result.txns_per_second());
+  }
+  std::printf("\nanchors: very small transactions complete in < 8 us\n"
+              "         (> 100,000 txns/s); 1 MB transactions in < 0.1 s.\n");
+}
+
+void bm_perseas_txn(benchmark::State& state) {
+  workload::EngineLab lab(workload::EngineKind::kPerseas, lab_options());
+  workload::SyntheticWorkload w(lab.engine(), static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    state.SetIterationTime(sim::to_seconds(w.run_one()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(bm_perseas_txn)->UseManualTime()->RangeMultiplier(8)->Range(4, 1 << 20);
+
+int main(int argc, char** argv) {
+  print_figure6();
+  return perseas::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,103 @@
+// Table 1: throughput of PERSEAS for the debit-credit (TPC-B style) and
+// order-entry (TPC-C style) benchmarks, across several database sizes (the
+// paper: "we have used various-sized databases, and in all cases the
+// performance of PERSEAS was almost constant, as long as the database was
+// smaller than the main memory size").
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "workload/debit_credit.hpp"
+#include "workload/engines.hpp"
+#include "workload/order_entry.hpp"
+
+namespace {
+
+using namespace perseas;
+
+workload::WorkloadResult run_debit_credit(const workload::DebitCreditOptions& o,
+                                          std::uint64_t txns) {
+  workload::LabOptions lo;
+  lo.db_size = workload::DebitCredit::required_db_size(o);
+  lo.perseas.undo_capacity = 4 << 20;
+  workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
+  workload::DebitCredit w(lab.engine(), o);
+  w.load();
+  auto result = w.run(txns);
+  w.check_invariants();
+  return result;
+}
+
+workload::WorkloadResult run_order_entry(const workload::OrderEntryOptions& o,
+                                         std::uint64_t txns) {
+  workload::LabOptions lo;
+  lo.db_size = workload::OrderEntry::required_db_size(o);
+  lo.perseas.undo_capacity = 4 << 20;
+  workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
+  workload::OrderEntry w(lab.engine(), o);
+  w.load();
+  auto result = w.run(txns);
+  w.check_invariants();
+  return result;
+}
+
+void print_table1() {
+  bench::print_header("Table 1: PERSEAS throughput for debit-credit and order-entry",
+                      "Papathanasiou & Markatos 1997, table 1");
+
+  std::printf("--- debit-credit (TPC-B style), various database sizes ---\n");
+  std::printf("%16s %14s %14s\n", "db size (bytes)", "txns/s", "us/txn");
+  for (const std::uint32_t accounts : {1'000u, 10'000u, 40'000u}) {
+    workload::DebitCreditOptions o;
+    o.accounts_per_branch = accounts;
+    const auto size = workload::DebitCredit::required_db_size(o);
+    const auto r = run_debit_credit(o, 10'000);
+    std::printf("%16llu %14.0f %14.2f\n", static_cast<unsigned long long>(size),
+                r.txns_per_second(), r.latency.mean_us());
+  }
+
+  std::printf("\n--- order-entry (TPC-C style), various database sizes ---\n");
+  std::printf("%16s %14s %14s\n", "db size (bytes)", "txns/s", "us/txn");
+  for (const std::uint32_t items : {1'000u, 5'000u, 20'000u}) {
+    workload::OrderEntryOptions o;
+    o.items = items;
+    const auto size = workload::OrderEntry::required_db_size(o);
+    const auto r = run_order_entry(o, 5'000);
+    std::printf("%16llu %14.0f %14.2f\n", static_cast<unsigned long long>(size),
+                r.txns_per_second(), r.latency.mean_us());
+  }
+
+  std::printf("\npaper table 1: debit-credit > 20,000 txns/s; order-entry in the\n"
+              "thousands; throughput ~constant while the DB fits in memory.\n");
+}
+
+void bm_debit_credit(benchmark::State& state) {
+  workload::DebitCreditOptions o;
+  workload::LabOptions lo;
+  lo.db_size = workload::DebitCredit::required_db_size(o);
+  lo.perseas.undo_capacity = 4 << 20;
+  workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
+  workload::DebitCredit w(lab.engine(), o);
+  w.load();
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(w.run_one()));
+}
+
+void bm_order_entry(benchmark::State& state) {
+  workload::OrderEntryOptions o;
+  workload::LabOptions lo;
+  lo.db_size = workload::OrderEntry::required_db_size(o);
+  lo.perseas.undo_capacity = 4 << 20;
+  workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
+  workload::OrderEntry w(lab.engine(), o);
+  w.load();
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(w.run_one()));
+}
+
+}  // namespace
+
+BENCHMARK(bm_debit_credit)->UseManualTime();
+BENCHMARK(bm_order_entry)->UseManualTime();
+
+int main(int argc, char** argv) {
+  print_table1();
+  return perseas::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,59 @@
+// Section 6 claim: "the performance benefits of our approach will increase
+// with time" — disk latency/throughput improve ~10%/20% per year while
+// interconnect latency/throughput improve ~20%/45% per year.  This bench
+// advances the hardware profile year by year and re-runs the short-
+// transaction comparison.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "workload/engines.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace perseas;
+
+double tps(workload::EngineKind kind, const sim::HardwareProfile& profile, std::uint64_t txns) {
+  workload::LabOptions lo;
+  lo.profile = profile;
+  workload::EngineLab lab(kind, lo);
+  workload::SyntheticWorkload w(lab.engine(), 64);
+  return w.run(txns).txns_per_second();
+}
+
+void print_trend() {
+  bench::print_header("Technology trend: PERSEAS vs disk-based WAL, 1997 onward",
+                      "Papathanasiou & Markatos 1997, section 6");
+  std::printf("%6s %14s %14s %14s %12s\n", "year", "perseas", "rvm-disk", "remote-wal",
+              "perseas/rvm");
+  const auto base = sim::HardwareProfile::forth_1997();
+  for (int years = 0; years <= 8; years += 2) {
+    const auto profile = base.advanced_by_years(years);
+    const double perseas = tps(workload::EngineKind::kPerseas, profile, 10'000);
+    const double rvm = tps(workload::EngineKind::kRvmDisk, profile, 300);
+    const double rwal = tps(workload::EngineKind::kRemoteWal, profile, 60'000);
+    std::printf("%6d %14.0f %14.0f %14.0f %11.0fx\n", 1997 + years, perseas, rvm, rwal,
+                perseas / rvm);
+  }
+  std::printf("\nthe gap widens: network (PERSEAS' substrate) improves faster than\n"
+              "the disk every WAL variant ultimately depends on.\n");
+}
+
+void bm_trend_perseas(benchmark::State& state) {
+  const auto profile =
+      sim::HardwareProfile::forth_1997().advanced_by_years(static_cast<int>(state.range(0)));
+  workload::LabOptions lo;
+  lo.profile = profile;
+  workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
+  workload::SyntheticWorkload w(lab.engine(), 64);
+  for (auto _ : state) state.SetIterationTime(sim::to_seconds(w.run_one()));
+}
+
+}  // namespace
+
+BENCHMARK(bm_trend_perseas)->UseManualTime()->Arg(0)->Arg(4)->Arg(8);
+
+int main(int argc, char** argv) {
+  print_trend();
+  return perseas::bench::run_registered_benchmarks(argc, argv);
+}

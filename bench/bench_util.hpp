@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each binary does two things:
+//   1. prints the rows/series of the paper table or figure it regenerates
+//      (simulated 1997 hardware, so the numbers are reproducible anywhere);
+//   2. registers google-benchmark cases that report the same simulated
+//      latencies via manual timing, for integration with benchmark tooling.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::bench {
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("simulated hardware: forth_1997 (133 MHz Pentium, PCI-SCI, NT)\n");
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const char* name, double txns_per_second, double mean_us) {
+  std::printf("%-28s %14.0f txns/s %12.2f us/txn\n", name, txns_per_second, mean_us);
+}
+
+/// Runs google-benchmark's main loop after the paper tables have printed.
+inline int run_registered_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace perseas::bench

@@ -1,0 +1,78 @@
+// Crash-recovery walkthrough: runs a wholesale-supplier (order-entry)
+// workload on PERSEAS, kills the primary in the middle of a commit's
+// propagation, recovers the database on a *different* workstation, and
+// proves the interrupted transaction vanished atomically.
+//
+//   $ ./crash_recovery
+#include <cstdio>
+#include <cstring>
+
+#include "core/perseas.hpp"
+#include "workload/engines.hpp"
+#include "workload/order_entry.hpp"
+
+using namespace perseas;
+
+int main() {
+  netram::Cluster cluster(sim::HardwareProfile::forth_1997(), /*nodes=*/3);
+  netram::RemoteMemoryServer server(cluster, /*host=*/1);
+
+  workload::OrderEntryOptions options;
+  options.warehouses = 1;
+  options.districts_per_warehouse = 4;
+  options.items = 1'000;
+  const std::uint64_t db_size = workload::OrderEntry::required_db_size(options);
+
+  auto engine = std::make_unique<workload::PerseasEngine>(
+      cluster, /*local=*/0, std::vector{&server}, db_size, core::PerseasConfig{});
+  workload::OrderEntry shop(*engine, options);
+  shop.load();
+
+  std::printf("phase 1: taking 1,000 orders on workstation 0...\n");
+  shop.run(1'000);
+  shop.check_invariants();
+  const std::uint64_t committed_orders = shop.orders_placed();
+  std::printf("         %llu orders committed, invariants hold.\n",
+              static_cast<unsigned long long>(committed_orders));
+
+  std::printf("phase 2: power plug pulled mid-commit on workstation 0.\n");
+  cluster.failures().arm("perseas.commit.after_range_copy", 2, [&] {
+    cluster.crash_node(0, sim::FailureKind::kPowerOutage);
+    throw sim::NodeCrashed(0, sim::FailureKind::kPowerOutage, "mid-commit");
+  });
+  try {
+    shop.run_one();
+    std::printf("         unexpected: the transaction survived?!\n");
+    return 1;
+  } catch (const sim::NodeCrashed& e) {
+    std::printf("         %s\n", e.what());
+  }
+
+  std::printf("phase 3: recovering on workstation 2 (node 0 is still dark)...\n");
+  const auto t0 = cluster.clock().now();
+  auto recovered = core::Perseas::recover(cluster, /*new_local=*/2, {&server});
+  std::printf("         recovery took %s of simulated time.\n",
+              sim::format_duration(cluster.clock().now() - t0).c_str());
+
+  // Audit the recovered image directly: district counters must equal the
+  // committed orders — the interrupted one must have left no trace.
+  auto db = recovered.record(0).bytes();
+  std::uint64_t orders_in_db = 0;
+  const std::uint64_t districts =
+      static_cast<std::uint64_t>(options.warehouses) * options.districts_per_warehouse;
+  for (std::uint64_t d = 0; d < districts; ++d) {
+    std::uint64_t next_order_id = 0;
+    std::memcpy(&next_order_id, db.data() + d * sizeof(workload::OrderEntry::DistrictRow),
+                sizeof next_order_id);
+    orders_in_db += next_order_id - 1;
+  }
+  std::printf("phase 4: audit — %llu orders in the recovered database, %llu committed.\n",
+              static_cast<unsigned long long>(orders_in_db),
+              static_cast<unsigned long long>(committed_orders));
+  if (orders_in_db != committed_orders) {
+    std::printf("         ATOMICITY VIOLATION\n");
+    return 1;
+  }
+  std::printf("         atomicity held: the torn transaction rolled back cleanly.\n");
+  return 0;
+}

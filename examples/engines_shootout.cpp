@@ -1,0 +1,45 @@
+// Side-by-side demo of every engine in the repository on one workload —
+// a compact interactive version of bench_comparison, useful as a first
+// tour of the baselines (RVM, group-commit RVM, Rio-RVM, remote-WAL,
+// Vista) that the paper measures PERSEAS against.
+//
+//   $ ./engines_shootout [txn_bytes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/engines.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace perseas;
+
+int main(int argc, char** argv) {
+  const std::uint64_t txn_bytes = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+
+  std::printf("synthetic workload, %llu-byte transactions, simulated 1997 cluster\n\n",
+              static_cast<unsigned long long>(txn_bytes));
+  std::printf("%-18s %14s %12s   %s\n", "engine", "txns/s", "us/txn", "durability story");
+
+  struct Row {
+    workload::EngineKind kind;
+    std::uint64_t txns;
+    const char* story;
+  };
+  const Row rows[] = {
+      {workload::EngineKind::kRvmDisk, 300, "WAL forced to magnetic disk"},
+      {workload::EngineKind::kRvmDiskGroupCommit, 20'000, "WAL + group commit"},
+      {workload::EngineKind::kRvmRio, 2'000, "WAL into the Rio file cache"},
+      {workload::EngineKind::kRemoteWal, 60'000, "log mirrored to remote RAM + async disk"},
+      {workload::EngineKind::kVista, 30'000, "undo-only in Rio (kernel mod, 1 UPS)"},
+      {workload::EngineKind::kPerseas, 30'000, "mirrored remote RAM, no disk, no kernel mod"},
+  };
+  for (const auto& row : rows) {
+    workload::EngineLab lab(row.kind);
+    workload::SyntheticWorkload w(lab.engine(), txn_bytes);
+    const auto result = w.run(row.txns);
+    std::printf("%-18s %14.0f %12.2f   %s\n", std::string(to_string(row.kind)).c_str(),
+                result.txns_per_second(), result.latency.mean_us(), row.story);
+  }
+  std::printf("\nsee bench_comparison for the full sweep and EXPERIMENTS.md for the\n"
+              "paper-vs-measured record.\n");
+  return 0;
+}

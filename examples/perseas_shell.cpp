@@ -1,0 +1,167 @@
+// An interactive shell over a simulated four-workstation cluster: drive
+// PERSEAS by hand, pull power plugs, and watch recovery — the quickest way
+// to build intuition for the protocol.  Reads commands from stdin (pipe a
+// script for reproducible sessions; `help` lists everything).
+//
+//   $ ./perseas_shell
+//   perseas> malloc 256
+//   record 0 (256 bytes)
+//   perseas> init
+//   ...
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/perseas.hpp"
+
+using namespace perseas;
+
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  malloc <bytes>              allocate a persistent record
+  init                        PERSEAS_init_remote_db (mirror everything)
+  begin | commit | abort      transaction control
+  set <rec> <off> <len>       PERSEAS_set_range
+  write <rec> <off> <text>    store text (cover it with `set` first!)
+  read <rec> <off> <len>      print bytes
+  crash <node> [sw|power|hw]  take a workstation down (0=app, 1=mirror)
+  restart <node>              bring a workstation back
+  recover <node>              rebuild the database on <node>
+  stats                       library + network statistics
+  clock                       simulated time so far
+  help | quit
+topology: node 0 runs the application, node 1 the mirror server,
+nodes 2..3 are spares; each has its own power supply.)";
+
+sim::FailureKind parse_kind(const std::string& word) {
+  if (word == "power") return sim::FailureKind::kPowerOutage;
+  if (word == "hw") return sim::FailureKind::kHardwareFault;
+  return sim::FailureKind::kSoftwareCrash;
+}
+
+}  // namespace
+
+int main() {
+  netram::Cluster cluster(sim::HardwareProfile::forth_1997(), 4);
+  netram::RemoteMemoryServer server(cluster, 1);
+  auto db = std::make_unique<core::Perseas>(cluster, 0, std::vector{&server},
+                                            core::PerseasConfig{});
+  std::optional<core::Transaction> txn;
+
+  std::printf("PERSEAS shell — type `help`.  Simulated forth_1997 cluster.\n");
+  std::string line;
+  while (std::printf("perseas> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        std::printf("%s\n", kHelp);
+      } else if (cmd == "malloc") {
+        std::uint64_t bytes = 0;
+        in >> bytes;
+        const auto rec = db->persistent_malloc(bytes);
+        std::printf("record %u (%llu bytes)\n", rec.index(),
+                    static_cast<unsigned long long>(rec.size()));
+      } else if (cmd == "init") {
+        db->init_remote_db();
+        std::printf("mirrored %u record(s)\n", db->record_count());
+      } else if (cmd == "begin") {
+        txn.emplace(db->begin_transaction());
+        std::printf("transaction %llu open\n", static_cast<unsigned long long>(txn->id()));
+      } else if (cmd == "set") {
+        std::uint32_t rec = 0;
+        std::uint64_t off = 0;
+        std::uint64_t len = 0;
+        in >> rec >> off >> len;
+        if (!txn) throw core::UsageError("no open transaction");
+        txn->set_range(rec, off, len);
+        std::printf("range [%llu, +%llu) of record %u logged\n",
+                    static_cast<unsigned long long>(off),
+                    static_cast<unsigned long long>(len), rec);
+      } else if (cmd == "write") {
+        std::uint32_t rec = 0;
+        std::uint64_t off = 0;
+        std::string text;
+        in >> rec >> off;
+        std::getline(in, text);
+        if (!text.empty() && text[0] == ' ') text.erase(0, 1);
+        auto span = db->record(rec).bytes();
+        if (off + text.size() > span.size()) throw core::UsageError("write out of bounds");
+        std::memcpy(span.data() + off, text.data(), text.size());
+        cluster.charge_local_memcpy(0, text.size());
+        std::printf("%zu bytes written\n", text.size());
+      } else if (cmd == "read") {
+        std::uint32_t rec = 0;
+        std::uint64_t off = 0;
+        std::uint64_t len = 0;
+        in >> rec >> off >> len;
+        auto span = db->record(rec).bytes().subspan(off, len);
+        std::printf("\"");
+        for (const std::byte b : span) {
+          const char c = static_cast<char>(b);
+          std::printf("%c", (c >= 32 && c < 127) ? c : '.');
+        }
+        std::printf("\"\n");
+      } else if (cmd == "commit") {
+        if (!txn) throw core::UsageError("no open transaction");
+        txn->commit();
+        txn.reset();
+        std::printf("committed\n");
+      } else if (cmd == "abort") {
+        if (!txn) throw core::UsageError("no open transaction");
+        txn->abort();
+        txn.reset();
+        std::printf("aborted\n");
+      } else if (cmd == "crash") {
+        std::uint32_t node = 0;
+        std::string kind = "sw";
+        in >> node >> kind;
+        txn.reset();  // a dead machine takes its transaction with it
+        cluster.crash_node(node, parse_kind(kind));
+        std::printf("node %u is down (%s)\n", node, kind.c_str());
+      } else if (cmd == "restart") {
+        std::uint32_t node = 0;
+        in >> node;
+        cluster.restore_power_supply(cluster.node(node).power_supply());
+        cluster.restart_node(node);
+        std::printf("node %u is back (memory empty)\n", node);
+      } else if (cmd == "recover") {
+        std::uint32_t node = 0;
+        in >> node;
+        txn.reset();
+        db = std::make_unique<core::Perseas>(
+            core::Perseas::recover(cluster, node, {&server}));
+        std::printf("database recovered on node %u (%u records)\n", node,
+                    db->record_count());
+      } else if (cmd == "stats") {
+        const auto& s = db->stats();
+        const auto& n = cluster.stats();
+        std::printf("txns: %llu committed, %llu aborted, %llu set_ranges\n",
+                    static_cast<unsigned long long>(s.txns_committed),
+                    static_cast<unsigned long long>(s.txns_aborted),
+                    static_cast<unsigned long long>(s.set_ranges));
+        std::printf("net:  %llu remote writes (%llu bytes), %llu reads, %llu rpcs\n",
+                    static_cast<unsigned long long>(n.remote_writes),
+                    static_cast<unsigned long long>(n.remote_write_bytes),
+                    static_cast<unsigned long long>(n.remote_reads),
+                    static_cast<unsigned long long>(n.control_rpcs));
+      } else if (cmd == "clock") {
+        std::printf("%s simulated\n", sim::format_duration(cluster.clock().now()).c_str());
+      } else {
+        std::printf("unknown command '%s' — try `help`\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

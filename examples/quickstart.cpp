@@ -1,0 +1,68 @@
+// Quickstart: the PERSEAS API in one page.
+//
+// Builds a two-workstation cluster, creates a persistent record mirrored in
+// the second machine's memory, runs a committed and an aborted transaction,
+// then crashes the primary and recovers the database — all without a disk.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "core/perseas.hpp"
+
+using namespace perseas;
+
+int main() {
+  // PERSEAS_init: a cluster of two PCs on independent power supplies, and a
+  // remote-memory server process on the second one.
+  netram::Cluster cluster(sim::HardwareProfile::forth_1997(), /*nodes=*/2);
+  netram::RemoteMemoryServer server(cluster, /*host=*/1);
+  core::Perseas db(cluster, /*local=*/0, {&server});
+
+  // PERSEAS_malloc + PERSEAS_init_remote_db: a persistent record, mirrored.
+  struct Account {
+    std::uint64_t id;
+    std::int64_t balance;
+  };
+  auto record = db.persistent_malloc(sizeof(Account) * 2);
+  auto accounts = record.array<Account>();
+  accounts[0] = {1001, 500};
+  accounts[1] = {1002, 250};
+  db.init_remote_db();
+
+  // A committed transfer.
+  {
+    auto txn = db.begin_transaction();                  // PERSEAS_begin_transaction
+    txn.set_range(record, 0, sizeof(Account) * 2);      // PERSEAS_set_range
+    accounts[0].balance -= 100;
+    accounts[1].balance += 100;
+    txn.commit();                                       // PERSEAS_commit_transaction
+  }
+  std::printf("after commit:  %lld / %lld\n", static_cast<long long>(accounts[0].balance),
+              static_cast<long long>(accounts[1].balance));
+
+  // An aborted transfer: a single local memory copy rolls it back.
+  {
+    auto txn = db.begin_transaction();
+    txn.set_range(record, 0, sizeof(Account) * 2);
+    accounts[0].balance -= 9'999;
+    accounts[1].balance += 9'999;
+    txn.abort();                                        // PERSEAS_abort_transaction
+  }
+  std::printf("after abort:   %lld / %lld\n", static_cast<long long>(accounts[0].balance),
+              static_cast<long long>(accounts[1].balance));
+
+  // The primary dies; every byte of its memory is gone.  The mirror, on its
+  // own power supply, still has the database: recover and carry on.
+  cluster.crash_node(0, sim::FailureKind::kPowerOutage);
+  cluster.restore_power_supply(cluster.node(0).power_supply());
+  cluster.restart_node(0);
+  auto recovered = core::Perseas::recover(cluster, /*new_local=*/0, {&server});
+  auto back = recovered.record(0).array<Account>();
+  std::printf("after crash+recovery: %lld / %lld\n",
+              static_cast<long long>(back[0].balance), static_cast<long long>(back[1].balance));
+
+  std::printf("simulated time elapsed: %s\n",
+              sim::format_duration(cluster.clock().now()).c_str());
+  return back[0].balance == 400 && back[1].balance == 350 ? 0 : 1;
+}

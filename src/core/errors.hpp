@@ -1,0 +1,37 @@
+// Exception types of the PERSEAS library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace perseas::core {
+
+/// Base class for all PERSEAS-level failures (as opposed to
+/// sim::NodeCrashed, which models the machine disappearing underneath us
+/// and is deliberately NOT caught by the library).
+class PerseasError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// API misuse: nested transactions, set_range outside a transaction,
+/// out-of-bounds ranges, transactions before init_remote_db, ...
+class UsageError : public PerseasError {
+ public:
+  using PerseasError::PerseasError;
+};
+
+/// Remote memory could not be allocated (mirror arena exhausted).
+class OutOfRemoteMemory : public PerseasError {
+ public:
+  using PerseasError::PerseasError;
+};
+
+/// Recovery could not complete (no mirror alive, metadata missing or
+/// corrupt).
+class RecoveryError : public PerseasError {
+ public:
+  using PerseasError::PerseasError;
+};
+
+}  // namespace perseas::core

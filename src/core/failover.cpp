@@ -1,0 +1,38 @@
+#include "core/failover.hpp"
+
+namespace perseas::core {
+
+FailoverManager::FailoverManager(netram::Cluster& cluster, std::vector<netram::NodeId> standbys,
+                                 std::vector<netram::RemoteMemoryServer*> servers,
+                                 PerseasConfig config)
+    : cluster_(&cluster),
+      standbys_(std::move(standbys)),
+      servers_(std::move(servers)),
+      config_(std::move(config)) {
+  if (standbys_.empty()) throw UsageError("FailoverManager: no standby workstations");
+  if (servers_.empty()) throw UsageError("FailoverManager: no mirror servers");
+}
+
+Perseas FailoverManager::fail_over() {
+  const sim::SimTime start = cluster_->clock().now();
+  for (const netram::NodeId standby : standbys_) {
+    if (cluster_->node(standby).crashed()) {
+      ++stats_.standbys_skipped;
+      continue;
+    }
+    try {
+      Perseas db = Perseas::recover(*cluster_, standby, servers_, config_);
+      ++stats_.failovers;
+      stats_.last_duration = cluster_->clock().now() - start;
+      stats_.last_target = standby;
+      return db;
+    } catch (const RecoveryError&) {
+      // This standby could not reach a mirror (e.g. it *is* the only
+      // surviving mirror's host); try the next one.
+      ++stats_.standbys_skipped;
+    }
+  }
+  throw RecoveryError("fail_over: no standby workstation could recover the database");
+}
+
+}  // namespace perseas::core

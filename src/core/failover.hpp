@@ -1,0 +1,56 @@
+// Automated fail-over: the operational half of the paper's availability
+// argument ("in case of any kind of failure in the primary node, the
+// recovery procedure can be started right-away in any available
+// workstation ... and normal operation of the database system can be
+// restarted immediately").
+//
+// A FailoverManager knows the set of standby workstations and the mirror
+// servers of one PERSEAS database.  When the application observes the
+// primary die (a sim::NodeCrashed escaping a library call), it calls
+// fail_over(), which recovers the database onto the first healthy standby
+// and returns the new primary instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/perseas.hpp"
+
+namespace perseas::core {
+
+struct FailoverStats {
+  std::uint64_t failovers = 0;
+  std::uint64_t standbys_skipped = 0;
+  /// Simulated duration of the most recent fail-over.
+  sim::SimDuration last_duration = 0;
+  /// Node that now hosts the primary (valid after the first fail-over).
+  netram::NodeId last_target = 0;
+};
+
+class FailoverManager {
+ public:
+  /// `standbys` are candidate hosts for a recovered primary, tried in
+  /// order; `servers` are the database's mirror servers.
+  FailoverManager(netram::Cluster& cluster, std::vector<netram::NodeId> standbys,
+                  std::vector<netram::RemoteMemoryServer*> servers,
+                  PerseasConfig config = {});
+
+  /// Recovers the database onto the first standby that is alive and does
+  /// not host the only reachable mirror.  Throws RecoveryError when no
+  /// viable standby remains or no mirror survives.
+  Perseas fail_over();
+
+  [[nodiscard]] const FailoverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<netram::NodeId>& standbys() const noexcept {
+    return standbys_;
+  }
+
+ private:
+  netram::Cluster* cluster_;
+  std::vector<netram::NodeId> standbys_;
+  std::vector<netram::RemoteMemoryServer*> servers_;
+  PerseasConfig config_;
+  FailoverStats stats_;
+};
+
+}  // namespace perseas::core

@@ -1,0 +1,96 @@
+// Remote-memory layout of PERSEAS metadata and undo logs.
+//
+// Everything PERSEAS needs to recover a database after losing all local
+// state lives in the mirror's memory under well-known segment keys:
+//
+//   "p.meta"       MetaHeader + one u64 record size per allocated record
+//   "p.undo.<g>"   the remote undo log, generation <g> (grown by doubling)
+//   "p.db.<i>"     the mirrored image of database record <i>
+//
+// The undo log is a sequence of self-delimiting entries
+// [UndoEntryHeader][before-image], each padded to 8 bytes.  Entries carry
+// the id of the transaction that wrote them, and the commit protocol stores
+// that id in MetaHeader::propagating_txn for the duration of the remote
+// database update.  Recovery therefore needs no durable entry count: it
+// scans entries (stopping at the first invalid magic) and applies exactly
+// those whose txn_id matches propagating_txn.  Entries from older
+// transactions that happen to survive beyond the current write position are
+// filtered out by that id match.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace perseas::core {
+
+struct MetaHeader {
+  static constexpr std::uint64_t kMagic = 0x5045'5253'4541'5321ULL;  // "PERSEAS!"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint32_t record_count = 0;
+  /// Non-zero while a commit is propagating data into the remote database:
+  /// the id of that transaction.  THE commit point of the protocol is the
+  /// remote store clearing this back to zero.
+  std::uint64_t propagating_txn = 0;
+  /// Bytes of undo-log entries belonging to propagating_txn, written in the
+  /// same store: recovery knows exactly how much undo it must parse, so a
+  /// corrupted entry can never masquerade as the clean end of the log.
+  std::uint64_t propagating_undo_bytes = 0;
+  /// Generation of the live undo segment ("p.undo.<gen>").
+  std::uint64_t undo_gen = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return magic == kMagic && version == kVersion;
+  }
+};
+static_assert(sizeof(MetaHeader) == 40);
+
+/// Offset of propagating_txn inside the meta segment, written on its own
+/// during commit (a single 8-byte remote store: atomic on SCI).
+inline constexpr std::uint64_t kPropagatingOffset = offsetof(MetaHeader, propagating_txn);
+inline constexpr std::uint64_t kUndoGenOffset = offsetof(MetaHeader, undo_gen);
+inline constexpr std::uint64_t kRecordCountOffset = offsetof(MetaHeader, record_count);
+
+/// Byte offset of record i's size slot in the meta segment.
+inline constexpr std::uint64_t record_size_slot(std::uint32_t i) {
+  return sizeof(MetaHeader) + static_cast<std::uint64_t>(i) * sizeof(std::uint64_t);
+}
+
+/// Total meta segment size for a given record capacity.
+inline constexpr std::uint64_t meta_segment_size(std::uint32_t max_records) {
+  return record_size_slot(max_records);
+}
+
+struct UndoEntryHeader {
+  static constexpr std::uint32_t kMagic = 0x554e'444fu;  // "UNDO"
+  std::uint32_t magic = kMagic;
+  std::uint32_t record = 0;
+  std::uint64_t txn_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  /// CRC-32C over {record, txn_id, offset, size} and the before-image.
+  /// Lets recovery tell a corrupted entry from the clean end of the log.
+  std::uint32_t checksum = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(UndoEntryHeader) == 40);
+
+/// Bytes an undo entry occupies in the log (header + padded image).
+inline constexpr std::uint64_t undo_entry_bytes(std::uint64_t image_size) {
+  return sizeof(UndoEntryHeader) + (image_size + 7) / 8 * 8;
+}
+
+/// Well-known segment keys, namespaced by database name so that several
+/// PERSEAS databases can share one remote-memory server.
+inline std::string meta_key(const std::string& db = "p") { return db + ".meta"; }
+inline std::string undo_key(std::uint64_t gen, const std::string& db = "p") {
+  return db + ".undo." + std::to_string(gen);
+}
+inline std::string db_key(std::uint32_t record, const std::string& db = "p") {
+  return db + ".db." + std::to_string(record);
+}
+
+}  // namespace perseas::core

@@ -1,0 +1,669 @@
+#include "core/perseas.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "sim/clock.hpp"
+#include "sim/crc32.hpp"
+
+namespace perseas::core {
+
+namespace {
+
+/// Failure-point names instrumented throughout the protocol; tests use
+/// these to crash the primary at every intermediate commit state.
+constexpr const char* kAfterLocalUndo = "perseas.set_range.after_local_undo";
+constexpr const char* kAfterRemoteUndo = "perseas.set_range.after_remote_undo";
+constexpr const char* kAfterFlagSet = "perseas.commit.after_flag_set";
+constexpr const char* kAfterRangeCopy = "perseas.commit.after_range_copy";
+constexpr const char* kBeforeFlagClear = "perseas.commit.before_flag_clear";
+constexpr const char* kCommitDone = "perseas.commit.done";
+constexpr const char* kAbortDone = "perseas.abort.done";
+constexpr const char* kRecoverConnected = "perseas.recover.connected";
+constexpr const char* kRecoverAfterRollback = "perseas.recover.after_rollback";
+constexpr const char* kRecoverDone = "perseas.recover.done";
+
+std::span<const std::byte> as_bytes_of(const std::uint64_t& v) {
+  return {reinterpret_cast<const std::byte*>(&v), sizeof v};
+}
+
+std::span<const std::byte> as_flag_bytes(const std::uint64_t (&v)[2]) {
+  return {reinterpret_cast<const std::byte*>(v), sizeof v};
+}
+
+}  // namespace
+
+// --- RecordHandle / Transaction -------------------------------------------
+
+std::span<std::byte> RecordHandle::bytes() const {
+  if (!valid()) throw UsageError("RecordHandle: default-constructed handle");
+  return owner_->record_bytes(index_);
+}
+
+Transaction::Transaction(Transaction&& other) noexcept : owner_(other.owner_), id_(other.id_) {
+  other.owner_ = nullptr;
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) {
+      try {
+        owner_->txn_abort();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+        // A crashed node during cleanup leaves recovery to the caller.
+      }
+    }
+    owner_ = other.owner_;
+    id_ = other.id_;
+    other.owner_ = nullptr;
+  }
+  return *this;
+}
+
+Transaction::~Transaction() {
+  if (owner_ != nullptr) {
+    try {
+      owner_->txn_abort();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // Destructors must not throw; a node crash here surfaces at the next
+      // library call or through recovery.
+    }
+  }
+}
+
+void Transaction::set_range(const RecordHandle& record, std::uint64_t offset,
+                            std::uint64_t size) {
+  set_range(record.index(), offset, size);
+}
+
+void Transaction::set_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size) {
+  if (!active()) throw UsageError("Transaction::set_range: transaction not active");
+  owner_->txn_set_range(id_, record, offset, size);
+}
+
+void Transaction::commit() {
+  if (!active()) throw UsageError("Transaction::commit: transaction not active");
+  // On failure (e.g. a mirror crashed mid-propagation) the transaction
+  // stays active so the caller can abort() locally — abort needs no remote
+  // traffic — and then rebuild_mirror() to restore replication.
+  owner_->txn_commit(id_);
+  owner_ = nullptr;
+}
+
+void Transaction::abort() {
+  if (!active()) throw UsageError("Transaction::abort: transaction not active");
+  Perseas* owner = owner_;
+  owner_ = nullptr;
+  owner->txn_abort();
+}
+
+// --- construction -----------------------------------------------------------
+
+Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
+                 std::vector<netram::RemoteMemoryServer*> mirrors, PerseasConfig config)
+    : cluster_(&cluster),
+      local_(local),
+      config_(config),
+      client_(cluster, local),
+      undo_capacity_(config.undo_capacity) {
+  if (mirrors.empty()) throw UsageError("Perseas: at least one mirror is required");
+  for (auto* server : mirrors) {
+    if (server == nullptr) throw UsageError("Perseas: null mirror server");
+    if (server->host() == local) {
+      throw UsageError("Perseas: a mirror on the local node provides no reliability");
+    }
+    Mirror m;
+    m.server = server;
+    create_mirror_segments(m);
+    mirrors_.push_back(std::move(m));
+  }
+}
+
+Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config)
+    : cluster_(&cluster), local_(local), config_(config), client_(cluster, local) {}
+
+void Perseas::create_mirror_segments(Mirror& m) {
+  try {
+    m.meta = client_.sci_get_new_segment(*m.server, meta_segment_size(config_.max_records),
+                                         meta_key(config_.name));
+    m.undo = client_.sci_get_new_segment(*m.server, undo_capacity_, undo_key(undo_gen_, config_.name));
+  } catch (const std::invalid_argument&) {
+    throw UsageError(
+        "Perseas: server on node " + std::to_string(m.server->host()) +
+        " already hosts a PERSEAS database; use Perseas::recover() to attach to it");
+  } catch (const std::bad_alloc&) {
+    throw OutOfRemoteMemory("Perseas: mirror node " + std::to_string(m.server->host()) +
+                            " cannot hold the metadata segments");
+  }
+}
+
+RecordHandle Perseas::persistent_malloc(std::uint64_t size) {
+  if (in_txn_) throw UsageError("persistent_malloc: not allowed inside a transaction");
+  if (size == 0) throw UsageError("persistent_malloc: zero-sized record");
+  if (records_.size() >= config_.max_records) {
+    throw UsageError("persistent_malloc: metadata directory full (max_records=" +
+                     std::to_string(config_.max_records) + ")");
+  }
+  cluster_->charge_cpu(local_, cluster_->profile().library.table_update);
+
+  const auto index = static_cast<std::uint32_t>(records_.size());
+  const auto local_offset = cluster_->node(local_).allocator().allocate(size);
+  if (!local_offset) {
+    throw PerseasError("persistent_malloc: local arena exhausted");
+  }
+  auto local_span = cluster_->node(local_).mem(*local_offset, size);
+  std::memset(local_span.data(), 0, local_span.size());
+  cluster_->charge_local_memcpy(local_, size);
+
+  // Reserve the mirror image on every mirror now, so init_remote_db cannot
+  // fail for lack of memory after the application populated its records.
+  for (auto& m : mirrors_) {
+    try {
+      m.db.push_back(client_.sci_get_new_segment(*m.server, size, db_key(index, config_.name)));
+    } catch (const std::bad_alloc&) {
+      cluster_->node(local_).allocator().free(*local_offset);
+      throw OutOfRemoteMemory("persistent_malloc: mirror node " +
+                              std::to_string(m.server->host()) + " is out of memory");
+    }
+  }
+  records_.push_back(LocalRecord{*local_offset, size, false});
+  return RecordHandle{this, index, size};
+}
+
+std::span<std::byte> Perseas::record_bytes(std::uint32_t index) {
+  if (index >= records_.size()) throw UsageError("record: index out of range");
+  const auto& r = records_[index];
+  return cluster_->node(local_).mem(r.local_offset, r.size);
+}
+
+RecordHandle Perseas::record(std::uint32_t index) {
+  if (index >= records_.size()) throw UsageError("record: index out of range");
+  return RecordHandle{this, index, records_[index].size};
+}
+
+void Perseas::push_meta(Mirror& m) {
+  std::vector<std::byte> buf(meta_segment_size(config_.max_records));
+  MetaHeader hdr;
+  hdr.record_count = static_cast<std::uint32_t>(records_.size());
+  hdr.propagating_txn = 0;
+  hdr.undo_gen = undo_gen_;
+  std::memcpy(buf.data(), &hdr, sizeof hdr);
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const std::uint64_t size = records_[i].size;
+    std::memcpy(buf.data() + record_size_slot(i), &size, sizeof size);
+  }
+  client_.sci_memcpy_write(m.meta, 0, buf, netram::StreamHint::kNewBurst,
+                           config_.optimized_sci_memcpy);
+}
+
+void Perseas::push_record(Mirror& m, std::uint32_t index) {
+  auto span = record_bytes(index);
+  client_.sci_memcpy_write(m.db[index], 0, span, netram::StreamHint::kNewBurst,
+                           config_.optimized_sci_memcpy);
+}
+
+void Perseas::init_remote_db() {
+  if (in_txn_) throw UsageError("init_remote_db: not allowed inside a transaction");
+  for (auto& m : mirrors_) {
+    push_meta(m);
+    for (std::uint32_t i = 0; i < records_.size(); ++i) {
+      if (!records_[i].mirrored) push_record(m, i);
+    }
+  }
+  for (auto& r : records_) r.mirrored = true;
+}
+
+void Perseas::shutdown(bool decommission) {
+  if (in_txn_) throw UsageError("shutdown: a transaction is still active");
+  if (shut_down_) return;
+  for (auto& m : mirrors_) {
+    if (cluster_->node(m.server->host()).crashed()) continue;
+    if (decommission) {
+      for (const auto& seg : m.db) client_.sci_free_segment(*m.server, seg);
+      client_.sci_free_segment(*m.server, m.undo);
+      client_.sci_free_segment(*m.server, m.meta);
+    } else {
+      // Leave a final consistent image behind: every record's current
+      // content plus clean metadata (no propagation in flight).
+      for (std::uint32_t i = 0; i < records_.size(); ++i) push_record(m, i);
+      push_meta(m);
+    }
+  }
+  for (const auto& r : records_) {
+    cluster_->node(local_).allocator().free(r.local_offset);
+  }
+  records_.clear();
+  mirrors_.clear();
+  shut_down_ = true;
+}
+
+Transaction Perseas::begin_transaction() {
+  if (shut_down_) throw UsageError("begin_transaction: instance was shut down");
+  if (in_txn_) {
+    throw UsageError("begin_transaction: a transaction is already active");
+  }
+  const bool all_mirrored =
+      std::all_of(records_.begin(), records_.end(), [](const LocalRecord& r) { return r.mirrored; });
+  if (!all_mirrored) {
+    throw UsageError("begin_transaction: call init_remote_db() after persistent_malloc");
+  }
+  cluster_->charge_cpu(local_, cluster_->profile().library.txn_begin);
+  in_txn_ = true;
+  undo_.clear();
+  undo_used_ = 0;
+  ++txn_counter_;
+  return Transaction{this, txn_counter_};
+}
+
+// --- undo log ---------------------------------------------------------------
+
+namespace {
+
+/// CRC-32C over the entry's payload fields and before-image (the magic and
+/// the checksum slot itself are excluded).
+std::uint32_t undo_entry_checksum(const UndoEntryHeader& hdr,
+                                  std::span<const std::byte> image) {
+  std::uint32_t crc = sim::crc32c(
+      {reinterpret_cast<const std::byte*>(&hdr.record), sizeof hdr.record});
+  crc = sim::crc32c({reinterpret_cast<const std::byte*>(&hdr.txn_id), sizeof hdr.txn_id}, crc);
+  crc = sim::crc32c({reinterpret_cast<const std::byte*>(&hdr.offset), sizeof hdr.offset}, crc);
+  crc = sim::crc32c({reinterpret_cast<const std::byte*>(&hdr.size), sizeof hdr.size}, crc);
+  return sim::crc32c(image, crc) ^ 0xffffffffu;
+}
+
+}  // namespace
+
+std::vector<std::byte> Perseas::serialize_undo(const LocalUndo& u, std::uint64_t txn_id) const {
+  UndoEntryHeader hdr;
+  hdr.record = u.record;
+  hdr.txn_id = txn_id;
+  hdr.offset = u.offset;
+  hdr.size = u.before.size();
+  hdr.checksum = undo_entry_checksum(hdr, u.before);
+  std::vector<std::byte> buf(undo_entry_bytes(u.before.size()));
+  std::memcpy(buf.data(), &hdr, sizeof hdr);
+  std::memcpy(buf.data() + sizeof hdr, u.before.data(), u.before.size());
+  return buf;
+}
+
+void Perseas::push_undo_entry(const LocalUndo& u, std::uint64_t txn_id) {
+  const auto buf = serialize_undo(u, txn_id);
+  for (auto& m : mirrors_) {
+    client_.sci_memcpy_write(m.undo, undo_used_, buf, netram::StreamHint::kNewBurst,
+                             config_.optimized_sci_memcpy);
+    stats_.bytes_undo_remote += buf.size();
+  }
+}
+
+void Perseas::grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id) {
+  // Re-log every entry of the running transaction into a larger segment.
+  std::vector<std::byte> all;
+  for (const auto& u : undo_) {
+    const auto buf = serialize_undo(u, txn_id);
+    all.insert(all.end(), buf.begin(), buf.end());
+  }
+  std::uint64_t new_capacity = std::max<std::uint64_t>(undo_capacity_, 64);
+  while (new_capacity < all.size() + needed_bytes) new_capacity *= 2;
+
+  const std::uint64_t new_gen = undo_gen_ + 1;
+  for (auto& m : mirrors_) {
+    netram::RemoteSegment fresh;
+    try {
+      fresh = client_.sci_get_new_segment(*m.server, new_capacity, undo_key(new_gen, config_.name));
+    } catch (const std::bad_alloc&) {
+      throw OutOfRemoteMemory("grow_undo: mirror node " + std::to_string(m.server->host()) +
+                              " cannot hold a " + std::to_string(new_capacity) +
+                              "-byte undo log");
+    }
+    if (!all.empty()) {
+      client_.sci_memcpy_write(fresh, 0, all, netram::StreamHint::kNewBurst,
+                               config_.optimized_sci_memcpy);
+    }
+    // Publish the new generation, then drop the old segment.  A crash
+    // between these steps is safe: set_range runs with propagating_txn == 0,
+    // so recovery never consults the undo log in this window.
+    const std::uint64_t gen_value = new_gen;
+    client_.sci_memcpy_write(m.meta, kUndoGenOffset, as_bytes_of(gen_value),
+                             netram::StreamHint::kNewBurst, false);
+    client_.sci_free_segment(*m.server, m.undo);
+    m.undo = fresh;
+  }
+  undo_gen_ = new_gen;
+  undo_capacity_ = new_capacity;
+  undo_used_ = all.size();
+  ++stats_.undo_growths;
+  cluster_->failures().notify("perseas.undo.after_growth");
+}
+
+// --- transaction backends ---------------------------------------------------
+
+void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                            std::uint64_t size) {
+  cluster_->charge_cpu(local_, cluster_->profile().library.txn_set_range);
+  if (record >= records_.size()) throw UsageError("set_range: record index out of range");
+  if (size == 0) throw UsageError("set_range: empty range");
+  if (offset + size > records_[record].size || offset + size < offset) {
+    throw UsageError("set_range: range exceeds record");
+  }
+
+  LocalUndo u;
+  u.record = record;
+  u.offset = offset;
+  const sim::StopWatch local_watch(cluster_->clock());
+  const auto src = record_bytes(record).subspan(offset, size);
+  u.before.assign(src.begin(), src.end());
+  cluster_->charge_local_memcpy(local_, size);  // figure 3, step 1
+  stats_.time_local_undo += local_watch.elapsed();
+  stats_.bytes_undo_local += size;
+  ++stats_.set_ranges;
+  cluster_->failures().notify(kAfterLocalUndo);
+
+  if (config_.eager_remote_undo) {
+    const sim::StopWatch remote_watch(cluster_->clock());
+    const std::uint64_t needed = undo_entry_bytes(size);
+    if (undo_used_ + needed > undo_capacity_) grow_undo(needed, txn_id);
+    push_undo_entry(u, txn_id);  // figure 3, step 2
+    undo_used_ += needed;
+    stats_.time_remote_undo += remote_watch.elapsed();
+    cluster_->failures().notify(kAfterRemoteUndo);
+  }
+  undo_.push_back(std::move(u));
+}
+
+void Perseas::txn_commit(std::uint64_t txn_id) {
+  cluster_->charge_cpu(local_, cluster_->profile().library.txn_commit);
+  if (!in_txn_) throw UsageError("commit: no active transaction");
+
+  if (!config_.eager_remote_undo) {
+    // Lazy mode: make the undo images durable on the mirrors now, before
+    // any propagation can touch the remote database.
+    undo_used_ = 0;
+    const sim::StopWatch remote_watch(cluster_->clock());
+    std::uint64_t total = 0;
+    for (const auto& u : undo_) total += undo_entry_bytes(u.before.size());
+    if (total > undo_capacity_) {
+      grow_undo(0, txn_id);  // grow_undo re-logs every entry of this txn
+      cluster_->failures().notify(kAfterRemoteUndo);
+    } else {
+      for (const auto& u : undo_) {
+        push_undo_entry(u, txn_id);
+        undo_used_ += undo_entry_bytes(u.before.size());
+        cluster_->failures().notify(kAfterRemoteUndo);
+      }
+    }
+    stats_.time_remote_undo += remote_watch.elapsed();
+  }
+
+  if (undo_.empty()) {  // read-only transaction: nothing to propagate
+    in_txn_ = false;
+    ++stats_.txns_committed;
+    cluster_->failures().notify(kCommitDone);
+    return;
+  }
+
+  for (auto& m : mirrors_) {
+    // Announce the propagation: from here until the clearing store, the
+    // mirror's database image may be partially updated and recovery must
+    // roll it back with the remote undo log.  The announcement carries the
+    // exact undo byte count, so recovery can prove it parsed every entry.
+    const std::uint64_t flag[2] = {txn_id, undo_used_};
+    const sim::StopWatch set_watch(cluster_->clock());
+    client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(flag),
+                             netram::StreamHint::kNewBurst, false);
+    stats_.time_commit_flags += set_watch.elapsed();
+    cluster_->failures().notify(kAfterFlagSet);
+
+    const sim::StopWatch propagate_watch(cluster_->clock());
+    for (const auto& u : undo_) {  // figure 3, step 3
+      const auto data = record_bytes(u.record).subspan(u.offset, u.before.size());
+      client_.sci_memcpy_write(m.db[u.record], u.offset, data,
+                               netram::StreamHint::kContinuation,
+                               config_.optimized_sci_memcpy);
+      stats_.bytes_propagated += data.size();
+      cluster_->failures().notify(kAfterRangeCopy);
+    }
+    stats_.time_propagation += propagate_watch.elapsed();
+
+    cluster_->failures().notify(kBeforeFlagClear);
+    // THE commit point (for this mirror): the store clearing the flag.
+    const sim::StopWatch clear_watch(cluster_->clock());
+    const std::uint64_t clear[2] = {0, 0};
+    client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
+                             netram::StreamHint::kContinuation, false);
+    stats_.time_commit_flags += clear_watch.elapsed();
+  }
+
+  undo_.clear();
+  in_txn_ = false;
+  ++stats_.txns_committed;
+  cluster_->failures().notify(kCommitDone);
+}
+
+void Perseas::txn_abort() {
+  cluster_->charge_cpu(local_, cluster_->profile().library.txn_abort);
+  if (!in_txn_) throw UsageError("abort: no active transaction");
+  // Purely local: the remote database was never touched (propagation only
+  // happens inside commit), and stale remote undo entries are harmless
+  // because propagating_txn is zero.
+  std::uint64_t bytes = 0;
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    auto dst = record_bytes(it->record).subspan(it->offset, it->before.size());
+    std::memcpy(dst.data(), it->before.data(), it->before.size());
+    bytes += it->before.size();
+  }
+  cluster_->charge_local_memcpy(local_, bytes);
+  undo_.clear();
+  in_txn_ = false;
+  ++stats_.txns_aborted;
+  cluster_->failures().notify(kAbortDone);
+}
+
+// --- recovery ----------------------------------------------------------------
+
+void Perseas::rebuild_mirror(std::uint32_t index) {
+  if (index >= mirrors_.size()) throw UsageError("rebuild_mirror: index out of range");
+  Mirror& m = mirrors_[index];
+
+  // If the server still exports an older incarnation of the database (it
+  // stayed up while we recovered elsewhere, or kept segments from before
+  // its own crash), drop those exports first.
+  if (auto meta = client_.sci_connect_segment(*m.server, meta_key(config_.name))) {
+    MetaHeader hdr;
+    std::vector<std::byte> buf(sizeof hdr);
+    client_.sci_memcpy_read(*meta, 0, buf);
+    std::memcpy(&hdr, buf.data(), sizeof hdr);
+    if (hdr.valid()) {
+      if (auto undo = client_.sci_connect_segment(*m.server, undo_key(hdr.undo_gen, config_.name))) {
+        client_.sci_free_segment(*m.server, *undo);
+      }
+      for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
+        if (auto db = client_.sci_connect_segment(*m.server, db_key(i, config_.name))) {
+          client_.sci_free_segment(*m.server, *db);
+        }
+      }
+    }
+    client_.sci_free_segment(*m.server, *meta);
+  }
+
+  m.db.clear();
+  create_mirror_segments(m);
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    try {
+      m.db.push_back(client_.sci_get_new_segment(*m.server, records_[i].size, db_key(i, config_.name)));
+    } catch (const std::bad_alloc&) {
+      throw OutOfRemoteMemory("rebuild_mirror: mirror node " +
+                              std::to_string(m.server->host()) + " is out of memory");
+    }
+    push_record(m, i);
+  }
+  push_meta(m);
+  ++stats_.mirror_rebuilds;
+}
+
+Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
+                         std::vector<netram::RemoteMemoryServer*> servers,
+                         PerseasConfig config) {
+  Perseas p{AttachTag{}, cluster, new_local, config};
+
+  // Find any reachable mirror that holds the database (paper section 3:
+  // "the database may be reconstructed quickly in any workstation").
+  netram::RemoteMemoryServer* primary = nullptr;
+  netram::RemoteSegment meta_seg;
+  for (auto* srv : servers) {
+    if (srv == nullptr || srv->host() == new_local) continue;
+    if (cluster.node(srv->host()).crashed()) continue;
+    if (auto seg = p.client_.sci_connect_segment(*srv, meta_key(config.name))) {
+      primary = srv;
+      meta_seg = *seg;
+      break;
+    }
+  }
+  if (primary == nullptr) {
+    throw RecoveryError("recover: no reachable mirror exports a PERSEAS database");
+  }
+
+  MetaHeader hdr;
+  {
+    std::vector<std::byte> buf(sizeof hdr);
+    p.client_.sci_memcpy_read(meta_seg, 0, buf);
+    std::memcpy(&hdr, buf.data(), sizeof hdr);
+  }
+  if (!hdr.valid()) throw RecoveryError("recover: metadata header is corrupt");
+  // The directory capacity is a property of the stored database, not of the
+  // recovery invocation: adopt it so later pushes fit the existing segment.
+  p.config_.max_records =
+      static_cast<std::uint32_t>((meta_seg.size - sizeof(MetaHeader)) / sizeof(std::uint64_t));
+  if (hdr.record_count > p.config_.max_records) {
+    throw RecoveryError("recover: metadata record count exceeds directory capacity");
+  }
+
+  std::vector<std::uint64_t> sizes(hdr.record_count);
+  if (hdr.record_count > 0) {
+    std::vector<std::byte> buf(hdr.record_count * sizeof(std::uint64_t));
+    p.client_.sci_memcpy_read(meta_seg, sizeof(MetaHeader), buf);
+    std::memcpy(sizes.data(), buf.data(), buf.size());
+  }
+
+  Mirror m;
+  m.server = primary;
+  m.meta = meta_seg;
+  if (auto undo = p.client_.sci_connect_segment(*primary, undo_key(hdr.undo_gen, config.name))) {
+    m.undo = *undo;
+  } else {
+    throw RecoveryError("recover: undo segment generation " + std::to_string(hdr.undo_gen) +
+                        " is missing");
+  }
+  for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
+    auto db = p.client_.sci_connect_segment(*primary, db_key(i, config.name));
+    if (!db) throw RecoveryError("recover: database record " + std::to_string(i) + " is missing");
+    if (db->size < sizes[i]) throw RecoveryError("recover: record segment smaller than metadata");
+    m.db.push_back(*db);
+  }
+  cluster.failures().notify(kRecoverConnected);
+
+  // Scan the remote undo log: find the highest transaction id ever logged
+  // (to keep ids monotonic across incarnations) and, if a commit was in
+  // flight, collect the before-images to roll the mirror's database back.
+  std::uint64_t max_txn = hdr.propagating_txn;
+  {
+    // When a commit was in flight, the metadata names the exact byte length
+    // of the doomed transaction's undo entries: every byte of that prefix
+    // must parse and checksum cleanly, or the mirror cannot be rolled back
+    // and recovery refuses rather than return a partially updated database.
+    const std::uint64_t must_parse =
+        hdr.propagating_txn != 0 ? hdr.propagating_undo_bytes : 0;
+    std::vector<std::byte> undo_bytes(m.undo.size);
+    p.client_.sci_memcpy_read(m.undo, 0, undo_bytes);
+    if (must_parse > undo_bytes.size()) {
+      throw RecoveryError("recover: metadata claims more undo bytes than the segment holds");
+    }
+    struct Rollback {
+      std::uint32_t record;
+      std::uint64_t offset;
+      std::uint64_t body_pos;
+      std::uint64_t size;
+    };
+    std::vector<Rollback> rollbacks;
+    std::uint64_t pos = 0;
+    while (pos + sizeof(UndoEntryHeader) <= undo_bytes.size()) {
+      const bool required = pos < must_parse;
+      UndoEntryHeader e;
+      std::memcpy(&e, undo_bytes.data() + pos, sizeof e);
+      const bool shape_ok = e.magic == UndoEntryHeader::kMagic &&
+                            e.record < hdr.record_count && e.size <= sizes[e.record] &&
+                            e.offset + e.size <= sizes[e.record] &&
+                            pos + undo_entry_bytes(e.size) <= undo_bytes.size();
+      if (!shape_ok) {
+        if (required) {
+          throw RecoveryError(
+              "recover: remote undo log is corrupt inside the in-flight "
+              "transaction's entries; the mirror cannot be rolled back safely");
+        }
+        break;  // clean end of the log (stale bytes / zeroes)
+      }
+      const std::span<const std::byte> body{undo_bytes.data() + pos + sizeof e, e.size};
+      if (e.checksum != undo_entry_checksum(e, body) ||
+          (required && e.txn_id != hdr.propagating_txn)) {
+        if (required) {
+          throw RecoveryError(
+              "recover: remote undo entry failed validation while a commit "
+              "was in flight; the mirror cannot be rolled back safely");
+        }
+        break;
+      }
+      max_txn = std::max(max_txn, e.txn_id);
+      if (required) {
+        rollbacks.push_back(Rollback{e.record, e.offset, pos + sizeof e, e.size});
+      }
+      pos += undo_entry_bytes(e.size);
+    }
+    if (pos < must_parse) {
+      throw RecoveryError("recover: undo log ends before the announced length");
+    }
+    // Discard the illegal (partially propagated) update on the mirror by
+    // applying the before-images newest-first: set_range may log
+    // overlapping ranges, and a later range's before-image contains the
+    // earlier range's writes, so forward application would resurrect them.
+    for (auto it = rollbacks.rbegin(); it != rollbacks.rend(); ++it) {
+      const std::span<const std::byte> image{undo_bytes.data() + it->body_pos, it->size};
+      p.client_.sci_memcpy_write(m.db[it->record], it->offset, image,
+                                 netram::StreamHint::kNewBurst, config.optimized_sci_memcpy);
+    }
+    cluster.failures().notify(kRecoverAfterRollback);
+    if (hdr.propagating_txn != 0) {
+      const std::uint64_t clear[2] = {0, 0};
+      p.client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
+                                 netram::StreamHint::kNewBurst, false);
+    }
+  }
+
+  p.undo_gen_ = hdr.undo_gen;
+  p.undo_capacity_ = m.undo.size;
+  p.txn_counter_ = max_txn;
+  p.mirrors_.push_back(std::move(m));
+
+  // Pull every record into local memory (one remote-to-local copy each).
+  for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
+    const auto local_offset = cluster.node(new_local).allocator().allocate(sizes[i]);
+    if (!local_offset) throw RecoveryError("recover: local arena exhausted");
+    p.records_.push_back(LocalRecord{*local_offset, sizes[i], true});
+    auto span = cluster.node(new_local).mem(*local_offset, sizes[i]);
+    p.client_.sci_memcpy_read(p.mirrors_[0].db[i], 0, span);
+  }
+
+  // Re-synchronize every other reachable mirror from the recovered image so
+  // the configured replication degree is restored.
+  for (auto* srv : servers) {
+    if (srv == nullptr || srv == primary || srv->host() == new_local) continue;
+    if (cluster.node(srv->host()).crashed()) continue;
+    Mirror extra;
+    extra.server = srv;
+    p.mirrors_.push_back(std::move(extra));
+    p.rebuild_mirror(static_cast<std::uint32_t>(p.mirrors_.size() - 1));
+  }
+  cluster.failures().notify(kRecoverDone);
+  return p;
+}
+
+}  // namespace perseas::core

@@ -1,0 +1,280 @@
+// PERSEAS: a user-level transaction library over reliable network RAM.
+//
+// This is the paper's primary contribution.  A database of records lives in
+// the local node's main memory and is mirrored in the memory of one or more
+// remote nodes (on independent power supplies).  Transactions are made
+// atomic and recoverable with three memory copies and no disk access
+// (paper figure 3):
+//
+//   1. set_range   copies the before-image into a local undo log and pushes
+//                  it to the remote undo log with one SCI store burst;
+//   2. the application updates the mapped database in place;
+//   3. commit      stores the transaction id into the remote metadata
+//                  ("propagation in progress"), copies every declared range
+//                  into the remote database image, and clears the flag —
+//                  the clearing store is the commit point.
+//
+// Abort is a purely local memory copy.  After the local machine dies,
+// recover() reconnects to the mirror's segments by key, rolls the remote
+// database back with the remote undo log if a commit was in flight, and
+// rebuilds the database on any workstation of the network.
+//
+// Public API mapping to the paper's interface:
+//   PERSEAS_init               -> Perseas constructor
+//   PERSEAS_malloc             -> Perseas::persistent_malloc
+//   PERSEAS_init_remote_db     -> Perseas::init_remote_db
+//   PERSEAS_begin_transaction  -> Perseas::begin_transaction
+//   PERSEAS_set_range          -> Transaction::set_range
+//   PERSEAS_commit_transaction -> Transaction::commit
+//   PERSEAS_abort_transaction  -> Transaction::abort
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/layout.hpp"
+#include "netram/cluster.hpp"
+#include "netram/remote_memory.hpp"
+
+namespace perseas::core {
+
+struct PerseasConfig {
+  /// Name of this database: namespaces its segment keys on the mirrors, so
+  /// several PERSEAS databases can share one remote-memory server.  The
+  /// same name must be passed to recover().
+  std::string name = "p";
+  /// Initial capacity of the (local and remote) undo log; grows by doubling
+  /// when a transaction logs more than this.
+  std::uint64_t undo_capacity = 1 << 20;
+  /// Capacity of the metadata directory (max persistent_malloc calls).
+  std::uint32_t max_records = 256;
+  /// Paper behaviour (true): push each undo image to the mirrors inside
+  /// set_range.  false = lazy: push all undo images at the start of commit
+  /// (ablation; shrinks the recovery window guarantees to the same point
+  /// but changes where the latency is paid).
+  bool eager_remote_undo = true;
+  /// Use the aligned-64-byte sci_memcpy optimization (paper section 4).
+  bool optimized_sci_memcpy = true;
+};
+
+struct PerseasStats {
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  std::uint64_t set_ranges = 0;
+  std::uint64_t bytes_undo_local = 0;
+  std::uint64_t bytes_undo_remote = 0;  // summed over mirrors
+  std::uint64_t bytes_propagated = 0;   // summed over mirrors
+  std::uint64_t undo_growths = 0;
+  std::uint64_t mirror_rebuilds = 0;
+
+  // Simulated time spent per protocol phase (figure 3's three copies plus
+  // the commit-point stores): lets benches print where a transaction's
+  // microseconds go.
+  sim::SimDuration time_local_undo = 0;      // step 1: before-image memcpy
+  sim::SimDuration time_remote_undo = 0;     // step 2: undo push to mirrors
+  sim::SimDuration time_propagation = 0;     // step 3: db ranges to mirrors
+  sim::SimDuration time_commit_flags = 0;    // propagating set/clear stores
+};
+
+class Perseas;
+
+/// Handle to one persistent record (the unit of PERSEAS_malloc).  Cheap
+/// value type identified by index; remains meaningful across recovery
+/// (fetch a fresh handle from the recovered instance with record()).
+class RecordHandle {
+ public:
+  RecordHandle() = default;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool valid() const noexcept { return owner_ != nullptr; }
+
+  /// The live local mapping of this record.  Writes to it inside a
+  /// transaction must be covered by a prior set_range.
+  [[nodiscard]] std::span<std::byte> bytes() const;
+
+  /// Typed view; T must be trivially copyable and fit the record.
+  template <typename T>
+  [[nodiscard]] T& as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto b = bytes();
+    if (sizeof(T) > b.size()) throw UsageError("RecordHandle::as: type larger than record");
+    return *reinterpret_cast<T*>(b.data());
+  }
+
+  /// Typed array view over the whole record.
+  template <typename T>
+  [[nodiscard]] std::span<T> array() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto b = bytes();
+    return {reinterpret_cast<T*>(b.data()), b.size() / sizeof(T)};
+  }
+
+ private:
+  friend class Perseas;
+  RecordHandle(Perseas* owner, std::uint32_t index, std::uint64_t size)
+      : owner_(owner), index_(index), size_(size) {}
+
+  Perseas* owner_ = nullptr;
+  std::uint32_t index_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+/// An open transaction.  Move-only RAII: destroying an active transaction
+/// aborts it.  At most one transaction is open per Perseas instance (the
+/// paper's library serves one sequential application).
+class Transaction {
+ public:
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(Transaction&& other) noexcept;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  ~Transaction();
+
+  /// Declares [offset, offset+size) of `record` as about to be updated;
+  /// logs its before-image locally and (eager mode) on every mirror.
+  void set_range(const RecordHandle& record, std::uint64_t offset, std::uint64_t size);
+  void set_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size);
+
+  void commit();
+  void abort();
+
+  [[nodiscard]] bool active() const noexcept { return owner_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class Perseas;
+  Transaction(Perseas* owner, std::uint64_t id) : owner_(owner), id_(id) {}
+
+  Perseas* owner_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Perseas {
+ public:
+  /// PERSEAS_init: attaches to the cluster on `local` and prepares mirror
+  /// state on every server in `mirrors` (>= 1, hosts distinct from local).
+  Perseas(netram::Cluster& cluster, netram::NodeId local,
+          std::vector<netram::RemoteMemoryServer*> mirrors, PerseasConfig config = {});
+
+  Perseas(Perseas&&) noexcept = default;
+  Perseas& operator=(Perseas&&) noexcept = default;
+  Perseas(const Perseas&) = delete;
+  Perseas& operator=(const Perseas&) = delete;
+  ~Perseas() = default;
+
+  /// PERSEAS_malloc: allocates a persistent record of `size` bytes in local
+  /// memory and reserves its mirror segments.  Zero-initialized.
+  RecordHandle persistent_malloc(std::uint64_t size);
+
+  /// PERSEAS_init_remote_db: pushes the metadata directory and the current
+  /// contents of every not-yet-mirrored record to all mirrors.  Must be
+  /// called after the records are given their initial values and before the
+  /// first transaction.
+  void init_remote_db();
+
+  /// PERSEAS_begin_transaction.
+  Transaction begin_transaction();
+
+  [[nodiscard]] std::uint32_t record_count() const noexcept {
+    return static_cast<std::uint32_t>(records_.size());
+  }
+  [[nodiscard]] RecordHandle record(std::uint32_t index);
+  [[nodiscard]] netram::NodeId local_node() const noexcept { return local_; }
+  [[nodiscard]] std::uint32_t mirror_count() const noexcept {
+    return static_cast<std::uint32_t>(mirrors_.size());
+  }
+  [[nodiscard]] const PerseasStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const PerseasConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool in_transaction() const noexcept { return in_txn_; }
+
+  /// Rebuilds mirror `index` (whose server lost its exports in a crash and
+  /// has been restarted) from the local database: re-exports all segments
+  /// and pushes metadata and record contents.
+  void rebuild_mirror(std::uint32_t index);
+
+  /// Graceful shutdown (paper section 1: a scheduled outage "can gracefully
+  /// shut down").  Pushes a final consistent image to every mirror and
+  /// detaches; the database remains recoverable by name.  With
+  /// `decommission` it instead frees every remote segment — the database
+  /// ceases to exist.  The instance is unusable afterwards except for
+  /// destruction.
+  void shutdown(bool decommission = false);
+
+  [[nodiscard]] bool is_shut_down() const noexcept { return shut_down_; }
+
+  /// Recovers the database onto `new_local` (any workstation of the
+  /// network) from the first reachable mirror in `servers`.  Rolls the
+  /// mirror's database back if a commit was propagating when the primary
+  /// died, then pulls every record into local memory and re-synchronizes
+  /// any additional reachable mirrors.
+  static Perseas recover(netram::Cluster& cluster, netram::NodeId new_local,
+                         std::vector<netram::RemoteMemoryServer*> servers,
+                         PerseasConfig config = {});
+
+ private:
+  friend class Transaction;
+  friend class RecordHandle;
+
+  struct LocalRecord {
+    std::uint64_t local_offset = 0;
+    std::uint64_t size = 0;
+    bool mirrored = false;
+  };
+
+  struct Mirror {
+    netram::RemoteMemoryServer* server = nullptr;
+    netram::RemoteSegment meta;
+    netram::RemoteSegment undo;
+    std::vector<netram::RemoteSegment> db;
+  };
+
+  struct LocalUndo {
+    std::uint32_t record = 0;
+    std::uint64_t offset = 0;
+    std::vector<std::byte> before;
+  };
+
+  /// Tag for the private recovery constructor.
+  struct AttachTag {};
+  Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config);
+
+  [[nodiscard]] std::span<std::byte> record_bytes(std::uint32_t index);
+  void create_mirror_segments(Mirror& m);
+  void push_meta(Mirror& m);
+  void push_record(Mirror& m, std::uint32_t index);
+
+  /// Serializes one undo entry (header + padded image) for txn `txn_id`.
+  [[nodiscard]] std::vector<std::byte> serialize_undo(const LocalUndo& u,
+                                                      std::uint64_t txn_id) const;
+  void push_undo_entry(const LocalUndo& u, std::uint64_t txn_id);
+  void grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id);
+
+  // Transaction backends.
+  void txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                     std::uint64_t size);
+  void txn_commit(std::uint64_t txn_id);
+  void txn_abort();
+
+  netram::Cluster* cluster_ = nullptr;
+  netram::NodeId local_ = 0;
+  PerseasConfig config_;
+  netram::RemoteMemoryClient client_;
+  std::vector<Mirror> mirrors_;
+  std::vector<LocalRecord> records_;
+
+  bool in_txn_ = false;
+  bool shut_down_ = false;
+  std::uint64_t txn_counter_ = 0;
+  std::uint64_t undo_gen_ = 0;
+  std::uint64_t undo_capacity_ = 0;
+  std::uint64_t undo_used_ = 0;
+  std::vector<LocalUndo> undo_;
+
+  PerseasStats stats_;
+};
+
+}  // namespace perseas::core

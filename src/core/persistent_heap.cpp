@@ -1,0 +1,184 @@
+#include "core/persistent_heap.hpp"
+
+#include <cstring>
+
+namespace perseas::core {
+
+namespace {
+constexpr std::uint64_t kUsedBit = 1;
+
+std::uint64_t tag_size(std::uint64_t tag) { return tag & ~kUsedBit; }
+bool tag_used(std::uint64_t tag) { return (tag & kUsedBit) != 0; }
+}  // namespace
+
+PersistentHeap::PersistentHeap(Perseas& db, const RecordHandle& record,
+                               std::uint64_t heap_bytes)
+    : db_(&db), record_(record), heap_bytes_(heap_bytes) {}
+
+PersistentHeap PersistentHeap::format(Perseas& db, const RecordHandle& record) {
+  if (record.size() < sizeof(HeapHeader) + kMinBlock) {
+    throw UsageError("PersistentHeap: record too small to hold a heap");
+  }
+  const std::uint64_t heap_bytes =
+      (record.size() - sizeof(HeapHeader)) / kAlign * kAlign;
+  PersistentHeap heap(db, record, heap_bytes);
+
+  auto txn = db.begin_transaction();
+  txn.set_range(record, 0, sizeof(HeapHeader));
+  HeapHeader hdr;
+  hdr.heap_bytes = heap_bytes;
+  std::memcpy(record.bytes().data(), &hdr, sizeof hdr);
+  heap.set_block(txn, heap.first_block(), heap_bytes, /*used=*/false);
+  txn.commit();
+  return heap;
+}
+
+PersistentHeap PersistentHeap::attach(Perseas& db, const RecordHandle& record) {
+  if (record.size() < sizeof(HeapHeader)) {
+    throw UsageError("PersistentHeap: record too small to hold a heap");
+  }
+  HeapHeader hdr;
+  std::memcpy(&hdr, record.bytes().data(), sizeof hdr);
+  if (hdr.magic != HeapHeader::kMagic ||
+      hdr.heap_bytes + sizeof(HeapHeader) > record.size()) {
+    throw UsageError("PersistentHeap: record does not contain a formatted heap");
+  }
+  return PersistentHeap(db, record, hdr.heap_bytes);
+}
+
+std::uint64_t PersistentHeap::read_u64(std::uint64_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, record_.bytes().data() + offset, sizeof v);
+  return v;
+}
+
+void PersistentHeap::write_u64(Transaction& txn, std::uint64_t offset, std::uint64_t value) {
+  txn.set_range(record_, offset, sizeof value);
+  std::memcpy(record_.bytes().data() + offset, &value, sizeof value);
+}
+
+void PersistentHeap::set_block(Transaction& txn, std::uint64_t block, std::uint64_t size,
+                               bool used) {
+  const std::uint64_t tag = size | (used ? kUsedBit : 0);
+  write_u64(txn, block, tag);
+  write_u64(txn, block + size - kTag, tag);
+}
+
+std::uint64_t PersistentHeap::alloc(Transaction& txn, std::uint64_t size) {
+  if (size == 0) throw UsageError("PersistentHeap::alloc: zero size");
+  const std::uint64_t payload = (size + kAlign - 1) / kAlign * kAlign;
+  const std::uint64_t need = payload + 2 * kTag;
+
+  // First fit over the (contiguous) block sequence.
+  for (std::uint64_t block = first_block(); block < end();) {
+    const std::uint64_t tag = read_u64(block);
+    const std::uint64_t block_size = tag_size(tag);
+    if (block_size < 2 * kTag || block + block_size > end()) {
+      throw PerseasError("PersistentHeap: corrupt block tag during alloc");
+    }
+    if (!tag_used(tag) && block_size >= need) {
+      if (block_size - need >= kMinBlock) {
+        // Split: allocation in front, remainder stays free.
+        set_block(txn, block, need, /*used=*/true);
+        set_block(txn, block + need, block_size - need, /*used=*/false);
+      } else {
+        set_block(txn, block, block_size, /*used=*/true);
+      }
+      return block + kTag;
+    }
+    block += block_size;
+  }
+  return kNull;
+}
+
+void PersistentHeap::free(Transaction& txn, std::uint64_t offset) {
+  if (offset < first_block() + kTag || offset >= end()) {
+    throw UsageError("PersistentHeap::free: offset outside the heap");
+  }
+  std::uint64_t block = offset - kTag;
+  std::uint64_t tag = read_u64(block);
+  std::uint64_t size = tag_size(tag);
+  if (!tag_used(tag) || size < 2 * kTag || block + size > end() ||
+      read_u64(block + size - kTag) != tag) {
+    throw UsageError("PersistentHeap::free: not a live allocation");
+  }
+
+  // Coalesce with the successor if it is free.
+  const std::uint64_t next = block + size;
+  if (next < end()) {
+    const std::uint64_t next_tag = read_u64(next);
+    if (!tag_used(next_tag)) size += tag_size(next_tag);
+  }
+  // Coalesce with the predecessor via its footer tag.
+  if (block > first_block()) {
+    const std::uint64_t prev_tag = read_u64(block - kTag);
+    if (!tag_used(prev_tag)) {
+      block -= tag_size(prev_tag);
+      size += tag_size(prev_tag);
+    }
+  }
+  set_block(txn, block, size, /*used=*/false);
+}
+
+std::span<std::byte> PersistentHeap::deref(std::uint64_t offset) {
+  return record_.bytes().subspan(offset, allocation_size(offset));
+}
+
+std::uint64_t PersistentHeap::allocation_size(std::uint64_t offset) {
+  if (offset < first_block() + kTag || offset >= end()) {
+    throw UsageError("PersistentHeap::deref: offset outside the heap");
+  }
+  const std::uint64_t tag = read_u64(offset - kTag);
+  if (!tag_used(tag)) throw UsageError("PersistentHeap::deref: block is free");
+  return tag_size(tag) - 2 * kTag;
+}
+
+std::uint64_t PersistentHeap::bytes_free() {
+  std::uint64_t total = 0;
+  for (std::uint64_t block = first_block(); block < end();) {
+    const std::uint64_t tag = read_u64(block);
+    if (!tag_used(tag)) total += tag_size(tag) - 2 * kTag;
+    block += tag_size(tag);
+  }
+  return total;
+}
+
+std::uint64_t PersistentHeap::bytes_used() {
+  std::uint64_t total = 0;
+  for (std::uint64_t block = first_block(); block < end();) {
+    const std::uint64_t tag = read_u64(block);
+    if (tag_used(tag)) total += tag_size(tag) - 2 * kTag;
+    block += tag_size(tag);
+  }
+  return total;
+}
+
+void PersistentHeap::check_consistency() {
+  bool prev_free = false;
+  std::uint64_t block = first_block();
+  while (block < end()) {
+    const std::uint64_t tag = read_u64(block);
+    const std::uint64_t size = tag_size(tag);
+    if (size < 2 * kTag || size % kAlign != 0 || block + size > end()) {
+      throw PerseasError("PersistentHeap: bad block size at " + std::to_string(block));
+    }
+    if (read_u64(block + size - kTag) != tag) {
+      throw PerseasError("PersistentHeap: footer mismatch at " + std::to_string(block));
+    }
+    if (!tag_used(tag)) {
+      if (prev_free) {
+        throw PerseasError("PersistentHeap: adjacent free blocks (missed coalesce) at " +
+                           std::to_string(block));
+      }
+      prev_free = true;
+    } else {
+      prev_free = false;
+    }
+    block += size;
+  }
+  if (block != end()) {
+    throw PerseasError("PersistentHeap: blocks do not tile the heap");
+  }
+}
+
+}  // namespace perseas::core

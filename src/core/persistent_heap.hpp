@@ -1,0 +1,88 @@
+// A transactional heap inside a PERSEAS record.
+//
+// The paper positions PERSEAS as "a high-speed front-end transaction
+// library that can be used in conjunction with [pointer-navigated]
+// persistent stores" (section 2).  PersistentHeap is that front end: a
+// boundary-tag allocator whose every metadata mutation runs under the
+// caller's Transaction, so the heap structure is crash-consistent — a
+// transaction that dies mid-alloc rolls back to a well-formed heap.
+//
+// Layout inside the record (all offsets record-relative):
+//   [HeapHeader]                       at offset 0
+//   [block][block]...                  blocks are contiguous
+// Each block is [u64 tag][payload][u64 tag]: the tag holds the full block
+// size (a multiple of 16) with bit 0 = used.  Offsets handed to callers
+// point at the payload; offset 0 doubles as the null value (the header
+// occupies it, so no allocation can ever live there).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/perseas.hpp"
+
+namespace perseas::core {
+
+class PersistentHeap {
+ public:
+  /// The null allocation offset.
+  static constexpr std::uint64_t kNull = 0;
+
+  /// Formats a fresh heap across the whole of `record` (one transaction of
+  /// its own) and attaches to it.
+  static PersistentHeap format(Perseas& db, const RecordHandle& record);
+
+  /// Attaches to an already-formatted heap (e.g. after recovery).  Throws
+  /// UsageError if the record does not contain one.
+  static PersistentHeap attach(Perseas& db, const RecordHandle& record);
+
+  /// Allocates `size` bytes inside the running transaction; returns kNull
+  /// when no sufficient free block exists.  The returned payload bytes are
+  /// NOT covered by set_range — cover the parts you write.
+  std::uint64_t alloc(Transaction& txn, std::uint64_t size);
+
+  /// Frees an allocation inside the running transaction (coalesces with
+  /// free neighbours).  Throws UsageError for non-allocation offsets.
+  void free(Transaction& txn, std::uint64_t offset);
+
+  /// Payload view of a live allocation.
+  [[nodiscard]] std::span<std::byte> deref(std::uint64_t offset);
+
+  /// Payload capacity of a live allocation.
+  [[nodiscard]] std::uint64_t allocation_size(std::uint64_t offset);
+
+  [[nodiscard]] std::uint64_t bytes_free();
+  [[nodiscard]] std::uint64_t bytes_used();
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return heap_bytes_; }
+
+  /// Full structural audit: walks every block, checks tags, flags, and
+  /// that sizes tile the heap exactly.  Throws PerseasError on corruption.
+  void check_consistency();
+
+ private:
+  struct HeapHeader {
+    static constexpr std::uint64_t kMagic = 0x4845'4150'2e70'6572ULL;  // "HEAP.per"
+    std::uint64_t magic = kMagic;
+    std::uint64_t heap_bytes = 0;
+  };
+  static constexpr std::uint64_t kAlign = 16;
+  static constexpr std::uint64_t kTag = sizeof(std::uint64_t);
+  static constexpr std::uint64_t kMinBlock = 2 * kTag + kAlign;
+
+  PersistentHeap(Perseas& db, const RecordHandle& record, std::uint64_t heap_bytes);
+
+  [[nodiscard]] std::uint64_t first_block() const { return sizeof(HeapHeader); }
+  [[nodiscard]] std::uint64_t end() const { return sizeof(HeapHeader) + heap_bytes_; }
+
+  [[nodiscard]] std::uint64_t read_u64(std::uint64_t offset);
+  void write_u64(Transaction& txn, std::uint64_t offset, std::uint64_t value);
+
+  /// Writes both tags of the block starting at `block`.
+  void set_block(Transaction& txn, std::uint64_t block, std::uint64_t size, bool used);
+
+  Perseas* db_;
+  RecordHandle record_;
+  std::uint64_t heap_bytes_;
+};
+
+}  // namespace perseas::core

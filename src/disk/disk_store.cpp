@@ -1,0 +1,33 @@
+#include "disk/disk_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace perseas::disk {
+
+DiskStore::DiskStore(std::string name, DiskModel& disk, std::uint64_t size,
+                     std::uint64_t base_offset)
+    : name_(std::move(name)), disk_(&disk), base_offset_(base_offset), bytes_(size) {}
+
+void DiskStore::check_range(std::uint64_t offset, std::uint64_t size) const {
+  if (offset + size > bytes_.size() || offset + size < offset) {
+    throw std::out_of_range("DiskStore '" + name_ + "': range out of bounds");
+  }
+}
+
+sim::SimDuration DiskStore::write(std::uint64_t offset, std::span<const std::byte> data,
+                                  bool synchronous) {
+  check_range(offset, data.size());
+  std::memcpy(bytes_.data() + offset, data.data(), data.size());
+  const std::uint64_t disk_offset = base_offset_ + offset;
+  return synchronous ? disk_->sync_write(disk_offset, data.size())
+                     : disk_->async_write(disk_offset, data.size());
+}
+
+sim::SimDuration DiskStore::read(std::uint64_t offset, std::span<std::byte> out) {
+  check_range(offset, out.size());
+  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+  return disk_->read(base_offset_ + offset, out.size());
+}
+
+}  // namespace perseas::disk

@@ -1,0 +1,43 @@
+// A simulated file on a simulated magnetic disk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "disk/stable_store.hpp"
+
+namespace perseas::disk {
+
+/// Fixed-size file region on a DiskModel.  Contents always survive node
+/// crashes (that is the whole point of a disk); only cost, not durability,
+/// distinguishes sync from async writes here because the simulation never
+/// crashes mid-request.
+class DiskStore final : public StableStore {
+ public:
+  DiskStore(std::string name, DiskModel& disk, std::uint64_t size,
+            std::uint64_t base_offset = 0);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::uint64_t size() const noexcept override { return bytes_.size(); }
+
+  sim::SimDuration write(std::uint64_t offset, std::span<const std::byte> data,
+                         bool synchronous) override;
+  sim::SimDuration read(std::uint64_t offset, std::span<std::byte> out) override;
+  sim::SimDuration flush() override { return disk_->flush(); }
+  [[nodiscard]] bool contents_survived() const noexcept override { return true; }
+
+  [[nodiscard]] DiskModel& disk() noexcept { return *disk_; }
+
+ private:
+  void check_range(std::uint64_t offset, std::uint64_t size) const;
+
+  std::string name_;
+  DiskModel* disk_;
+  std::uint64_t base_offset_;
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace perseas::disk

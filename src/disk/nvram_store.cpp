@@ -1,0 +1,39 @@
+#include "disk/nvram_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace perseas::disk {
+
+NvramStore::NvramStore(std::string name, sim::SimClock& clock, std::uint64_t size,
+                       const NvramParams& params)
+    : name_(std::move(name)), clock_(&clock), params_(params), bytes_(size) {}
+
+void NvramStore::check_range(std::uint64_t offset, std::uint64_t size) const {
+  if (offset + size > bytes_.size() || offset + size < offset) {
+    throw std::out_of_range("NvramStore '" + name_ + "': range out of bounds");
+  }
+}
+
+sim::SimDuration NvramStore::write(std::uint64_t offset, std::span<const std::byte> data,
+                                   bool /*synchronous*/) {
+  // Every NVRAM write is durable on return; sync vs async is moot.
+  check_range(offset, data.size());
+  std::memcpy(bytes_.data() + offset, data.data(), data.size());
+  const sim::SimDuration cost =
+      params_.request_overhead + sim::transfer_time(data.size(), params_.bytes_per_sec);
+  clock_->advance(cost);
+  ++writes_;
+  return cost;
+}
+
+sim::SimDuration NvramStore::read(std::uint64_t offset, std::span<std::byte> out) {
+  check_range(offset, out.size());
+  std::memcpy(out.data(), bytes_.data() + offset, out.size());
+  const sim::SimDuration cost =
+      params_.request_overhead + sim::transfer_time(out.size(), params_.bytes_per_sec);
+  clock_->advance(cost);
+  return cost;
+}
+
+}  // namespace perseas::disk

@@ -1,0 +1,40 @@
+// Abstraction of a stable storage medium for write-ahead-logging engines.
+//
+// The RVM baseline runs unchanged on either implementation:
+//   - DiskStore  (this directory)  -> the classic "RVM on magnetic disk"
+//   - rio::RioStore                -> the "RVM on the Rio file cache" system
+// which is exactly the pair of comparators the paper's evaluation quotes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::disk {
+
+class StableStore {
+ public:
+  virtual ~StableStore() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t size() const noexcept = 0;
+
+  /// Durable write.  When `synchronous`, the caller's clock has advanced by
+  /// the full cost by the time this returns; otherwise the write may be
+  /// buffered (flush() forces it out).
+  virtual sim::SimDuration write(std::uint64_t offset, std::span<const std::byte> data,
+                                 bool synchronous) = 0;
+
+  virtual sim::SimDuration read(std::uint64_t offset, std::span<std::byte> out) = 0;
+
+  /// Forces all buffered writes to the medium.
+  virtual sim::SimDuration flush() = 0;
+
+  /// True if the store's contents survived the most recent failure of its
+  /// host (always true for a disk; failure-kind-dependent for Rio).
+  [[nodiscard]] virtual bool contents_survived() const noexcept = 0;
+};
+
+}  // namespace perseas::disk

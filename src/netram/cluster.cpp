@@ -1,0 +1,148 @@
+#include "netram/cluster.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace perseas::netram {
+
+Cluster::Cluster(const sim::HardwareProfile& profile, const ClusterConfig& config)
+    : profile_(profile), link_(profile.sci), rng_(config.seed) {
+  if (config.node_count == 0) throw std::invalid_argument("Cluster: need at least one node");
+  nodes_.reserve(config.node_count);
+  for (std::uint32_t i = 0; i < config.node_count; ++i) {
+    std::uint32_t supply = 0;
+    if (config.per_node_power_supplies || supplies_.empty()) {
+      supply = add_power_supply("ups-" + std::to_string(i));
+    }
+    nodes_.push_back(std::make_unique<Node>(i, "node-" + std::to_string(i),
+                                            config.arena_bytes_per_node, supply));
+  }
+}
+
+Cluster::Cluster(const sim::HardwareProfile& profile, std::uint32_t node_count)
+    : Cluster(profile, ClusterConfig{.node_count = node_count}) {}
+
+Node& Cluster::node(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("Cluster::node: bad id");
+  return *nodes_[id];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Cluster::node: bad id");
+  return *nodes_[id];
+}
+
+std::uint32_t Cluster::add_power_supply(std::string name) {
+  supplies_.push_back(sim::PowerSupply{std::move(name), false});
+  return static_cast<std::uint32_t>(supplies_.size() - 1);
+}
+
+void Cluster::attach_power(NodeId node_id, std::uint32_t supply) {
+  if (supply >= supplies_.size()) throw std::out_of_range("Cluster::attach_power: bad supply");
+  node(node_id).attach_power_supply(supply);
+}
+
+void Cluster::fail_power_supply(std::uint32_t supply) {
+  if (supply >= supplies_.size()) throw std::out_of_range("fail_power_supply: bad supply");
+  supplies_[supply].failed = true;
+  for (auto& n : nodes_) {
+    if (n->power_supply() == supply && !n->crashed()) {
+      n->crash(sim::FailureKind::kPowerOutage);
+    }
+  }
+}
+
+void Cluster::restore_power_supply(std::uint32_t supply) {
+  if (supply >= supplies_.size()) throw std::out_of_range("restore_power_supply: bad supply");
+  supplies_[supply].failed = false;
+}
+
+void Cluster::crash_node(NodeId id, sim::FailureKind kind) { node(id).crash(kind); }
+
+void Cluster::restart_node(NodeId id) {
+  Node& n = node(id);
+  if (n.power_supply() < supplies_.size() && supplies_[n.power_supply()].failed) {
+    throw std::logic_error("restart_node: power supply " +
+                           supplies_[n.power_supply()].name + " is still down");
+  }
+  n.restart();
+}
+
+void Cluster::hang_node(NodeId id, sim::SimDuration d) {
+  node(id).hang_until(clock_.now() + d);
+}
+
+void Cluster::require_alive(NodeId id) {
+  Node& n = node(id);
+  if (n.crashed()) throw sim::NodeCrashed(id, n.last_failure(), "");
+  if (n.hang_until() > clock_.now()) {
+    // A hung node delays service but loses nothing (paper section 1).
+    clock_.advance(n.hang_until() - clock_.now());
+  }
+}
+
+sim::SimDuration Cluster::remote_write(NodeId local, NodeId remote, std::uint64_t remote_offset,
+                                       std::span<const std::byte> data, StreamHint hint,
+                                       bool optimized) {
+  require_alive(local);
+  require_alive(remote);
+  if (data.empty()) return 0;
+
+  const SciStoreBreakdown b = optimized
+                                  ? link_.optimized_store_burst(remote_offset, data.size(), hint)
+                                  : link_.store_burst(remote_offset, data.size(), hint);
+  clock_.advance(b.total);
+
+  auto dst = node(remote).mem(remote_offset, data.size());
+  std::memcpy(dst.data(), data.data(), data.size());
+
+  ++stats_.remote_writes;
+  stats_.remote_write_bytes += data.size();
+  stats_.full_packets += b.full_packets;
+  stats_.partial_packets += b.partial_packets;
+  return b.total;
+}
+
+sim::SimDuration Cluster::remote_read(NodeId local, NodeId remote, std::uint64_t remote_offset,
+                                      std::span<std::byte> out) {
+  require_alive(local);
+  require_alive(remote);
+  if (out.empty()) return 0;
+
+  const sim::SimDuration cost = link_.read_burst(remote_offset, out.size());
+  clock_.advance(cost);
+
+  auto src = node(remote).mem(remote_offset, out.size());
+  std::memcpy(out.data(), src.data(), out.size());
+
+  ++stats_.remote_reads;
+  stats_.remote_read_bytes += out.size();
+  return cost;
+}
+
+sim::SimDuration Cluster::control_rpc(NodeId local, NodeId remote) {
+  require_alive(local);
+  require_alive(remote);
+  const sim::SimDuration cost = profile_.sci.control_rtt;
+  clock_.advance(cost);
+  ++stats_.control_rpcs;
+  return cost;
+}
+
+sim::SimDuration Cluster::charge_local_memcpy(NodeId node_id, std::uint64_t bytes) {
+  require_alive(node_id);
+  const sim::SimDuration cost =
+      profile_.memory.memcpy_fixed + sim::transfer_time(bytes, profile_.memory.memcpy_bytes_per_sec);
+  clock_.advance(cost);
+  ++stats_.local_memcpys;
+  stats_.local_memcpy_bytes += bytes;
+  return cost;
+}
+
+void Cluster::charge_cpu(NodeId node_id, sim::SimDuration d) {
+  require_alive(node_id);
+  clock_.advance(d);
+}
+
+}  // namespace perseas::netram

@@ -1,0 +1,119 @@
+#include "netram/remote_memory.hpp"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+namespace perseas::netram {
+
+RemoteMemoryServer::RemoteMemoryServer(Cluster& cluster, NodeId host)
+    : cluster_(&cluster), host_(host), seen_crash_epoch_(cluster.node(host).crash_epoch()) {}
+
+void RemoteMemoryServer::sync_with_host() {
+  const std::uint64_t epoch = cluster_->node(host_).crash_epoch();
+  if (epoch != seen_crash_epoch_) {
+    // The host machine went down since our last request: the server process
+    // and every export it tracked are gone.
+    exports_.clear();
+    seen_crash_epoch_ = epoch;
+  }
+}
+
+std::size_t RemoteMemoryServer::export_count() {
+  sync_with_host();
+  return exports_.size();
+}
+
+std::uint64_t RemoteMemoryServer::exported_bytes() {
+  sync_with_host();
+  std::uint64_t total = 0;
+  for (const auto& e : exports_) total += e.size;
+  return total;
+}
+
+std::optional<RemoteSegment> RemoteMemoryServer::handle_malloc(std::uint64_t size,
+                                                               std::string key) {
+  sync_with_host();
+  if (size == 0) return std::nullopt;
+  const bool key_taken = std::any_of(exports_.begin(), exports_.end(),
+                                     [&](const RemoteSegment& e) { return e.key == key; });
+  if (key_taken) return std::nullopt;
+  const auto offset = cluster_->node(host_).allocator().allocate(size);
+  if (!offset) return std::nullopt;
+  RemoteSegment seg{host_, *offset, size, std::move(key)};
+  exports_.push_back(seg);
+  return seg;
+}
+
+bool RemoteMemoryServer::handle_free(const RemoteSegment& segment) {
+  sync_with_host();
+  const auto it = std::find_if(exports_.begin(), exports_.end(), [&](const RemoteSegment& e) {
+    return e.offset == segment.offset && e.key == segment.key;
+  });
+  if (it == exports_.end()) return false;
+  cluster_->node(host_).allocator().free(it->offset);
+  exports_.erase(it);
+  return true;
+}
+
+std::optional<RemoteSegment> RemoteMemoryServer::handle_connect(const std::string& key) {
+  sync_with_host();
+  const auto it = std::find_if(exports_.begin(), exports_.end(),
+                               [&](const RemoteSegment& e) { return e.key == key; });
+  if (it == exports_.end()) return std::nullopt;
+  return *it;
+}
+
+RemoteMemoryClient::RemoteMemoryClient(Cluster& cluster, NodeId local)
+    : cluster_(&cluster), local_(local) {}
+
+RemoteSegment RemoteMemoryClient::sci_get_new_segment(RemoteMemoryServer& server,
+                                                      std::uint64_t size, std::string key) {
+  cluster_->control_rpc(local_, server.host());
+  auto seg = server.handle_malloc(size, key);
+  if (!seg) {
+    if (server.handle_connect(key)) {
+      throw std::invalid_argument("sci_get_new_segment: key already exported: " + key);
+    }
+    throw std::bad_alloc();
+  }
+  return *seg;
+}
+
+void RemoteMemoryClient::sci_free_segment(RemoteMemoryServer& server,
+                                          const RemoteSegment& segment) {
+  cluster_->control_rpc(local_, server.host());
+  server.handle_free(segment);
+}
+
+std::optional<RemoteSegment> RemoteMemoryClient::sci_connect_segment(RemoteMemoryServer& server,
+                                                                     const std::string& key) {
+  cluster_->control_rpc(local_, server.host());
+  return server.handle_connect(key);
+}
+
+void RemoteMemoryClient::check_range(const RemoteSegment& segment, std::uint64_t offset,
+                                     std::uint64_t size) const {
+  if (!segment.valid()) throw std::invalid_argument("sci_memcpy: invalid segment");
+  if (offset + size > segment.size || offset + size < offset) {
+    throw std::out_of_range("sci_memcpy: range exceeds segment '" + segment.key + "'");
+  }
+}
+
+sim::SimDuration RemoteMemoryClient::sci_memcpy_write(const RemoteSegment& segment,
+                                                      std::uint64_t offset,
+                                                      std::span<const std::byte> data,
+                                                      StreamHint hint, bool optimized) {
+  check_range(segment, offset, data.size());
+  return cluster_->remote_write(local_, segment.server_node, segment.offset + offset, data, hint,
+                                optimized);
+}
+
+sim::SimDuration RemoteMemoryClient::sci_memcpy_read(const RemoteSegment& segment,
+                                                     std::uint64_t offset,
+                                                     std::span<std::byte> out) {
+  check_range(segment, offset, out.size());
+  return cluster_->remote_read(local_, segment.server_node, segment.offset + offset, out);
+}
+
+}  // namespace perseas::netram

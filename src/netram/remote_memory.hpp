@@ -1,0 +1,113 @@
+// The reliable-network-RAM operations of paper section 3:
+//   remote malloc, remote free, remote memory copy, sci_connect_segment.
+//
+// A RemoteMemoryServer runs on one node and exports chunks of that node's
+// physical memory; a RemoteMemoryClient on another node maps those chunks
+// and copies data in and out through the SCI link.  Segments carry string
+// keys so that a client that lost all local state in a crash can reconnect
+// to the segments it had created (sci_connect_segment) — the foundation of
+// PERSEAS recovery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netram/cluster.hpp"
+
+namespace perseas::netram {
+
+/// Client-side handle to a mapped remote segment.  Plain value type: cheap
+/// to copy, safe to lose (reconnect by key).
+struct RemoteSegment {
+  NodeId server_node = 0;
+  std::uint64_t offset = 0;  // physical offset in the server node's arena
+  std::uint64_t size = 0;
+  std::string key;
+
+  [[nodiscard]] bool valid() const noexcept { return size > 0; }
+};
+
+/// Server process exporting memory from its host node.
+///
+/// The registry is ordinary process memory: if the host node crashes, every
+/// export is lost (detected via the node's crash epoch) — exactly the
+/// semantics of the paper's user-level server process.
+class RemoteMemoryServer {
+ public:
+  RemoteMemoryServer(Cluster& cluster, NodeId host);
+
+  [[nodiscard]] NodeId host() const noexcept { return host_; }
+
+  /// Number of live exports (after syncing with the host's crash state).
+  [[nodiscard]] std::size_t export_count();
+
+  /// Total bytes exported.
+  [[nodiscard]] std::uint64_t exported_bytes();
+
+  // The request handlers below are called by RemoteMemoryClient after it has
+  // paid for the control RPC; they run "on the server".
+
+  /// Allocates and registers a segment.  Keys must be unique among live
+  /// exports; returns nullopt when out of memory or the key is taken.
+  std::optional<RemoteSegment> handle_malloc(std::uint64_t size, std::string key);
+
+  /// Frees a previously exported segment.  Returns false for unknown
+  /// segments (e.g. exported before a crash of the host).
+  bool handle_free(const RemoteSegment& segment);
+
+  /// Looks up a live export by key (recovery path).
+  std::optional<RemoteSegment> handle_connect(const std::string& key);
+
+ private:
+  /// Drops all exports if the host crashed since we last looked.
+  void sync_with_host();
+
+  Cluster* cluster_;
+  NodeId host_;
+  std::uint64_t seen_crash_epoch_;
+  std::vector<RemoteSegment> exports_;
+};
+
+/// Client-side API used by PERSEAS (paper section 4: sci_get_new_segment,
+/// sci_free_segment, sci_memcpy, sci_connect_segment).
+class RemoteMemoryClient {
+ public:
+  RemoteMemoryClient(Cluster& cluster, NodeId local);
+
+  [[nodiscard]] NodeId local_node() const noexcept { return local_; }
+
+  /// remote malloc: maps `size` bytes of the server's memory under `key`.
+  /// Throws std::bad_alloc when the server cannot satisfy the request and
+  /// std::invalid_argument when the key is already in use.
+  RemoteSegment sci_get_new_segment(RemoteMemoryServer& server, std::uint64_t size,
+                                    std::string key);
+
+  /// remote free.
+  void sci_free_segment(RemoteMemoryServer& server, const RemoteSegment& segment);
+
+  /// Reconnects to a segment created before this client lost its state.
+  std::optional<RemoteSegment> sci_connect_segment(RemoteMemoryServer& server,
+                                                   const std::string& key);
+
+  /// remote memory copy, local -> remote.  Applies the aligned-64-byte
+  /// optimization for copies >= 32 bytes unless `optimized` is false.
+  sim::SimDuration sci_memcpy_write(const RemoteSegment& segment, std::uint64_t offset,
+                                    std::span<const std::byte> data,
+                                    StreamHint hint = StreamHint::kNewBurst,
+                                    bool optimized = true);
+
+  /// remote memory copy, remote -> local.
+  sim::SimDuration sci_memcpy_read(const RemoteSegment& segment, std::uint64_t offset,
+                                   std::span<std::byte> out);
+
+ private:
+  void check_range(const RemoteSegment& segment, std::uint64_t offset, std::uint64_t size) const;
+
+  Cluster* cluster_;
+  NodeId local_;
+};
+
+}  // namespace perseas::netram

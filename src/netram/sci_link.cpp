@@ -1,0 +1,100 @@
+#include "netram/sci_link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace perseas::netram {
+
+SciStoreBreakdown SciLinkModel::store_burst(std::uint64_t addr, std::uint64_t size,
+                                            StreamHint hint) const {
+  if (size == 0) return SciStoreBreakdown{};
+  const std::uint64_t buf = p_.buffer_bytes;
+  const std::uint64_t small = p_.small_packet_bytes;
+  const std::uint64_t end = addr + size;
+
+  std::uint32_t full = 0;
+  std::uint32_t partial = 0;
+  // Walk the 64-byte-aligned chunks the burst touches.
+  for (std::uint64_t chunk = addr / buf * buf; chunk < end; chunk += buf) {
+    const std::uint64_t lo = std::max(addr, chunk);
+    const std::uint64_t hi = std::min(end, chunk + buf);
+    if (lo == chunk && hi == chunk + buf) {
+      ++full;  // fully covered buffer -> one 64-byte packet
+    } else {
+      // Partially covered buffer -> one 16-byte packet per touched
+      // 16-byte-aligned sub-chunk.
+      const std::uint64_t first_sub = lo / small;
+      const std::uint64_t last_sub = (hi - 1) / small;
+      partial += static_cast<std::uint32_t>(last_sub - first_sub + 1);
+    }
+  }
+  return finish(full, partial, end % buf == 0, size, hint);
+}
+
+SciStoreBreakdown SciLinkModel::aligned_store_burst(std::uint64_t addr, std::uint64_t size,
+                                                    StreamHint hint) const {
+  if (size == 0) return SciStoreBreakdown{};
+  const std::uint64_t buf = p_.buffer_bytes;
+  const std::uint64_t lo = addr / buf * buf;
+  const std::uint64_t hi = (addr + size + buf - 1) / buf * buf;
+  const auto full = static_cast<std::uint32_t>((hi - lo) / buf);
+  // The widened range covers whole buffers only, so it always ends on a
+  // buffer boundary and transmits no 16-byte packets.
+  return finish(full, 0, true, hi - lo, hint);
+}
+
+SciStoreBreakdown SciLinkModel::optimized_store_burst(std::uint64_t addr, std::uint64_t size,
+                                                      StreamHint hint) const {
+  const SciStoreBreakdown naive = store_burst(addr, size, hint);
+  if (size < min_optimized_copy_bytes()) return naive;
+  const SciStoreBreakdown aligned = aligned_store_burst(addr, size, hint);
+  return aligned.total <= naive.total ? aligned : naive;
+}
+
+sim::SimDuration SciLinkModel::read_burst(std::uint64_t addr, std::uint64_t size) const {
+  if (size == 0) return 0;
+  const std::uint64_t buf = p_.buffer_bytes;
+  const std::uint64_t first_line = addr / buf;
+  const std::uint64_t last_line = (addr + size - 1) / buf;
+  const std::uint64_t lines = last_line - first_line + 1;
+  return p_.read_first_latency +
+         static_cast<sim::SimDuration>(lines - 1) * p_.read_per_buffer;
+}
+
+SciStoreBreakdown SciLinkModel::finish(std::uint32_t full, std::uint32_t partial,
+                                       bool ends_on_boundary, std::uint64_t size,
+                                       StreamHint hint) const {
+  SciStoreBreakdown b;
+  b.full_packets = full;
+  b.partial_packets = partial;
+  b.ends_on_buffer_boundary = ends_on_boundary;
+
+  assert(full + partial > 0);
+  sim::SimDuration wire = 0;
+  std::uint32_t streamed_full = full;
+  std::uint32_t streamed_partial = partial;
+  if (hint == StreamHint::kNewBurst) {
+    // The first packet of the burst pays the launch latency; prefer to
+    // account a full packet as the leader when one exists (the gathered
+    // prefix of the burst).
+    wire += p_.first_packet_latency;
+    if (streamed_full > 0) {
+      --streamed_full;
+    } else {
+      --streamed_partial;
+    }
+  }
+  wire += static_cast<sim::SimDuration>(streamed_full) * p_.full_packet_stream;
+  wire += static_cast<sim::SimDuration>(streamed_partial) * p_.partial_packet_stream;
+  if (!ends_on_boundary) wire += p_.partial_flush_penalty;
+
+  // Host store issue cost overlaps with transmission (store gathering):
+  // only visible when the host is the bottleneck.
+  const std::uint64_t words = (size + 3) / 4;
+  b.host_cost = static_cast<sim::SimDuration>(words) * p_.host_word_store;
+  b.wire_cost = wire;
+  b.total = std::max(b.wire_cost, b.host_cost);
+  return b;
+}
+
+}  // namespace perseas::netram

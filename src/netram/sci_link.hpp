@@ -1,0 +1,86 @@
+// Cost model of the Dolphin PCI-SCI adapter (paper section 4, figures 4, 5).
+//
+// The adapter exposes remote memory through a PCI window.  Stores into the
+// window are gathered into eight internal 64-byte buffers; each buffer maps
+// a 64-byte-aligned chunk of the physical address space (bits 6..8 select
+// the buffer, bits 0..5 the offset within it — figure 4).  A fully written
+// buffer is flushed as one 64-byte SCI packet; a partially written buffer is
+// flushed as a train of 16-byte packets.  Consecutive buffers transmit
+// back-to-back (buffer streaming), so the per-packet launch overhead is paid
+// once per burst, and bursts that end exactly on the last word of a buffer
+// flush immediately instead of waiting for the gather window.
+//
+// This file computes the simulated one-way latency of a store burst (and of
+// remote reads, which gain nothing from gathering) from those rules.  It is
+// a pure function of (address, size, parameters): the NIC object adds state
+// and statistics on top.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hardware_profile.hpp"
+#include "sim/sim_time.hpp"
+
+namespace perseas::netram {
+
+/// How a burst of stores relates to the stream already in flight.
+enum class StreamHint : std::uint8_t {
+  /// First burst of an operation: pays the first-packet launch latency.
+  kNewBurst,
+  /// Continuation of an immediately preceding burst (e.g. a commit record
+  /// gathered right behind the data it covers): pays only streamed costs.
+  kContinuation,
+};
+
+/// Packet-level breakdown of a store burst; returned for tests and traces.
+struct SciStoreBreakdown {
+  std::uint32_t full_packets = 0;     // 64-byte packets
+  std::uint32_t partial_packets = 0;  // 16-byte packets
+  bool ends_on_buffer_boundary = false;
+  sim::SimDuration wire_cost = 0;
+  sim::SimDuration host_cost = 0;
+  sim::SimDuration total = 0;
+};
+
+class SciLinkModel {
+ public:
+  explicit SciLinkModel(const sim::SciParams& params) : p_(params) {}
+
+  /// Latency of storing `size` bytes starting at remote physical address
+  /// `addr`, issued "as is" (no alignment optimization): every fully covered
+  /// 64-byte chunk becomes a full packet, every partially covered chunk a
+  /// train of 16-byte packets.
+  [[nodiscard]] SciStoreBreakdown store_burst(std::uint64_t addr, std::uint64_t size,
+                                              StreamHint hint = StreamHint::kNewBurst) const;
+
+  /// Latency of the aligned strategy: the range is widened to 64-byte
+  /// boundaries so only full packets are transmitted.
+  [[nodiscard]] SciStoreBreakdown aligned_store_burst(
+      std::uint64_t addr, std::uint64_t size, StreamHint hint = StreamHint::kNewBurst) const;
+
+  /// The optimized sci_memcpy strategy of paper section 4: copies below
+  /// min_optimized_copy_bytes() go out as issued; larger copies use
+  /// whichever of the as-issued and aligned-64-byte strategies is cheaper
+  /// (the paper's "65..128 bytes may be performed as a 64-byte copy ... or
+  /// as a 65..128 byte copy" rule, generalized).
+  [[nodiscard]] SciStoreBreakdown optimized_store_burst(
+      std::uint64_t addr, std::uint64_t size, StreamHint hint = StreamHint::kNewBurst) const;
+
+  /// Latency of reading `size` bytes from remote memory into local memory.
+  /// Reads are round trips per 64-byte line with modest pipelining.
+  [[nodiscard]] sim::SimDuration read_burst(std::uint64_t addr, std::uint64_t size) const;
+
+  /// Copy size from which the aligned path wins (paper: 32 bytes).
+  [[nodiscard]] static constexpr std::uint64_t min_optimized_copy_bytes() { return 32; }
+
+  [[nodiscard]] const sim::SciParams& params() const noexcept { return p_; }
+
+ private:
+  [[nodiscard]] SciStoreBreakdown finish(std::uint32_t full, std::uint32_t partial,
+                                         bool ends_on_boundary, std::uint64_t size,
+                                         StreamHint hint) const;
+
+  sim::SciParams p_;
+};
+
+}  // namespace perseas::netram

@@ -1,0 +1,97 @@
+#include "netram/sci_nic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace perseas::netram {
+
+SciNic::SciNic(const sim::SciParams& params) : params_(params) {
+  if (params_.write_buffers == 0 || params_.write_buffers > 64) {
+    throw std::invalid_argument("SciNic: unsupported buffer count");
+  }
+  if (params_.buffer_bytes != 64 || params_.small_packet_bytes != 16) {
+    throw std::invalid_argument("SciNic: figure-4 geometry requires 64/16-byte buffers");
+  }
+}
+
+std::uint32_t SciNic::buffer_of(std::uint64_t addr) const noexcept {
+  // Figure 4: bits 0..5 are the offset in the buffer; the next bits select
+  // the buffer (bits 6..8 for the paper's eight write buffers).
+  return static_cast<std::uint32_t>((addr / params_.buffer_bytes) % params_.write_buffers);
+}
+
+SciFlush SciNic::flush_buffer(Buffer& buffer) {
+  SciFlush out;
+  if (!buffer.valid || buffer.word_mask == 0) {
+    buffer.valid = false;
+    buffer.word_mask = 0;
+    return out;
+  }
+  if (buffer.word_mask == 0xFFFF) {
+    out.full_packets = 1;
+  } else {
+    // One 16-byte packet per touched 16-byte sub-chunk (4 words each).
+    for (int sub = 0; sub < 4; ++sub) {
+      const auto sub_mask = static_cast<std::uint16_t>(0xF << (sub * 4));
+      if ((buffer.word_mask & sub_mask) != 0) ++out.partial_packets;
+    }
+  }
+  buffer.valid = false;
+  buffer.word_mask = 0;
+  total_ += out;
+  return out;
+}
+
+SciFlush SciNic::store(std::uint64_t addr, std::uint64_t size) {
+  SciFlush out;
+  std::uint64_t pos = addr;
+  const std::uint64_t end = addr + size;
+  while (pos < end) {
+    const std::uint64_t chunk = pos / params_.buffer_bytes * params_.buffer_bytes;
+    const std::uint64_t chunk_end = chunk + params_.buffer_bytes;
+    const std::uint64_t lo = pos;
+    const std::uint64_t hi = std::min(end, chunk_end);
+
+    Buffer& buffer = buffers_[buffer_of(pos)];
+    if (buffer.valid && buffer.chunk_base != chunk) {
+      // Conflict: another chunk occupies this buffer; it flushes first.
+      out += flush_buffer(buffer);
+      ++conflict_flushes_;
+    }
+    if (!buffer.valid) {
+      buffer.valid = true;
+      buffer.chunk_base = chunk;
+      buffer.word_mask = 0;
+    }
+    const auto first_word = static_cast<int>((lo - chunk) / 4);
+    const auto last_word = static_cast<int>((hi - 1 - chunk) / 4);
+    for (int w = first_word; w <= last_word; ++w) {
+      buffer.word_mask = static_cast<std::uint16_t>(buffer.word_mask | (1u << w));
+    }
+    if (buffer.word_mask == 0xFFFF) {
+      // The sixteenth word was written: the buffer streams out immediately
+      // (the paper's "stores which involve the last word of a buffer give
+      // better latency" behaviour).
+      out += flush_buffer(buffer);
+    }
+    pos = hi;
+  }
+  return out;
+}
+
+SciFlush SciNic::barrier() {
+  SciFlush out;
+  for (std::uint32_t i = 0; i < params_.write_buffers; ++i) {
+    out += flush_buffer(buffers_[i]);
+  }
+  return out;
+}
+
+std::uint32_t SciNic::dirty_buffers() const noexcept {
+  std::uint32_t n = 0;
+  for (std::uint32_t i = 0; i < params_.write_buffers; ++i) n += buffers_[i].valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace perseas::netram

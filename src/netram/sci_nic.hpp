@@ -1,0 +1,76 @@
+// Microarchitectural model of the PCI-SCI adapter's write path: the actual
+// eight-buffer state machine of paper figure 4, at word granularity.
+//
+// The analytic SciLinkModel prices whole bursts; this class executes the
+// underlying mechanism — address bits 0..5 select the offset inside a
+// 64-byte buffer, bits 6..8 select which of the eight buffers a chunk maps
+// to, a buffer whose sixteenth word is written flushes immediately as one
+// 64-byte packet, and a buffer that must be reused for a different chunk
+// (or is drained by a store barrier) flushes as one 16-byte packet per
+// touched 16-byte sub-chunk.
+//
+// Property tests assert that for any contiguous burst the packets this
+// machine emits equal SciLinkModel::store_burst's packet counts, which is
+// what justifies using the cheaper analytic model in the cluster's charged
+// operations.  The stateful model additionally exposes the conflict-miss
+// behaviour (strided stores thrashing one buffer) that the analytic model
+// does not cover.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/hardware_profile.hpp"
+
+namespace perseas::netram {
+
+/// Packets emitted by one NIC event.
+struct SciFlush {
+  std::uint32_t full_packets = 0;     // 64-byte packets
+  std::uint32_t partial_packets = 0;  // 16-byte packets
+
+  SciFlush& operator+=(const SciFlush& other) noexcept {
+    full_packets += other.full_packets;
+    partial_packets += other.partial_packets;
+    return *this;
+  }
+};
+
+class SciNic {
+ public:
+  explicit SciNic(const sim::SciParams& params);
+
+  /// Issues a store of `size` bytes at physical address `addr` (split
+  /// across chunks as the hardware would).  Returns any packets this store
+  /// forced out (buffer conflicts, completed buffers).
+  SciFlush store(std::uint64_t addr, std::uint64_t size);
+
+  /// Store barrier: drains every buffer (end of an sci_memcpy).
+  SciFlush barrier();
+
+  /// Number of buffers currently holding gathered stores.
+  [[nodiscard]] std::uint32_t dirty_buffers() const noexcept;
+
+  /// Which buffer (0..write_buffers-1) the chunk containing `addr` maps to.
+  [[nodiscard]] std::uint32_t buffer_of(std::uint64_t addr) const noexcept;
+
+  /// Lifetime totals.
+  [[nodiscard]] const SciFlush& total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t conflict_flushes() const noexcept { return conflict_flushes_; }
+
+ private:
+  struct Buffer {
+    bool valid = false;
+    std::uint64_t chunk_base = 0;
+    std::uint16_t word_mask = 0;  // one bit per 4-byte word of the chunk
+  };
+
+  /// Flushes one buffer, returning its packets.
+  SciFlush flush_buffer(Buffer& buffer);
+
+  sim::SciParams params_;
+  Buffer buffers_[64];  // capacity for write_buffers (<= 64)
+  SciFlush total_;
+  std::uint64_t conflict_flushes_ = 0;
+};
+
+}  // namespace perseas::netram

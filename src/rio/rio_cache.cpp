@@ -1,0 +1,114 @@
+#include "rio/rio_cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace perseas::rio {
+
+RioCache::RioCache(netram::Cluster& cluster, netram::NodeId host, bool ups_protected)
+    : cluster_(&cluster),
+      host_(host),
+      ups_protected_(ups_protected),
+      seen_crash_epoch_(cluster.node(host).crash_epoch()) {}
+
+std::uint32_t RioCache::create_region(std::string name, std::uint64_t size) {
+  require_usable();
+  regions_.push_back(Region{std::move(name), std::vector<std::byte>(size)});
+  return static_cast<std::uint32_t>(regions_.size() - 1);
+}
+
+void RioCache::sync_with_host() {
+  const auto& node = cluster_->node(host_);
+  if (node.crash_epoch() == seen_crash_epoch_) return;
+  seen_crash_epoch_ = node.crash_epoch();
+  switch (node.last_failure()) {
+    case sim::FailureKind::kSoftwareCrash:
+    case sim::FailureKind::kHang:
+      break;  // the whole point of Rio: the file cache survives OS crashes
+    case sim::FailureKind::kPowerOutage:
+      if (!ups_protected_) lost_ = true;
+      break;
+    case sim::FailureKind::kHardwareFault:
+      lost_ = true;
+      break;
+  }
+  if (lost_) {
+    for (auto& r : regions_) std::fill(r.bytes.begin(), r.bytes.end(), std::byte{0xDB});
+  }
+}
+
+void RioCache::require_usable() {
+  // Data in a crashed machine's Rio cache is safe but *inaccessible* until
+  // the machine is back (the availability argument of paper section 2), so
+  // access requires the host to be alive.
+  cluster_->require_alive(host_);
+  sync_with_host();
+  if (lost_) {
+    throw std::runtime_error("RioCache: contents were lost in a " +
+                             std::string(sim::to_string(cluster_->node(host_).last_failure())));
+  }
+}
+
+sim::SimDuration RioCache::write(std::uint32_t region, std::uint64_t offset,
+                                 std::span<const std::byte> data) {
+  require_usable();
+  auto& r = regions_.at(region);
+  if (offset + data.size() > r.bytes.size()) {
+    throw std::out_of_range("RioCache::write out of bounds in " + r.name);
+  }
+  std::memcpy(r.bytes.data() + offset, data.data(), data.size());
+  const auto& rp = cluster_->profile().rio;
+  const sim::SimDuration cost =
+      rp.write_fixed + sim::transfer_time(data.size(), rp.bytes_per_sec);
+  cluster_->clock().advance(cost);
+  return cost;
+}
+
+sim::SimDuration RioCache::mapped_write(std::uint32_t region, std::uint64_t offset,
+                                        std::span<const std::byte> data) {
+  require_usable();
+  auto& r = regions_.at(region);
+  if (offset + data.size() > r.bytes.size()) {
+    throw std::out_of_range("RioCache::mapped_write out of bounds in " + r.name);
+  }
+  std::memcpy(r.bytes.data() + offset, data.data(), data.size());
+  return cluster_->charge_local_memcpy(host_, data.size());
+}
+
+sim::SimDuration RioCache::read(std::uint32_t region, std::uint64_t offset,
+                                std::span<std::byte> out) {
+  require_usable();
+  const auto& r = regions_.at(region);
+  if (offset + out.size() > r.bytes.size()) {
+    throw std::out_of_range("RioCache::read out of bounds in " + r.name);
+  }
+  std::memcpy(out.data(), r.bytes.data() + offset, out.size());
+  return cluster_->charge_local_memcpy(host_, out.size());
+}
+
+std::span<std::byte> RioCache::mapped(std::uint32_t region, std::uint64_t offset,
+                                      std::uint64_t size) {
+  require_usable();
+  auto& r = regions_.at(region);
+  if (offset + size > r.bytes.size()) {
+    throw std::out_of_range("RioCache::mapped out of bounds in " + r.name);
+  }
+  return {r.bytes.data() + offset, size};
+}
+
+RioStore::RioStore(RioCache& cache, std::string name, std::uint64_t size)
+    : cache_(&cache), name_(std::move(name)), size_(size) {
+  region_ = cache_->create_region(name_, size);
+}
+
+sim::SimDuration RioStore::write(std::uint64_t offset, std::span<const std::byte> data,
+                                 bool /*synchronous*/) {
+  // Every Rio write is durable-on-return; sync vs async makes no difference.
+  return cache_->write(region_, offset, data);
+}
+
+sim::SimDuration RioStore::read(std::uint64_t offset, std::span<std::byte> out) {
+  return cache_->read(region_, offset, out);
+}
+
+}  // namespace perseas::rio

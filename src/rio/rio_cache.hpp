@@ -1,0 +1,104 @@
+// Simulation of the Rio reliable file cache (Chen et al., ASPLOS 1996).
+//
+// Rio modifies the operating system so that the file cache survives
+// operating-system (software) crashes; combined with a UPS it also survives
+// power failures.  The paper uses Rio as the substrate of its two strongest
+// comparators (RVM-on-Rio and Vista) and argues PERSEAS matches their
+// performance while surviving strictly more failures (a UPS malfunction
+// kills Rio, mirrored memories on independent supplies survive it) and
+// keeping data *available* during long outages of the host.
+//
+// Two write paths are modelled, because they have very different costs:
+//   write()        — the file-write system-call path used by RVM's log
+//                    (per-call protection manipulation: expensive), and
+//   mapped_write() — Vista-style direct access to mapped file-cache pages
+//                    (plain memory speed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "disk/stable_store.hpp"
+#include "netram/cluster.hpp"
+
+namespace perseas::rio {
+
+class RioCache {
+ public:
+  /// `ups_protected` reflects whether the host workstation sits behind a
+  /// working UPS; without one, a power outage destroys the cache.
+  RioCache(netram::Cluster& cluster, netram::NodeId host, bool ups_protected = true);
+
+  [[nodiscard]] netram::NodeId host() const noexcept { return host_; }
+
+  /// Creates a fixed-size cached file.  Returns its index.
+  std::uint32_t create_region(std::string name, std::uint64_t size);
+
+  [[nodiscard]] std::uint32_t region_count() const noexcept {
+    return static_cast<std::uint32_t>(regions_.size());
+  }
+
+  /// File-write path (syscall + page-protection toggles per call).
+  sim::SimDuration write(std::uint32_t region, std::uint64_t offset,
+                         std::span<const std::byte> data);
+
+  /// Vista path: direct store into mapped file-cache pages at memory speed.
+  sim::SimDuration mapped_write(std::uint32_t region, std::uint64_t offset,
+                                std::span<const std::byte> data);
+
+  sim::SimDuration read(std::uint32_t region, std::uint64_t offset, std::span<std::byte> out);
+
+  /// Zero-cost view for in-place computation on mapped data; the caller is
+  /// responsible for charging its own work.  Throws if the host is down or
+  /// the contents were lost.
+  std::span<std::byte> mapped(std::uint32_t region, std::uint64_t offset, std::uint64_t size);
+
+  /// True if the cache contents were destroyed by the most recent failure
+  /// of the host (hardware fault always; power outage unless UPS-backed).
+  [[nodiscard]] bool lost() const noexcept { return lost_; }
+
+  /// Called when the host restarts; keeps or clears contents according to
+  /// the failure kind that took the host down.
+  void sync_with_host();
+
+ private:
+  struct Region {
+    std::string name;
+    std::vector<std::byte> bytes;
+  };
+
+  void require_usable();
+
+  netram::Cluster* cluster_;
+  netram::NodeId host_;
+  bool ups_protected_;
+  bool lost_ = false;
+  std::uint64_t seen_crash_epoch_;
+  std::vector<Region> regions_;
+};
+
+/// Adapts one RioCache region to the StableStore interface so the RVM
+/// engine can run on Rio unmodified (the "Rio-RVM" comparator).
+class RioStore final : public disk::StableStore {
+ public:
+  RioStore(RioCache& cache, std::string name, std::uint64_t size);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
+
+  sim::SimDuration write(std::uint64_t offset, std::span<const std::byte> data,
+                         bool synchronous) override;
+  sim::SimDuration read(std::uint64_t offset, std::span<std::byte> out) override;
+  sim::SimDuration flush() override { return 0; }
+  [[nodiscard]] bool contents_survived() const noexcept override { return !cache_->lost(); }
+
+ private:
+  RioCache* cache_;
+  std::string name_;
+  std::uint32_t region_;
+  std::uint64_t size_;
+};
+
+}  // namespace perseas::rio

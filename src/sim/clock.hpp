@@ -1,0 +1,64 @@
+// The global simulated clock shared by every component of one simulation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::sim {
+
+/// Monotonic simulated clock.
+///
+/// One SimClock is owned by a Cluster and shared (by reference) with every
+/// node, NIC, disk, and library instance in that simulation.  Components
+/// call advance() with the modelled cost of each operation; measurement code
+/// samples now() around a region of interest.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Moves time forward by `d` (d >= 0).
+  void advance(SimDuration d) noexcept {
+    assert(d >= 0);
+    now_ += d;
+    ++advance_count_;
+  }
+
+  /// Number of advance() calls so far; useful for asserting that an
+  /// operation touched the modelled hardware an expected number of times.
+  [[nodiscard]] std::uint64_t advance_count() const noexcept { return advance_count_; }
+
+  /// Resets to t=0.  Only meaningful before a simulation starts.
+  void reset() noexcept {
+    now_ = 0;
+    advance_count_ = 0;
+  }
+
+ private:
+  SimTime now_ = 0;
+  std::uint64_t advance_count_ = 0;
+};
+
+/// Measures the simulated duration of a scoped region.
+///
+///   StopWatch sw(clock);
+///   ... operations ...
+///   SimDuration cost = sw.elapsed();
+class StopWatch {
+ public:
+  explicit StopWatch(const SimClock& clock) noexcept : clock_(&clock), start_(clock.now()) {}
+
+  [[nodiscard]] SimDuration elapsed() const noexcept { return clock_->now() - start_; }
+
+  void restart() noexcept { start_ = clock_->now(); }
+
+ private:
+  const SimClock* clock_;
+  SimTime start_;
+};
+
+}  // namespace perseas::sim

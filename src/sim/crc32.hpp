@@ -1,0 +1,51 @@
+// CRC-32C (Castagnoli), table-driven, for integrity-checking log entries.
+//
+// The remote undo log is the single structure recovery depends on while a
+// commit is in flight; a checksum per entry lets recovery distinguish the
+// clean end of the log (stale bytes with a wrong magic) from actual
+// corruption of an entry it needs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace perseas::sim {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace detail
+
+/// Incremental CRC-32C; pass the previous return value as `seed` to chain
+/// buffers.  Final value for one-shot use is just the return value.
+inline std::uint32_t crc32c(std::span<const std::byte> data,
+                            std::uint32_t seed = 0xffffffffu) {
+  std::uint32_t crc = seed;
+  for (const std::byte b : data) {
+    crc = (crc >> 8) ^
+          detail::kCrc32cTable[(crc ^ static_cast<std::uint8_t>(b)) & 0xffu];
+  }
+  return crc;
+}
+
+/// One-shot convenience producing the conventional finalized value.
+inline std::uint32_t crc32c_final(std::span<const std::byte> data) {
+  return crc32c(data) ^ 0xffffffffu;
+}
+
+}  // namespace perseas::sim

@@ -1,0 +1,72 @@
+#include "sim/failure.hpp"
+
+#include <algorithm>
+
+namespace perseas::sim {
+
+std::string_view to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kPowerOutage: return "power-outage";
+    case FailureKind::kHardwareFault: return "hardware-fault";
+    case FailureKind::kSoftwareCrash: return "software-crash";
+    case FailureKind::kHang: return "hang";
+  }
+  return "unknown";
+}
+
+NodeCrashed::NodeCrashed(std::uint32_t node_id, FailureKind kind, std::string point)
+    : std::runtime_error("node " + std::to_string(node_id) + " crashed (" +
+                         std::string(to_string(kind)) +
+                         (point.empty() ? std::string() : " at " + point) + ")"),
+      node_id_(node_id),
+      kind_(kind),
+      point_(std::move(point)) {}
+
+void FailureInjector::arm(std::string point, std::uint64_t after_hits, Action action) {
+  const std::uint64_t current = count_for(point).hits;
+  armed_.push_back(Armed{std::move(point), current + after_hits + 1, std::move(action)});
+}
+
+void FailureInjector::notify(std::string_view point) {
+  auto& pc = count_for(point);
+  ++pc.hits;
+  if (armed_.empty()) return;
+
+  // Collect due actions first: an action may crash a node and throw, and we
+  // must have already removed it from the armed list so that recovery code
+  // re-entering the same point does not re-fire it.
+  std::vector<Action> due;
+  for (auto it = armed_.begin(); it != armed_.end();) {
+    if (it->point == point && pc.hits >= it->fire_at_hit) {
+      due.push_back(std::move(it->action));
+      it = armed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& action : due) action();
+}
+
+std::uint64_t FailureInjector::hits(std::string_view point) const noexcept {
+  const auto it = std::find_if(counts_.begin(), counts_.end(),
+                               [&](const PointCount& pc) { return pc.point == point; });
+  return it == counts_.end() ? 0 : it->hits;
+}
+
+std::vector<std::string> FailureInjector::seen_points() const {
+  std::vector<std::string> out;
+  out.reserve(counts_.size());
+  for (const auto& pc : counts_) out.push_back(pc.point);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FailureInjector::PointCount& FailureInjector::count_for(std::string_view point) {
+  const auto it = std::find_if(counts_.begin(), counts_.end(),
+                               [&](const PointCount& pc) { return pc.point == point; });
+  if (it != counts_.end()) return *it;
+  counts_.push_back(PointCount{std::string(point), 0});
+  return counts_.back();
+}
+
+}  // namespace perseas::sim

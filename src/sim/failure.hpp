@@ -1,0 +1,109 @@
+// Failure model: power supplies, crash kinds, and scriptable failure points.
+//
+// The paper's reliability argument (section 1) distinguishes
+//   (a) power outages    — survived because mirrors sit on different supplies,
+//   (b) hardware errors  — independent across machines,
+//   (c) software errors  — independent across machines,
+//   (d) correlated hangs — stall service but lose no data.
+// This module lets tests and benches script exactly those events at named
+// points inside library operations, so the recovery protocol can be
+// exercised at every intermediate state of a commit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perseas::sim {
+
+/// Why a node went down.
+enum class FailureKind : std::uint8_t {
+  kPowerOutage,    // loses DRAM contents
+  kHardwareFault,  // loses DRAM contents
+  kSoftwareCrash,  // loses the process; DRAM exported to others survives only
+                   // on *other* machines (no Rio in the baseline OS)
+  kHang,           // temporary; loses nothing
+};
+
+[[nodiscard]] std::string_view to_string(FailureKind kind) noexcept;
+
+/// Thrown when a simulated node crashes underneath an executing operation.
+/// Library code lets this propagate to the caller, exactly like a process
+/// losing its machine: the next step is recovery, not error handling.
+class NodeCrashed : public std::runtime_error {
+ public:
+  NodeCrashed(std::uint32_t node_id, FailureKind kind, std::string point);
+
+  [[nodiscard]] std::uint32_t node_id() const noexcept { return node_id_; }
+  [[nodiscard]] FailureKind kind() const noexcept { return kind_; }
+  /// The failure point at which the crash was injected ("" if scheduled).
+  [[nodiscard]] const std::string& point() const noexcept { return point_; }
+
+ private:
+  std::uint32_t node_id_;
+  FailureKind kind_;
+  std::string point_;
+};
+
+/// A power supply (wall socket or UPS).  Nodes reference a supply by index;
+/// failing a supply crashes every attached node at once, which is how tests
+/// demonstrate that mirrors on *different* supplies survive while mirrors
+/// sharing one do not.
+struct PowerSupply {
+  std::string name;
+  bool failed = false;
+};
+
+/// Scriptable failure points.
+///
+/// Library code calls notify("perseas.commit.before_db_copy") at each
+/// interesting step; a test arms an action at that point with an optional
+/// countdown ("crash on the 3rd commit").  Actions typically crash a node
+/// and therefore throw NodeCrashed through the library operation.
+class FailureInjector {
+ public:
+  using Action = std::function<void()>;
+
+  /// Arms `action` to run when `point` has been hit `after_hits` more times
+  /// (0 = next hit).  Multiple arms on one point all fire.
+  void arm(std::string point, std::uint64_t after_hits, Action action);
+
+  /// Convenience: arms on the next hit.
+  void arm(std::string point, Action action) { arm(std::move(point), 0, std::move(action)); }
+
+  /// Disarms everything.
+  void clear() noexcept { armed_.clear(); }
+
+  /// Called by instrumented library code.  Runs (and removes) every armed
+  /// action whose countdown expires at this hit.  Cheap when nothing is
+  /// armed.
+  void notify(std::string_view point);
+
+  /// Total hits observed for `point` (for tests asserting coverage).
+  [[nodiscard]] std::uint64_t hits(std::string_view point) const noexcept;
+
+  /// All distinct points seen so far; lets exhaustive crash tests iterate
+  /// every commit stage without hard-coding the list.
+  [[nodiscard]] std::vector<std::string> seen_points() const;
+
+ private:
+  struct Armed {
+    std::string point;
+    std::uint64_t fire_at_hit;  // absolute hit index at which to fire
+    Action action;
+  };
+  struct PointCount {
+    std::string point;
+    std::uint64_t hits = 0;
+  };
+
+  PointCount& count_for(std::string_view point);
+
+  std::vector<Armed> armed_;
+  std::vector<PointCount> counts_;
+};
+
+}  // namespace perseas::sim

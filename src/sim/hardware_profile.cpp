@@ -1,0 +1,64 @@
+#include "sim/hardware_profile.hpp"
+
+#include <cmath>
+
+namespace perseas::sim {
+
+HardwareProfile HardwareProfile::forth_1997() { return HardwareProfile{}; }
+
+namespace {
+
+/// Applies `rate` of yearly improvement `years` times to a duration
+/// (latencies shrink).
+SimDuration improve_latency(SimDuration d, double rate, int years) {
+  return static_cast<SimDuration>(
+      std::llround(static_cast<double>(d) / std::pow(1.0 + rate, years)));
+}
+
+double improve_throughput(double bytes_per_sec, double rate, int years) {
+  return bytes_per_sec * std::pow(1.0 + rate, years);
+}
+
+}  // namespace
+
+HardwareProfile HardwareProfile::advanced_by_years(int years, double disk_latency_rate,
+                                                   double disk_throughput_rate,
+                                                   double net_latency_rate,
+                                                   double net_throughput_rate,
+                                                   double cpu_rate) const {
+  HardwareProfile p = *this;
+  const double disk_lat_factor = std::pow(1.0 + disk_latency_rate, years);
+  p.disk.avg_seek_ms /= disk_lat_factor;
+  p.disk.track_switch_ms /= disk_lat_factor;
+  p.disk.rpm *= disk_lat_factor;  // rotational latency is 1/rpm
+  p.disk.request_overhead_ms /= disk_lat_factor;
+  p.disk.transfer_bytes_per_sec =
+      improve_throughput(p.disk.transfer_bytes_per_sec, disk_throughput_rate, years);
+
+  p.sci.first_packet_latency = improve_latency(p.sci.first_packet_latency, net_latency_rate, years);
+  p.sci.partial_packet_stream =
+      improve_latency(p.sci.partial_packet_stream, net_latency_rate, years);
+  p.sci.partial_flush_penalty =
+      improve_latency(p.sci.partial_flush_penalty, net_latency_rate, years);
+  p.sci.read_first_latency = improve_latency(p.sci.read_first_latency, net_latency_rate, years);
+  p.sci.control_rtt = improve_latency(p.sci.control_rtt, net_latency_rate, years);
+  // Streamed packet cost is throughput-bound: 64 bytes per full_packet_stream.
+  p.sci.full_packet_stream =
+      improve_latency(p.sci.full_packet_stream, net_throughput_rate, years);
+  p.sci.read_per_buffer = improve_latency(p.sci.read_per_buffer, net_throughput_rate, years);
+
+  p.memory.memcpy_bytes_per_sec =
+      improve_throughput(p.memory.memcpy_bytes_per_sec, cpu_rate, years);
+  p.memory.memcpy_fixed = improve_latency(p.memory.memcpy_fixed, cpu_rate, years);
+  p.sci.host_word_store = improve_latency(p.sci.host_word_store, cpu_rate, years);
+  p.library.txn_begin = improve_latency(p.library.txn_begin, cpu_rate, years);
+  p.library.txn_set_range = improve_latency(p.library.txn_set_range, cpu_rate, years);
+  p.library.txn_commit = improve_latency(p.library.txn_commit, cpu_rate, years);
+  p.library.txn_abort = improve_latency(p.library.txn_abort, cpu_rate, years);
+  p.library.table_update = improve_latency(p.library.table_update, cpu_rate, years);
+  p.rio.write_fixed = improve_latency(p.rio.write_fixed, cpu_rate, years);
+  p.rio.bytes_per_sec = improve_throughput(p.rio.bytes_per_sec, cpu_rate, years);
+  return p;
+}
+
+}  // namespace perseas::sim

@@ -1,0 +1,134 @@
+// Calibrated hardware cost models.
+//
+// Every constant that turns an operation into simulated time lives here, in
+// one place, so that (a) the calibration against the paper's anchor numbers
+// is auditable and (b) the technology-trend experiment (paper section 6) can
+// scale disk and network speeds independently.
+//
+// Calibration anchors taken from the paper:
+//   - one-way latency of a 4-byte SCI remote store  = 2.5 us      (section 4)
+//   - a <=64-byte store crossing a 16-byte boundary = 2.9 us      (section 4)
+//   - a 128-byte aligned remote store               = 3.7 us      (section 4)
+//   - stores ending exactly on a 64-byte buffer boundary flush faster
+//   - SCI streaming throughput "similar to the local memory subsystem"
+//   - PERSEAS minimal transaction                   < 8 us        (section 5)
+//   - 1 MB PERSEAS transaction                      < 0.1 s       (figure 6)
+//   - RVM on disk                                   ~1e2 txns/s
+//   - RVM on the Rio file cache                     ~1e3 txns/s
+//   - Vista                                         ~1e5..1e6 short txns/s
+#pragma once
+
+#include <cstdint>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::sim {
+
+/// Dolphin PCI-SCI adapter model (paper section 4, figures 4 and 5).
+struct SciParams {
+  /// Size of one internal NIC buffer; also the full-packet payload.
+  std::uint32_t buffer_bytes = 64;
+  /// Number of internal buffers dedicated to remote writes (half of 16).
+  std::uint32_t write_buffers = 8;
+  /// Payload of the small packet used for partial buffer flushes.
+  std::uint32_t small_packet_bytes = 16;
+
+  /// End-to-end one-way latency of the first packet of a burst.  A lone
+  /// 4-byte store costs first_packet + partial_flush_penalty = 2.5 us.
+  SimDuration first_packet_latency = us(2.2);
+  /// Incremental cost of each further full 64-byte packet in a streamed
+  /// burst (buffer streaming).  128 B aligned = 2.2 + 1.5 = 3.7 us.
+  SimDuration full_packet_stream = us(1.5);
+  /// Incremental cost of each further 16-byte partial packet.  A <=64 B
+  /// store crossing a 16-byte boundary = 2.2 + 0.4 + 0.3 = 2.9 us.
+  SimDuration partial_packet_stream = us(0.4);
+  /// Extra delay when the burst does not end on the last word of a buffer,
+  /// so the final half-filled buffer is flushed as 16-byte packets after a
+  /// gather window (paper: stores involving the last word of a buffer give
+  /// better latency).
+  SimDuration partial_flush_penalty = us(0.3);
+  /// Host-side cost of issuing one 4-byte store into the PCI window; this
+  /// overlaps with packet transmission (store gathering), so it only shows
+  /// up when the host is slower than the wire.
+  SimDuration host_word_store = ns(20);
+
+  /// Remote reads do not benefit from store gathering: first cache-line
+  /// sized read is a full round trip.
+  SimDuration read_first_latency = us(4.0);
+  /// Incremental cost per further 64-byte line of a streamed read.
+  SimDuration read_per_buffer = us(1.5);
+
+  /// Round trip of a control-plane request (remote malloc / free /
+  /// connect): message + server work + reply, through the OS on both ends.
+  SimDuration control_rtt = us(120.0);
+};
+
+/// Local memory subsystem of a ~133 MHz Pentium workstation.
+struct MemoryParams {
+  /// Sustained local memcpy bandwidth.
+  double memcpy_bytes_per_sec = 75e6;
+  /// Fixed cost of any memcpy call (call + loop setup).
+  SimDuration memcpy_fixed = ns(80);
+};
+
+/// A ~1997 commodity magnetic disk (7200 rpm, ~9 MB/s media rate).
+struct DiskParams {
+  double avg_seek_ms = 8.5;
+  /// Seek between adjacent tracks (sequential log appends mostly pay this).
+  double track_switch_ms = 1.5;
+  double rpm = 7200.0;
+  double transfer_bytes_per_sec = 9e6;
+  /// Controller + driver + system-call overhead per request.
+  double request_overhead_ms = 0.5;
+  std::uint32_t sector_bytes = 512;
+
+  [[nodiscard]] double full_rotation_ms() const { return 60'000.0 / rpm; }
+  [[nodiscard]] double avg_rotational_ms() const { return full_rotation_ms() / 2.0; }
+};
+
+/// The Rio reliable file cache (Chen et al.): file writes at memory speed
+/// plus a fixed protection-manipulation overhead per call.
+struct RioParams {
+  /// Per-write fixed cost: syscall, page-protection toggles, bookkeeping.
+  SimDuration write_fixed = us(400.0);
+  /// Copy bandwidth into the protected cache.
+  double bytes_per_sec = 75e6;
+};
+
+/// CPU bookkeeping costs of user-level transaction-library operations
+/// (procedure call, range table update, log header manipulation) on the
+/// era-appropriate processor.
+struct LibraryOpParams {
+  SimDuration txn_begin = ns(300);
+  SimDuration txn_set_range = ns(200);
+  SimDuration txn_commit = ns(300);
+  SimDuration txn_abort = ns(200);
+  /// Cost of updating an allocation/metadata table entry.
+  SimDuration table_update = ns(150);
+};
+
+/// One workstation-cluster hardware generation.
+struct HardwareProfile {
+  SciParams sci;
+  MemoryParams memory;
+  DiskParams disk;
+  RioParams rio;
+  LibraryOpParams library;
+
+  /// The configuration of the paper: two 133 MHz Pentium PCs, 64 MB RAM,
+  /// Dolphin PCI-SCI ring, Windows NT 4.0, 1997-era disk.
+  static HardwareProfile forth_1997();
+
+  /// forth_1997 advanced by `years` of technology trends (paper section 6):
+  /// disk latency improves `disk_latency_rate` per year and disk throughput
+  /// `disk_throughput_rate`, while network latency improves
+  /// `net_latency_rate` and network throughput `net_throughput_rate`;
+  /// processor/memory speed (library bookkeeping, memcpy) improves at
+  /// `cpu_rate`.
+  [[nodiscard]] HardwareProfile advanced_by_years(
+      int years, double disk_latency_rate = 0.10, double disk_throughput_rate = 0.20,
+      double net_latency_rate = 0.20, double net_throughput_rate = 0.45,
+      double cpu_rate = 0.35) const;
+};
+
+}  // namespace perseas::sim

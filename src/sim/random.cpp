@@ -1,0 +1,39 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace perseas::sim {
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(n),
+      theta_(theta),
+      alpha_(1.0 / (1.0 - theta)),
+      zetan_(zeta(n, theta)),
+      eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta(2, theta) / zetan_)),
+      zeta2_(zeta(2, theta)) {
+  assert(n_ > 0);
+  assert(theta_ > 0.0 && theta_ < 1.0);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) noexcept {
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace perseas::sim

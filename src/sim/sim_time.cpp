@@ -1,0 +1,22 @@
+#include "sim/sim_time.hpp"
+
+#include <cstdio>
+
+namespace perseas::sim {
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(d));
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f us", to_us(d));
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", to_ms(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(d));
+  }
+  return buf;
+}
+
+}  // namespace perseas::sim

@@ -1,0 +1,52 @@
+// Simulated-time primitives.
+//
+// Every cost in the reproduction flows through these types: substrate
+// operations (NIC packets, disk seeks, memory copies) compute a SimDuration
+// from a hardware model and advance a SimClock.  Nothing in the measured
+// path reads the wall clock, which is what makes the 1998-era numbers
+// deterministic and reproducible on modern hardware.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace perseas::sim {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using SimDuration = std::int64_t;
+
+/// Constructs a duration from nanoseconds.
+constexpr SimDuration ns(std::int64_t v) { return v; }
+
+/// Constructs a duration from (possibly fractional) microseconds.
+inline SimDuration us(double v) { return static_cast<SimDuration>(std::llround(v * 1e3)); }
+
+/// Constructs a duration from (possibly fractional) milliseconds.
+inline SimDuration ms(double v) { return static_cast<SimDuration>(std::llround(v * 1e6)); }
+
+/// Constructs a duration from (possibly fractional) seconds.
+inline SimDuration seconds(double v) { return static_cast<SimDuration>(std::llround(v * 1e9)); }
+
+/// Converts a duration to fractional microseconds.
+constexpr double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/// Converts a duration to fractional milliseconds.
+constexpr double to_ms(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a duration to fractional seconds.
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/// Duration needed to move `bytes` at `bytes_per_second`, rounded to ns.
+inline SimDuration transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0 || bytes_per_second <= 0.0) return 0;
+  return static_cast<SimDuration>(std::llround(static_cast<double>(bytes) / bytes_per_second * 1e9));
+}
+
+/// Human-readable rendering ("2.50 us", "13.2 ms") for logs and benches.
+std::string format_duration(SimDuration d);
+
+}  // namespace perseas::sim

@@ -1,0 +1,84 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace perseas::sim {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  total_ += x;
+  const double n = static_cast<double>(samples_.size());
+  const double delta = x - mean_;
+  mean_ += delta / n;
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::min() const noexcept {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) throw std::out_of_range("Summary::percentile on empty summary");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q out of [0,1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Summary::clear() {
+  samples_.clear();
+  sorted_ = true;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  total_ = 0.0;
+}
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  const int bucket = value == 0 ? 0 : 64 - std::countl_zero(value);
+  counts_[bucket >= kBuckets ? kBuckets - 1 : bucket]++;
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::bucket_count(int bucket) const noexcept {
+  if (bucket < 0 || bucket >= kBuckets) return 0;
+  return counts_[bucket];
+}
+
+std::string Log2Histogram::render() const {
+  std::string out;
+  char line[128];
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
+    const std::uint64_t hi = (1ULL << b) - 1;
+    std::snprintf(line, sizeof line, "[%12llu, %12llu] %llu\n", static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi), static_cast<unsigned long long>(counts_[b]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace perseas::sim

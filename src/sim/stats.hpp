@@ -1,0 +1,80 @@
+// Summary statistics and histograms for simulated measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::sim {
+
+/// Online summary of a stream of samples: count, mean, min/max, variance
+/// (Welford), plus exact percentiles from retained samples.
+///
+/// Retaining every sample is acceptable here: benchmark runs are bounded
+/// (<= a few million samples) and exact tail percentiles matter when
+/// comparing engines whose latencies differ by orders of magnitude.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return static_cast<std::uint64_t>(samples_.size()); }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Exact percentile (q in [0,1]); sorts lazily.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Latency recorder keyed to simulated durations, reporting in microseconds.
+class LatencyRecorder {
+ public:
+  void record(SimDuration d) { us_.add(to_us(d)); }
+
+  [[nodiscard]] const Summary& summary() const noexcept { return us_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return us_.count(); }
+  [[nodiscard]] double mean_us() const noexcept { return us_.mean(); }
+  [[nodiscard]] double p50_us() const { return us_.percentile(0.50); }
+  [[nodiscard]] double p99_us() const { return us_.percentile(0.99); }
+  [[nodiscard]] double max_us() const noexcept { return us_.max(); }
+
+  /// Throughput implied by the mean latency, in operations per second.
+  [[nodiscard]] double ops_per_second() const noexcept {
+    return us_.mean() > 0 ? 1e6 / us_.mean() : 0.0;
+  }
+
+  void clear() { us_.clear(); }
+
+ private:
+  Summary us_;
+};
+
+/// Fixed-bucket log2 histogram (for distribution shape in reports).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value) noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(int bucket) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::uint64_t counts_[kBuckets]{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace perseas::sim

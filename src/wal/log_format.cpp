@@ -1,0 +1,57 @@
+#include "wal/log_format.hpp"
+
+namespace perseas::wal {
+
+std::uint64_t append_record(std::vector<std::byte>& out, std::uint64_t txn_id,
+                            std::span<const LogRange> ranges) {
+  RecordHeader hdr;
+  hdr.txn_id = txn_id;
+  hdr.range_count = static_cast<std::uint32_t>(ranges.size());
+  std::uint64_t payload = 0;
+  for (const auto& r : ranges) payload += sizeof(RangeHeader) + r.data.size();
+  hdr.payload_bytes = static_cast<std::uint32_t>(payload);
+
+  const std::size_t start = out.size();
+  out.resize(start + sizeof(RecordHeader) + payload);
+  std::byte* p = out.data() + start;
+  std::memcpy(p, &hdr, sizeof hdr);
+  p += sizeof hdr;
+  for (const auto& r : ranges) {
+    RangeHeader rh{r.offset, r.data.size()};
+    std::memcpy(p, &rh, sizeof rh);
+    p += sizeof rh;
+    std::memcpy(p, r.data.data(), r.data.size());
+    p += r.data.size();
+  }
+  return sizeof(RecordHeader) + payload;
+}
+
+std::optional<std::vector<LogRange>> read_record(std::span<const std::byte> bytes,
+                                                 std::uint64_t& pos) {
+  if (pos + sizeof(RecordHeader) > bytes.size()) return std::nullopt;
+  RecordHeader hdr;
+  std::memcpy(&hdr, bytes.data() + pos, sizeof hdr);
+  if (hdr.magic != RecordHeader::kMagic) return std::nullopt;
+  if (pos + sizeof(RecordHeader) + hdr.payload_bytes > bytes.size()) return std::nullopt;
+
+  std::uint64_t p = pos + sizeof(RecordHeader);
+  std::vector<LogRange> ranges;
+  ranges.reserve(hdr.range_count);
+  for (std::uint32_t i = 0; i < hdr.range_count; ++i) {
+    if (p + sizeof(RangeHeader) > bytes.size()) return std::nullopt;
+    RangeHeader rh;
+    std::memcpy(&rh, bytes.data() + p, sizeof rh);
+    p += sizeof rh;
+    if (p + rh.size > bytes.size()) return std::nullopt;
+    LogRange r;
+    r.offset = rh.offset;
+    r.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(p),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(p + rh.size));
+    p += rh.size;
+    ranges.push_back(std::move(r));
+  }
+  pos = p;
+  return ranges;
+}
+
+}  // namespace perseas::wal

@@ -1,0 +1,47 @@
+// On-"disk" redo-log record format shared by the WAL-family baselines.
+//
+// A record is [RecordHeader][RangeHeader data]...[RangeHeader data]...
+// Recovery scans from the log start until the first header whose magic does
+// not match, which is how a classic WAL finds the durable prefix without a
+// separately forced end-of-log pointer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace perseas::wal {
+
+struct RecordHeader {
+  static constexpr std::uint64_t kMagic = 0x5045'5253'4541'534cULL;  // "PERSEASL"
+  std::uint64_t magic = kMagic;
+  std::uint64_t txn_id = 0;
+  std::uint32_t range_count = 0;
+  std::uint32_t payload_bytes = 0;  // total bytes after this header
+};
+
+struct RangeHeader {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+/// One modified range with its after-image (redo) or before-image (undo).
+struct LogRange {
+  std::uint64_t offset = 0;
+  std::vector<std::byte> data;
+};
+
+/// Serializes a commit record for `txn_id` covering `ranges` onto the end
+/// of `out`.  Returns the number of bytes appended.
+std::uint64_t append_record(std::vector<std::byte>& out, std::uint64_t txn_id,
+                            std::span<const LogRange> ranges);
+
+/// Parses the record starting at `bytes[pos]`.  Returns the ranges and
+/// advances `pos` past the record; nullopt when the bytes at `pos` are not a
+/// valid record (end of the durable log prefix).
+std::optional<std::vector<LogRange>> read_record(std::span<const std::byte> bytes,
+                                                 std::uint64_t& pos);
+
+}  // namespace perseas::wal

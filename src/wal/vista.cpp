@@ -1,0 +1,109 @@
+#include "wal/vista.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace perseas::wal {
+
+Vista::Vista(netram::Cluster& cluster, netram::NodeId node, rio::RioCache& rio,
+             const VistaOptions& options)
+    : cluster_(&cluster), node_(node), rio_(&rio), options_(options) {
+  if (rio.host() != node) {
+    throw std::invalid_argument("Vista: the Rio cache must live on the same node");
+  }
+  db_region_ = rio_->create_region("vista.db", options_.db_size);
+  undo_region_ = rio_->create_region("vista.undo", sizeof(UndoHeader) + options_.undo_capacity);
+  const UndoHeader empty;
+  write_undo_header(empty);
+}
+
+std::span<std::byte> Vista::db() { return rio_->mapped(db_region_, 0, options_.db_size); }
+
+void Vista::write_undo_header(const UndoHeader& hdr) {
+  rio_->mapped_write(undo_region_, 0,
+                     {reinterpret_cast<const std::byte*>(&hdr), sizeof hdr});
+}
+
+Vista::UndoHeader Vista::read_undo_header() {
+  UndoHeader hdr;
+  auto span = rio_->mapped(undo_region_, 0, sizeof hdr);
+  std::memcpy(&hdr, span.data(), sizeof hdr);
+  return hdr;
+}
+
+void Vista::begin_transaction() {
+  cluster_->charge_cpu(node_, cluster_->profile().library.txn_begin);
+  if (in_txn_) throw std::logic_error("Vista: transaction already active");
+  in_txn_ = true;
+  const UndoHeader empty;
+  write_undo_header(empty);
+}
+
+void Vista::set_range(std::uint64_t offset, std::uint64_t size) {
+  cluster_->charge_cpu(node_, options_.op_overhead);
+  if (!in_txn_) throw std::logic_error("Vista: set_range outside a transaction");
+  if (offset + size > options_.db_size || offset + size < offset) {
+    throw std::out_of_range("Vista: set_range outside the database");
+  }
+  UndoHeader hdr = read_undo_header();
+  const std::uint64_t need = sizeof(EntryHeader) + size;
+  if (hdr.bytes_used + need > options_.undo_capacity) {
+    throw std::runtime_error("Vista: undo log full");
+  }
+  const EntryHeader e{offset, size};
+  const std::uint64_t base = sizeof(UndoHeader) + hdr.bytes_used;
+  rio_->mapped_write(undo_region_, base, {reinterpret_cast<const std::byte*>(&e), sizeof e});
+  // The before-image, copied within reliable memory at memcpy speed.
+  auto src = rio_->mapped(db_region_, offset, size);
+  rio_->mapped_write(undo_region_, base + sizeof e, src);
+  hdr.bytes_used += need;
+  hdr.entry_count += 1;
+  write_undo_header(hdr);
+  stats_.bytes_logged += size;
+  ++stats_.set_ranges;
+}
+
+void Vista::commit_transaction() {
+  cluster_->charge_cpu(node_, options_.op_overhead);
+  if (!in_txn_) throw std::logic_error("Vista: commit outside a transaction");
+  // The essence of Vista: the database is already durable, so committing is
+  // just discarding the undo log.
+  const UndoHeader empty;
+  write_undo_header(empty);
+  in_txn_ = false;
+  ++stats_.commits;
+}
+
+void Vista::abort_transaction() {
+  cluster_->charge_cpu(node_, options_.op_overhead);
+  if (!in_txn_) throw std::logic_error("Vista: abort outside a transaction");
+  recover();  // identical mechanics: apply the undo log
+  in_txn_ = false;
+  ++stats_.aborts;
+}
+
+std::uint64_t Vista::recover() {
+  rio_->sync_with_host();
+  UndoHeader hdr = read_undo_header();  // throws if the cache was lost
+
+  // Collect entry positions, then apply before-images newest-first.
+  std::vector<std::pair<std::uint64_t, EntryHeader>> entries;
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < hdr.entry_count; ++i) {
+    EntryHeader e;
+    auto span = rio_->mapped(undo_region_, sizeof(UndoHeader) + pos, sizeof e);
+    std::memcpy(&e, span.data(), sizeof e);
+    entries.emplace_back(sizeof(UndoHeader) + pos + sizeof e, e);
+    pos += sizeof e + e.size;
+  }
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    auto image = rio_->mapped(undo_region_, it->first, it->second.size);
+    rio_->mapped_write(db_region_, it->second.offset, image);
+  }
+  const UndoHeader empty;
+  write_undo_header(empty);
+  in_txn_ = false;
+  return hdr.entry_count;
+}
+
+}  // namespace perseas::wal

@@ -1,0 +1,88 @@
+// The "debit-credit" banking benchmark of the paper's Table 1 — a TPC-B
+// style workload (the paper: "processes banking transactions very similar
+// to the TPC-B").
+//
+// The database holds branch, teller and account rows (100 bytes each, per
+// TPC-B) plus a circular history file of 50-byte entries.  Each transaction
+// picks a random teller (which fixes the branch), a random account and a
+// random delta, updates the three balances, and appends a history entry —
+// four small set_range/update pairs per transaction.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "workload/engine.hpp"
+#include "workload/synthetic.hpp"  // WorkloadResult
+
+namespace perseas::workload {
+
+struct DebitCreditOptions {
+  std::uint32_t branches = 4;
+  std::uint32_t tellers_per_branch = 10;
+  std::uint32_t accounts_per_branch = 10'000;
+  std::uint32_t history_capacity = 16'384;
+  /// Application-side compute per transaction (parse, validate, format) on
+  /// the era-appropriate CPU.
+  sim::SimDuration app_compute = sim::us(2.0);
+};
+
+class DebitCredit {
+ public:
+  /// TPC-B row and history-entry sizes.
+  static constexpr std::uint64_t kRowBytes = 100;
+  static constexpr std::uint64_t kHistoryBytes = 50;
+
+  /// Database bytes needed for the given options (pass to the engine).
+  [[nodiscard]] static std::uint64_t required_db_size(const DebitCreditOptions& options);
+
+  DebitCredit(TxnEngine& engine, const DebitCreditOptions& options, std::uint64_t seed = 7);
+
+  /// Writes the initial table contents (one setup transaction).
+  void load();
+
+  /// One debit-credit transaction; returns its simulated latency.
+  sim::SimDuration run_one();
+
+  WorkloadResult run(std::uint64_t n);
+
+  /// Consistency invariant: the sum of balances at every level equals the
+  /// sum of all applied deltas.  Throws std::logic_error on violation.
+  void check_invariants() const;
+
+  [[nodiscard]] std::int64_t expected_total() const noexcept { return total_delta_; }
+
+ private:
+  // Rows are stored at exact TPC-B sizes (100 and 50 bytes), so the structs
+  // are packed; all access goes through memcpy, never through misaligned
+  // pointers.
+  struct [[gnu::packed]] Row {
+    std::uint64_t id;
+    std::int64_t balance;
+    std::byte filler[kRowBytes - 16];
+  };
+  static_assert(sizeof(Row) == kRowBytes);
+
+  struct [[gnu::packed]] History {
+    std::uint64_t account;
+    std::uint64_t teller;
+    std::uint64_t branch;
+    std::int64_t delta;
+    std::byte filler[kHistoryBytes - 32];
+  };
+  static_assert(sizeof(History) == kHistoryBytes);
+
+  [[nodiscard]] std::uint64_t branch_offset(std::uint64_t b) const;
+  [[nodiscard]] std::uint64_t teller_offset(std::uint64_t t) const;
+  [[nodiscard]] std::uint64_t account_offset(std::uint64_t a) const;
+  [[nodiscard]] std::uint64_t history_offset(std::uint64_t h) const;
+  [[nodiscard]] std::uint64_t cursor_offset() const;
+
+  TxnEngine* engine_;
+  DebitCreditOptions options_;
+  sim::Rng rng_;
+  std::uint64_t history_cursor_ = 0;
+  std::int64_t total_delta_ = 0;
+};
+
+}  // namespace perseas::workload

@@ -1,0 +1,36 @@
+// A uniform transactional-engine interface over one flat database, so the
+// paper's workloads (synthetic, debit-credit, order-entry) can run
+// unmodified on PERSEAS and on every comparator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "netram/cluster.hpp"
+
+namespace perseas::workload {
+
+class TxnEngine {
+ public:
+  virtual ~TxnEngine() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// The cluster whose clock measures this engine (for workloads to charge
+  /// application-level work against).
+  [[nodiscard]] virtual netram::Cluster& cluster() noexcept = 0;
+  /// The node the application runs on.
+  [[nodiscard]] virtual netram::NodeId app_node() const noexcept = 0;
+
+  /// The mapped database.  Writes inside a transaction must be covered by a
+  /// prior set_range on the same span.
+  [[nodiscard]] virtual std::span<std::byte> db() = 0;
+  [[nodiscard]] virtual std::uint64_t db_size() const noexcept = 0;
+
+  virtual void begin() = 0;
+  virtual void set_range(std::uint64_t offset, std::uint64_t size) = 0;
+  virtual void commit() = 0;
+  virtual void abort() = 0;
+};
+
+}  // namespace perseas::workload

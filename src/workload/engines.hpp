@@ -1,0 +1,208 @@
+// Concrete TxnEngine adapters for PERSEAS and every comparator, plus
+// EngineLab, a self-contained test/bench fixture that owns the whole
+// simulated substrate an engine needs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/perseas.hpp"
+#include "disk/disk_model.hpp"
+#include "disk/disk_store.hpp"
+#include "disk/nvram_store.hpp"
+#include "netram/cluster.hpp"
+#include "netram/remote_memory.hpp"
+#include "rio/rio_cache.hpp"
+#include "wal/fs_mirror.hpp"
+#include "wal/remote_wal.hpp"
+#include "wal/rvm.hpp"
+#include "wal/vista.hpp"
+#include "workload/engine.hpp"
+
+namespace perseas::workload {
+
+/// PERSEAS with the whole flat database in one persistent record.
+class PerseasEngine final : public TxnEngine {
+ public:
+  PerseasEngine(netram::Cluster& cluster, netram::NodeId local,
+                std::vector<netram::RemoteMemoryServer*> mirrors, std::uint64_t db_size,
+                core::PerseasConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "perseas"; }
+  [[nodiscard]] netram::Cluster& cluster() noexcept override { return *cluster_; }
+  [[nodiscard]] netram::NodeId app_node() const noexcept override { return db_.local_node(); }
+  [[nodiscard]] std::span<std::byte> db() override { return record_.bytes(); }
+  [[nodiscard]] std::uint64_t db_size() const noexcept override { return record_.size(); }
+
+  void begin() override;
+  void set_range(std::uint64_t offset, std::uint64_t size) override;
+  void commit() override;
+  void abort() override;
+
+  [[nodiscard]] core::Perseas& perseas() noexcept { return db_; }
+
+ private:
+  netram::Cluster* cluster_;
+  core::Perseas db_;
+  core::RecordHandle record_;
+  std::optional<core::Transaction> txn_;
+};
+
+/// RVM over any stable store (disk -> "rvm-disk", Rio -> "rvm-rio").
+class RvmEngine final : public TxnEngine {
+ public:
+  RvmEngine(std::string name, netram::Cluster& cluster, netram::NodeId node,
+            disk::StableStore& store, const wal::RvmOptions& options);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] netram::Cluster& cluster() noexcept override { return *cluster_; }
+  [[nodiscard]] netram::NodeId app_node() const noexcept override { return node_; }
+  [[nodiscard]] std::span<std::byte> db() override { return rvm_.db(); }
+  [[nodiscard]] std::uint64_t db_size() const noexcept override { return rvm_.db_size(); }
+
+  void begin() override { rvm_.begin_transaction(); }
+  void set_range(std::uint64_t offset, std::uint64_t size) override {
+    rvm_.set_range(offset, size);
+  }
+  void commit() override { rvm_.commit_transaction(); }
+  void abort() override { rvm_.abort_transaction(); }
+
+  [[nodiscard]] wal::Rvm& rvm() noexcept { return rvm_; }
+
+ private:
+  std::string name_;
+  netram::Cluster* cluster_;
+  netram::NodeId node_;
+  wal::Rvm rvm_;
+};
+
+class VistaEngine final : public TxnEngine {
+ public:
+  VistaEngine(netram::Cluster& cluster, netram::NodeId node, rio::RioCache& rio,
+              const wal::VistaOptions& options);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "vista"; }
+  [[nodiscard]] netram::Cluster& cluster() noexcept override { return *cluster_; }
+  [[nodiscard]] netram::NodeId app_node() const noexcept override { return node_; }
+  [[nodiscard]] std::span<std::byte> db() override { return vista_.db(); }
+  [[nodiscard]] std::uint64_t db_size() const noexcept override { return vista_.db_size(); }
+
+  void begin() override { vista_.begin_transaction(); }
+  void set_range(std::uint64_t offset, std::uint64_t size) override {
+    vista_.set_range(offset, size);
+  }
+  void commit() override { vista_.commit_transaction(); }
+  void abort() override { vista_.abort_transaction(); }
+
+  [[nodiscard]] wal::Vista& vista() noexcept { return vista_; }
+
+ private:
+  netram::Cluster* cluster_;
+  netram::NodeId node_;
+  wal::Vista vista_;
+};
+
+class RemoteWalEngine final : public TxnEngine {
+ public:
+  RemoteWalEngine(netram::Cluster& cluster, netram::NodeId local,
+                  netram::RemoteMemoryServer& mirror, disk::DiskModel& disk,
+                  const wal::RemoteWalOptions& options);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "remote-wal"; }
+  [[nodiscard]] netram::Cluster& cluster() noexcept override { return *cluster_; }
+  [[nodiscard]] netram::NodeId app_node() const noexcept override { return node_; }
+  [[nodiscard]] std::span<std::byte> db() override { return wal_.db(); }
+  [[nodiscard]] std::uint64_t db_size() const noexcept override { return wal_.db_size(); }
+
+  void begin() override { wal_.begin_transaction(); }
+  void set_range(std::uint64_t offset, std::uint64_t size) override {
+    wal_.set_range(offset, size);
+  }
+  void commit() override { wal_.commit_transaction(); }
+  void abort() override { wal_.abort_transaction(); }
+
+  [[nodiscard]] wal::RemoteWal& wal() noexcept { return wal_; }
+
+ private:
+  netram::Cluster* cluster_;
+  netram::NodeId node_;
+  wal::RemoteWal wal_;
+};
+
+class FsMirrorEngine final : public TxnEngine {
+ public:
+  FsMirrorEngine(netram::Cluster& cluster, netram::NodeId local,
+                 netram::RemoteMemoryServer& file_server, const wal::FsMirrorOptions& options);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "fs-mirror"; }
+  [[nodiscard]] netram::Cluster& cluster() noexcept override { return *cluster_; }
+  [[nodiscard]] netram::NodeId app_node() const noexcept override { return node_; }
+  [[nodiscard]] std::span<std::byte> db() override { return mirror_.db(); }
+  [[nodiscard]] std::uint64_t db_size() const noexcept override { return mirror_.db_size(); }
+
+  void begin() override { mirror_.begin_transaction(); }
+  void set_range(std::uint64_t offset, std::uint64_t size) override {
+    mirror_.set_range(offset, size);
+  }
+  void commit() override { mirror_.commit_transaction(); }
+  void abort() override { mirror_.abort_transaction(); }
+
+  [[nodiscard]] wal::FsMirror& fs_mirror() noexcept { return mirror_; }
+
+ private:
+  netram::Cluster* cluster_;
+  netram::NodeId node_;
+  wal::FsMirror mirror_;
+};
+
+/// Which system an EngineLab should assemble.
+enum class EngineKind {
+  kPerseas,
+  kVista,
+  kRvmRio,
+  kRvmDisk,
+  kRvmDiskGroupCommit,
+  kRvmNvram,
+  kRemoteWal,
+  kFsMirror,
+};
+
+[[nodiscard]] std::string_view to_string(EngineKind kind) noexcept;
+
+struct LabOptions {
+  std::uint64_t db_size = 1 << 20;
+  sim::HardwareProfile profile = sim::HardwareProfile::forth_1997();
+  std::uint64_t seed = 0x1998;
+  /// Group size for kRvmDiskGroupCommit.
+  std::uint32_t group_commit_size = 256;
+  core::PerseasConfig perseas;
+  std::uint64_t log_capacity = 8 << 20;
+  std::uint64_t arena_bytes_per_node = 64ull << 20;
+};
+
+/// Owns a two-node cluster plus whatever substrate (disk, Rio cache, remote
+/// memory server) the chosen engine needs.  The application always runs on
+/// node 0; remote resources live on node 1.
+class EngineLab {
+ public:
+  EngineLab(EngineKind kind, const LabOptions& options = {});
+
+  [[nodiscard]] TxnEngine& engine() noexcept { return *engine_; }
+  [[nodiscard]] netram::Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] EngineKind kind() const noexcept { return kind_; }
+
+ private:
+  EngineKind kind_;
+  std::unique_ptr<netram::Cluster> cluster_;
+  std::unique_ptr<netram::RemoteMemoryServer> server_;
+  std::unique_ptr<disk::DiskModel> disk_;
+  std::unique_ptr<disk::DiskStore> disk_store_;
+  std::unique_ptr<disk::NvramStore> nvram_store_;
+  std::unique_ptr<rio::RioCache> rio_;
+  std::unique_ptr<rio::RioStore> rio_store_;
+  std::unique_ptr<TxnEngine> engine_;
+};
+
+}  // namespace perseas::workload

@@ -1,0 +1,197 @@
+#include "workload/order_entry.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/clock.hpp"
+
+namespace perseas::workload {
+
+namespace {
+
+template <typename T>
+T read_at(std::span<std::byte> db, std::uint64_t offset) {
+  T v;
+  std::memcpy(&v, db.data() + offset, sizeof v);
+  return v;
+}
+
+template <typename T>
+void write_at(std::span<std::byte> db, std::uint64_t offset, const T& v) {
+  std::memcpy(db.data() + offset, &v, sizeof v);
+}
+
+}  // namespace
+
+std::uint64_t OrderEntry::required_db_size(const OrderEntryOptions& o) {
+  const std::uint64_t districts =
+      static_cast<std::uint64_t>(o.warehouses) * o.districts_per_warehouse;
+  const std::uint64_t order_slot =
+      sizeof(OrderHeader) + static_cast<std::uint64_t>(kMaxLines) * sizeof(OrderLine);
+  return districts * sizeof(DistrictRow) + o.items * sizeof(ItemRow) +
+         o.items * sizeof(StockRow) + o.order_capacity * order_slot;
+}
+
+OrderEntry::OrderEntry(TxnEngine& engine, const OrderEntryOptions& options, std::uint64_t seed)
+    : engine_(&engine),
+      options_(options),
+      rng_(seed),
+      item_picker_(options.items, options.item_skew) {
+  if (engine.db_size() < required_db_size(options)) {
+    throw std::invalid_argument("OrderEntry: database too small for these options");
+  }
+}
+
+std::uint64_t OrderEntry::district_offset(std::uint64_t d) const {
+  return d * sizeof(DistrictRow);
+}
+
+std::uint64_t OrderEntry::item_offset(std::uint64_t i) const {
+  const std::uint64_t districts =
+      static_cast<std::uint64_t>(options_.warehouses) * options_.districts_per_warehouse;
+  return districts * sizeof(DistrictRow) + i * sizeof(ItemRow);
+}
+
+std::uint64_t OrderEntry::stock_offset(std::uint64_t i) const {
+  return item_offset(options_.items) + i * sizeof(StockRow);
+}
+
+std::uint64_t OrderEntry::order_offset(std::uint64_t slot) const {
+  const std::uint64_t order_slot =
+      sizeof(OrderHeader) + static_cast<std::uint64_t>(kMaxLines) * sizeof(OrderLine);
+  return stock_offset(options_.items) + slot * order_slot;
+}
+
+void OrderEntry::load() {
+  const std::uint64_t size = required_db_size(options_);
+  engine_->begin();
+  engine_->set_range(0, size);
+  auto db = engine_->db();
+  std::memset(db.data(), 0, size);
+
+  const std::uint64_t districts =
+      static_cast<std::uint64_t>(options_.warehouses) * options_.districts_per_warehouse;
+  for (std::uint64_t d = 0; d < districts; ++d) {
+    DistrictRow row{};
+    row.next_order_id = 1;
+    write_at(db, district_offset(d), row);
+  }
+  for (std::uint64_t i = 0; i < options_.items; ++i) {
+    ItemRow item{};
+    item.id = i;
+    item.price = 100 + static_cast<std::int64_t>(rng_.below(9'900));  // $1.00 .. $99.99
+    write_at(db, item_offset(i), item);
+    StockRow stock{};
+    stock.quantity = 10'000;
+    write_at(db, stock_offset(i), stock);
+  }
+  engine_->cluster().charge_local_memcpy(engine_->app_node(), size);
+  engine_->commit();
+  orders_placed_ = 0;
+  total_quantity_ = 0;
+}
+
+sim::SimDuration OrderEntry::run_one() {
+  const sim::StopWatch watch(engine_->cluster().clock());
+
+  const std::uint64_t districts =
+      static_cast<std::uint64_t>(options_.warehouses) * options_.districts_per_warehouse;
+  const std::uint64_t district = rng_.below(districts);
+  const auto line_count =
+      static_cast<std::uint32_t>(rng_.between(kMinLines, kMaxLines));
+
+  // Pick distinct items for the order lines (TPC-C orders have no repeats).
+  std::uint64_t items[kMaxLines];
+  std::uint32_t picked = 0;
+  while (picked < line_count) {
+    const std::uint64_t candidate = item_picker_.next(rng_);
+    const bool duplicate =
+        std::find(items, items + picked, candidate) != items + picked;
+    if (!duplicate) items[picked++] = candidate;
+  }
+
+  engine_->begin();
+  auto db = engine_->db();
+
+  // Read item prices (reads need no set_range).
+  std::int64_t total = 0;
+  OrderLine lines[kMaxLines];
+  for (std::uint32_t l = 0; l < line_count; ++l) {
+    const auto item = read_at<ItemRow>(db, item_offset(items[l]));
+    const std::int64_t quantity = rng_.between(1, 10);
+    lines[l] = OrderLine{items[l], quantity, quantity * item.price};
+    total += lines[l].amount;
+  }
+
+  // Update the district: allocate the order id, accumulate revenue.
+  engine_->set_range(district_offset(district), sizeof(DistrictRow));
+  auto drow = read_at<DistrictRow>(db, district_offset(district));
+  const std::uint64_t order_id = drow.next_order_id;
+  drow.next_order_id += 1;
+  drow.ytd += total;
+  write_at(db, district_offset(district), drow);
+
+  // Update stock for every line.
+  for (std::uint32_t l = 0; l < line_count; ++l) {
+    const std::uint64_t off = stock_offset(lines[l].item);
+    engine_->set_range(off, sizeof(StockRow));
+    auto stock = read_at<StockRow>(db, off);
+    stock.quantity -= lines[l].quantity;
+    if (stock.quantity < 10) stock.quantity += 10'000;  // TPC-C restock rule
+    stock.ytd += lines[l].quantity;
+    stock.order_count += 1;
+    write_at(db, off, stock);
+    total_quantity_ += lines[l].quantity;
+  }
+
+  // Insert the order header and its lines (contiguous: one range).
+  const std::uint64_t slot = orders_placed_ % options_.order_capacity;
+  const std::uint64_t header_off = order_offset(slot);
+  const std::uint64_t insert_bytes =
+      sizeof(OrderHeader) + static_cast<std::uint64_t>(line_count) * sizeof(OrderLine);
+  engine_->set_range(header_off, insert_bytes);
+  OrderHeader hdr{order_id, static_cast<std::uint32_t>(district / options_.districts_per_warehouse),
+                  static_cast<std::uint32_t>(district), line_count, 0, total};
+  write_at(db, header_off, hdr);
+  for (std::uint32_t l = 0; l < line_count; ++l) {
+    write_at(db, header_off + sizeof(OrderHeader) + l * sizeof(OrderLine), lines[l]);
+  }
+
+  engine_->cluster().charge_cpu(engine_->app_node(), options_.app_compute);
+  engine_->commit();
+
+  ++orders_placed_;
+  return watch.elapsed();
+}
+
+WorkloadResult OrderEntry::run(std::uint64_t n) {
+  WorkloadResult result;
+  const sim::StopWatch watch(engine_->cluster().clock());
+  for (std::uint64_t i = 0; i < n; ++i) result.latency.record(run_one());
+  result.transactions = n;
+  result.elapsed = watch.elapsed();
+  return result;
+}
+
+void OrderEntry::check_invariants() const {
+  auto db = engine_->db();
+  const std::uint64_t districts =
+      static_cast<std::uint64_t>(options_.warehouses) * options_.districts_per_warehouse;
+  std::uint64_t orders_from_districts = 0;
+  for (std::uint64_t d = 0; d < districts; ++d) {
+    orders_from_districts += read_at<DistrictRow>(db, district_offset(d)).next_order_id - 1;
+  }
+  if (orders_from_districts != orders_placed_) {
+    throw std::logic_error("OrderEntry: district order counters do not sum to orders placed");
+  }
+  std::int64_t stock_ytd = 0;
+  for (std::uint64_t i = 0; i < options_.items; ++i) {
+    stock_ytd += read_at<StockRow>(db, stock_offset(i)).ytd;
+  }
+  if (stock_ytd != total_quantity_) {
+    throw std::logic_error("OrderEntry: stock ytd does not match ordered quantity");
+  }
+}
+
+}  // namespace perseas::workload

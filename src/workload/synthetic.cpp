@@ -1,0 +1,43 @@
+#include "workload/synthetic.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/clock.hpp"
+
+namespace perseas::workload {
+
+SyntheticWorkload::SyntheticWorkload(TxnEngine& engine, std::uint64_t txn_size,
+                                     std::uint64_t seed)
+    : engine_(&engine), txn_size_(txn_size), rng_(seed) {
+  if (txn_size == 0 || txn_size > engine.db_size()) {
+    throw std::invalid_argument("SyntheticWorkload: bad transaction size");
+  }
+}
+
+sim::SimDuration SyntheticWorkload::run_one() {
+  const sim::StopWatch watch(engine_->cluster().clock());
+  const std::uint64_t offset = rng_.below(engine_->db_size() - txn_size_ + 1);
+
+  engine_->begin();
+  engine_->set_range(offset, txn_size_);
+  // The application's update: overwrite the range with fresh bytes.
+  auto span = engine_->db().subspan(offset, txn_size_);
+  const auto fill = static_cast<std::byte>(fill_++);
+  std::memset(span.data(), static_cast<int>(fill), span.size());
+  engine_->cluster().charge_local_memcpy(engine_->app_node(), txn_size_);
+  engine_->commit();
+
+  return watch.elapsed();
+}
+
+WorkloadResult SyntheticWorkload::run(std::uint64_t n) {
+  WorkloadResult result;
+  const sim::StopWatch watch(engine_->cluster().clock());
+  for (std::uint64_t i = 0; i < n; ++i) result.latency.record(run_one());
+  result.transactions = n;
+  result.elapsed = watch.elapsed();
+  return result;
+}
+
+}  // namespace perseas::workload

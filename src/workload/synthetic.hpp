@@ -1,0 +1,44 @@
+// The paper's "Synthetic" benchmark (section 5): each transaction modifies
+// `txn_size` bytes at a random location of the database; the measured
+// quantity is transaction overhead as a function of transaction size
+// (figure 6).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "workload/engine.hpp"
+
+namespace perseas::workload {
+
+struct WorkloadResult {
+  std::uint64_t transactions = 0;
+  sim::SimDuration elapsed = 0;
+  sim::LatencyRecorder latency;
+
+  [[nodiscard]] double txns_per_second() const {
+    return elapsed > 0 ? static_cast<double>(transactions) / sim::to_seconds(elapsed) : 0.0;
+  }
+};
+
+class SyntheticWorkload {
+ public:
+  SyntheticWorkload(TxnEngine& engine, std::uint64_t txn_size, std::uint64_t seed = 42);
+
+  /// Runs one transaction; returns its simulated latency.
+  sim::SimDuration run_one();
+
+  /// Runs `n` transactions and aggregates.
+  WorkloadResult run(std::uint64_t n);
+
+  [[nodiscard]] std::uint64_t txn_size() const noexcept { return txn_size_; }
+
+ private:
+  TxnEngine* engine_;
+  std::uint64_t txn_size_;
+  sim::Rng rng_;
+  std::uint64_t fill_ = 1;  // rolling value written into updated bytes
+};
+
+}  // namespace perseas::workload

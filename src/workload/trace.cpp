@@ -1,0 +1,149 @@
+#include "workload/trace.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/clock.hpp"
+#include "sim/crc32.hpp"
+
+namespace perseas::workload {
+
+Trace Trace::synthetic(std::uint64_t db_size, std::uint64_t txns, std::uint32_t ranges,
+                       std::uint64_t max_range, double abort_probability,
+                       std::uint64_t seed) {
+  if (db_size == 0 || max_range == 0 || max_range > db_size) {
+    throw std::invalid_argument("Trace::synthetic: bad geometry");
+  }
+  Trace trace;
+  trace.db_size_ = db_size;
+  sim::Rng rng(seed);
+  for (std::uint64_t t = 0; t < txns; ++t) {
+    trace.begin();
+    for (std::uint32_t r = 0; r < ranges; ++r) {
+      const std::uint64_t size = 1 + rng.below(max_range);
+      const std::uint64_t offset = rng.below(db_size - size + 1);
+      trace.set_range(offset, size);
+      trace.write(offset, size, rng.next());
+    }
+    if (rng.chance(abort_probability)) {
+      trace.abort();
+    } else {
+      trace.commit();
+    }
+  }
+  return trace;
+}
+
+std::uint64_t Trace::transactions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& op : ops_) n += op.kind == TraceOp::Kind::kBegin ? 1 : 0;
+  return n;
+}
+
+std::string Trace::to_text() const {
+  std::ostringstream out;
+  out << "perseas-trace v1 db_size " << db_size_ << "\n";
+  for (const auto& op : ops_) {
+    switch (op.kind) {
+      case TraceOp::Kind::kBegin: out << "begin\n"; break;
+      case TraceOp::Kind::kSetRange: out << "set " << op.offset << ' ' << op.size << "\n"; break;
+      case TraceOp::Kind::kWrite:
+        out << "write " << op.offset << ' ' << op.size << ' ' << op.fill_seed << "\n";
+        break;
+      case TraceOp::Kind::kCommit: out << "commit\n"; break;
+      case TraceOp::Kind::kAbort: out << "abort\n"; break;
+    }
+  }
+  return out.str();
+}
+
+Trace Trace::from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  Trace trace;
+  in >> word;
+  std::string version;
+  in >> version;
+  if (word != "perseas-trace" || version != "v1") {
+    throw std::invalid_argument("Trace::from_text: bad header");
+  }
+  in >> word >> trace.db_size_;
+  if (word != "db_size" || trace.db_size_ == 0) {
+    throw std::invalid_argument("Trace::from_text: bad db_size");
+  }
+  while (in >> word) {
+    if (word == "begin") {
+      trace.begin();
+    } else if (word == "set") {
+      std::uint64_t offset = 0;
+      std::uint64_t size = 0;
+      if (!(in >> offset >> size)) throw std::invalid_argument("Trace: bad set op");
+      trace.set_range(offset, size);
+    } else if (word == "write") {
+      std::uint64_t offset = 0;
+      std::uint64_t size = 0;
+      std::uint64_t seed = 0;
+      if (!(in >> offset >> size >> seed)) throw std::invalid_argument("Trace: bad write op");
+      trace.write(offset, size, seed);
+    } else if (word == "commit") {
+      trace.commit();
+    } else if (word == "abort") {
+      trace.abort();
+    } else {
+      throw std::invalid_argument("Trace::from_text: unknown op '" + word + "'");
+    }
+  }
+  return trace;
+}
+
+ReplayResult replay(const Trace& trace, TxnEngine& engine) {
+  if (engine.db_size() < trace.db_size()) {
+    throw std::invalid_argument("replay: engine database smaller than the trace's");
+  }
+  ReplayResult result;
+  const sim::StopWatch watch(engine.cluster().clock());
+  bool in_txn = false;
+  for (const auto& op : trace.ops()) {
+    switch (op.kind) {
+      case TraceOp::Kind::kBegin:
+        if (in_txn) throw std::invalid_argument("replay: begin inside a transaction");
+        engine.begin();
+        in_txn = true;
+        break;
+      case TraceOp::Kind::kSetRange:
+        if (!in_txn) throw std::invalid_argument("replay: set outside a transaction");
+        engine.set_range(op.offset, op.size);
+        break;
+      case TraceOp::Kind::kWrite: {
+        if (!in_txn) throw std::invalid_argument("replay: write outside a transaction");
+        if (op.offset + op.size > engine.db_size()) {
+          throw std::invalid_argument("replay: write outside the database");
+        }
+        sim::SplitMix64 fill(op.fill_seed);
+        auto span = engine.db().subspan(op.offset, op.size);
+        for (auto& b : span) b = static_cast<std::byte>(fill.next());
+        engine.cluster().charge_local_memcpy(engine.app_node(), op.size);
+        break;
+      }
+      case TraceOp::Kind::kCommit:
+        if (!in_txn) throw std::invalid_argument("replay: commit outside a transaction");
+        engine.commit();
+        in_txn = false;
+        ++result.transactions;
+        break;
+      case TraceOp::Kind::kAbort:
+        if (!in_txn) throw std::invalid_argument("replay: abort outside a transaction");
+        engine.abort();
+        in_txn = false;
+        ++result.transactions;
+        break;
+    }
+  }
+  if (in_txn) engine.abort();
+  result.elapsed = watch.elapsed();
+  result.final_digest = sim::crc32c_final(engine.db().subspan(0, trace.db_size()));
+  return result;
+}
+
+}  // namespace perseas::workload

@@ -1,0 +1,82 @@
+// Deterministic transaction traces: a recorded sequence of transactional
+// operations that can be replayed bit-identically on any TxnEngine.
+//
+// Replaying one trace across engines gives perfectly matched comparisons
+// (same ranges, same bytes, same commit/abort decisions), and a digest of
+// the final database proves all engines implement the same semantics —
+// the strongest form of the conformance guarantee behind the paper's
+// performance tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/sim_time.hpp"
+#include "workload/engine.hpp"
+
+namespace perseas::workload {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t { kBegin, kSetRange, kWrite, kCommit, kAbort };
+  Kind kind = Kind::kBegin;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  /// Seed for the deterministic bytes a kWrite op stores.
+  std::uint64_t fill_seed = 0;
+};
+
+class Trace {
+ public:
+  /// Builds a synthetic trace: `txns` transactions, each updating `ranges`
+  /// random ranges of up to `max_range` bytes, aborting with probability
+  /// `abort_probability`.
+  static Trace synthetic(std::uint64_t db_size, std::uint64_t txns, std::uint32_t ranges,
+                         std::uint64_t max_range, double abort_probability,
+                         std::uint64_t seed);
+
+  /// Parses the textual format produced by to_text().  Throws
+  /// std::invalid_argument on malformed input.
+  static Trace from_text(const std::string& text);
+
+  /// Serializes to a line-oriented text format (one op per line).
+  [[nodiscard]] std::string to_text() const;
+
+  void begin() { ops_.push_back({TraceOp::Kind::kBegin, 0, 0, 0}); }
+  void set_range(std::uint64_t offset, std::uint64_t size) {
+    ops_.push_back({TraceOp::Kind::kSetRange, offset, size, 0});
+  }
+  void write(std::uint64_t offset, std::uint64_t size, std::uint64_t fill_seed) {
+    ops_.push_back({TraceOp::Kind::kWrite, offset, size, fill_seed});
+  }
+  void commit() { ops_.push_back({TraceOp::Kind::kCommit, 0, 0, 0}); }
+  void abort() { ops_.push_back({TraceOp::Kind::kAbort, 0, 0, 0}); }
+
+  [[nodiscard]] const std::vector<TraceOp>& ops() const noexcept { return ops_; }
+  [[nodiscard]] std::uint64_t transactions() const noexcept;
+  [[nodiscard]] std::uint64_t db_size() const noexcept { return db_size_; }
+
+ private:
+  std::uint64_t db_size_ = 0;
+  std::vector<TraceOp> ops_;
+};
+
+struct ReplayResult {
+  std::uint64_t transactions = 0;
+  sim::SimDuration elapsed = 0;
+  /// CRC-32C of the final database contents: identical across engines for
+  /// the same trace, or the engines disagree on semantics.
+  std::uint32_t final_digest = 0;
+
+  [[nodiscard]] double txns_per_second() const {
+    return elapsed > 0 ? static_cast<double>(transactions) / sim::to_seconds(elapsed) : 0.0;
+  }
+};
+
+/// Replays `trace` on `engine` (whose db must be at least trace.db_size()).
+/// Throws std::invalid_argument for malformed traces (e.g. a write outside
+/// a transaction).
+ReplayResult replay(const Trace& trace, TxnEngine& engine);
+
+}  // namespace perseas::workload

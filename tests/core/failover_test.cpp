@@ -1,0 +1,140 @@
+#include "core/failover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace perseas::core {
+namespace {
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  FailoverTest() : cluster_(sim::HardwareProfile::forth_1997(), 5), server_(cluster_, 1) {}
+
+  Perseas make_db() {
+    Perseas db(cluster_, 0, {&server_}, {});
+    auto rec = db.persistent_malloc(128);
+    db.init_remote_db();
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    std::memcpy(rec.bytes().data(), "PRIMARY!", 8);
+    txn.commit();
+    return db;
+  }
+
+  static std::string prefix(Perseas& db) {
+    auto rec = db.record(0);
+    return {reinterpret_cast<const char*>(rec.bytes().data()), 8};
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+};
+
+TEST_F(FailoverTest, FailsOverToFirstStandby) {
+  auto db = make_db();
+  FailoverManager manager(cluster_, {2, 3, 4}, {&server_});
+  cluster_.crash_node(0);
+  auto replacement = manager.fail_over();
+  EXPECT_EQ(replacement.local_node(), 2u);
+  EXPECT_EQ(prefix(replacement), "PRIMARY!");
+  EXPECT_EQ(manager.stats().failovers, 1u);
+  EXPECT_EQ(manager.stats().last_target, 2u);
+  EXPECT_GT(manager.stats().last_duration, 0);
+}
+
+TEST_F(FailoverTest, SkipsDeadStandbys) {
+  auto db = make_db();
+  FailoverManager manager(cluster_, {2, 3, 4}, {&server_});
+  cluster_.crash_node(0);
+  cluster_.crash_node(2);
+  cluster_.crash_node(3);
+  auto replacement = manager.fail_over();
+  EXPECT_EQ(replacement.local_node(), 4u);
+  EXPECT_EQ(manager.stats().standbys_skipped, 2u);
+}
+
+TEST_F(FailoverTest, SkipsStandbyHostingTheOnlyMirror) {
+  auto db = make_db();
+  // Standby list (wrongly) includes the mirror's own host first; the
+  // manager must fall through to a viable standby.
+  FailoverManager manager(cluster_, {1, 2}, {&server_});
+  cluster_.crash_node(0);
+  auto replacement = manager.fail_over();
+  EXPECT_EQ(replacement.local_node(), 2u);
+}
+
+TEST_F(FailoverTest, NoViableStandbyThrows) {
+  auto db = make_db();
+  FailoverManager manager(cluster_, {2, 3}, {&server_});
+  cluster_.crash_node(0);
+  cluster_.crash_node(2);
+  cluster_.crash_node(3);
+  EXPECT_THROW(manager.fail_over(), RecoveryError);
+}
+
+TEST_F(FailoverTest, CascadingFailovers) {
+  auto db = make_db();
+  FailoverManager manager(cluster_, {2, 3, 4}, {&server_});
+
+  cluster_.crash_node(0);
+  auto second = manager.fail_over();
+  {
+    auto txn = second.begin_transaction();
+    txn.set_range(second.record(0), 0, 8);
+    std::memcpy(second.record(0).bytes().data(), "SECOND..", 8);
+    txn.commit();
+  }
+  // The second primary dies too.
+  cluster_.crash_node(2);
+  auto third = manager.fail_over();
+  EXPECT_EQ(third.local_node(), 3u);
+  EXPECT_EQ(prefix(third), "SECOND..");
+  EXPECT_EQ(manager.stats().failovers, 2u);
+}
+
+TEST_F(FailoverTest, FailoverAfterMidCommitCrashIsAtomic) {
+  auto db = make_db();
+  FailoverManager manager(cluster_, {2}, {&server_});
+  cluster_.failures().arm("perseas.commit.after_range_copy", [&] {
+    cluster_.crash_node(0, sim::FailureKind::kPowerOutage);
+    throw sim::NodeCrashed(0, sim::FailureKind::kPowerOutage, "armed");
+  });
+  auto rec = db.record(0);
+  auto txn = db.begin_transaction();
+  EXPECT_THROW(
+      {
+        txn.set_range(rec, 0, 8);
+        std::memcpy(rec.bytes().data(), "TORN....", 8);
+        txn.commit();
+      },
+      sim::NodeCrashed);
+  auto replacement = manager.fail_over();
+  EXPECT_EQ(prefix(replacement), "PRIMARY!");
+}
+
+TEST_F(FailoverTest, ConfigValidation) {
+  EXPECT_THROW(FailoverManager(cluster_, {}, {&server_}), UsageError);
+  EXPECT_THROW(FailoverManager(cluster_, {2}, {}), UsageError);
+}
+
+TEST_F(FailoverTest, NamedDatabaseFailsOverByName) {
+  PerseasConfig config;
+  config.name = "accounts";
+  Perseas db(cluster_, 0, {&server_}, config);
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+  {
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    std::memcpy(rec.bytes().data(), "NAMED-DB", 8);
+    txn.commit();
+  }
+  FailoverManager manager(cluster_, {2}, {&server_}, config);
+  cluster_.crash_node(0);
+  auto replacement = manager.fail_over();
+  EXPECT_EQ(prefix(replacement), "NAMED-DB");
+}
+
+}  // namespace
+}  // namespace perseas::core

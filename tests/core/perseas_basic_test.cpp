@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/perseas.hpp"
+
+namespace perseas::core {
+namespace {
+
+class PerseasBasicTest : public ::testing::Test {
+ protected:
+  PerseasBasicTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 2), server_(cluster_, 1) {}
+
+  Perseas make_db(PerseasConfig config = {}) {
+    return Perseas(cluster_, 0, {&server_}, config);
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+};
+
+TEST_F(PerseasBasicTest, ConstructionCreatesMetadataSegments) {
+  auto db = make_db();
+  EXPECT_EQ(db.mirror_count(), 1u);
+  EXPECT_EQ(db.record_count(), 0u);
+  // Meta + undo segments exist on the mirror.
+  EXPECT_EQ(server_.export_count(), 2u);
+}
+
+TEST_F(PerseasBasicTest, MallocAllocatesLocalAndRemote) {
+  auto db = make_db();
+  const auto rec = db.persistent_malloc(1000);
+  EXPECT_TRUE(rec.valid());
+  EXPECT_EQ(rec.index(), 0u);
+  EXPECT_EQ(rec.size(), 1000u);
+  EXPECT_EQ(db.record_count(), 1u);
+  EXPECT_EQ(server_.export_count(), 3u);
+  // Zero-initialized.
+  for (const std::byte b : rec.bytes()) ASSERT_EQ(b, std::byte{0});
+}
+
+TEST_F(PerseasBasicTest, RecordHandleTypedViews) {
+  auto db = make_db();
+  const auto rec = db.persistent_malloc(sizeof(std::uint64_t) * 4);
+  rec.as<std::uint64_t>() = 42;
+  EXPECT_EQ(rec.as<std::uint64_t>(), 42u);
+  auto arr = rec.array<std::uint64_t>();
+  EXPECT_EQ(arr.size(), 4u);
+  arr[3] = 7;
+  EXPECT_EQ(rec.array<std::uint64_t>()[3], 7u);
+  struct TooBig {
+    std::byte pad[64];
+  };
+  EXPECT_THROW((void)rec.as<TooBig>(), UsageError);
+}
+
+TEST_F(PerseasBasicTest, DefaultHandleThrows) {
+  RecordHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_THROW((void)h.bytes(), UsageError);
+}
+
+TEST_F(PerseasBasicTest, RecordLookupByIndex) {
+  auto db = make_db();
+  (void)db.persistent_malloc(100);
+  const auto rec = db.record(0);
+  EXPECT_EQ(rec.size(), 100u);
+  EXPECT_THROW((void)db.record(1), UsageError);
+}
+
+TEST_F(PerseasBasicTest, TransactionRequiresInitRemoteDb) {
+  auto db = make_db();
+  (void)db.persistent_malloc(64);
+  EXPECT_THROW(db.begin_transaction(), UsageError);
+  db.init_remote_db();
+  EXPECT_NO_THROW(db.begin_transaction().abort());
+}
+
+TEST_F(PerseasBasicTest, MallocAfterInitRequiresReinit) {
+  auto db = make_db();
+  (void)db.persistent_malloc(64);
+  db.init_remote_db();
+  (void)db.persistent_malloc(64);
+  EXPECT_THROW(db.begin_transaction(), UsageError);
+  db.init_remote_db();
+  EXPECT_NO_THROW(db.begin_transaction().abort());
+}
+
+TEST_F(PerseasBasicTest, SimpleCommitUpdatesLocalAndMirror) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+  {
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    std::memcpy(rec.bytes().data(), "PERSEAS!", 8);
+    txn.commit();
+  }
+  EXPECT_EQ(std::memcmp(rec.bytes().data(), "PERSEAS!", 8), 0);
+  EXPECT_EQ(db.stats().txns_committed, 1u);
+  // The mirror's copy matches (peek into the simulated remote arena).
+  netram::RemoteMemoryClient peek(cluster_, 0);
+  const auto seg = peek.sci_connect_segment(server_, db_key(0));
+  ASSERT_TRUE(seg);
+  std::vector<std::byte> out(8);
+  peek.sci_memcpy_read(*seg, 0, out);
+  EXPECT_EQ(std::memcmp(out.data(), "PERSEAS!", 8), 0);
+}
+
+TEST_F(PerseasBasicTest, UsageErrors) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+
+  EXPECT_THROW((void)db.persistent_malloc(0), UsageError);
+
+  auto txn = db.begin_transaction();
+  EXPECT_THROW(db.begin_transaction(), UsageError);           // nested
+  EXPECT_THROW((void)db.persistent_malloc(32), UsageError);   // malloc in txn
+  EXPECT_THROW(txn.set_range(rec, 60, 8), UsageError);        // out of range
+  EXPECT_THROW(txn.set_range(1, 0, 8), UsageError);           // bad record
+  EXPECT_THROW(txn.set_range(rec, 0, 0), UsageError);         // empty range
+  txn.commit();
+  EXPECT_THROW(txn.commit(), UsageError);  // already finished
+  EXPECT_THROW(txn.abort(), UsageError);
+}
+
+TEST_F(PerseasBasicTest, DestructorAbortsOpenTransaction) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(8);
+  db.init_remote_db();
+  {
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    rec.bytes()[0] = std::byte{0xFF};
+    // txn destroyed without commit: must roll back.
+  }
+  EXPECT_EQ(rec.bytes()[0], std::byte{0});
+  EXPECT_EQ(db.stats().txns_aborted, 1u);
+  EXPECT_FALSE(db.in_transaction());
+}
+
+TEST_F(PerseasBasicTest, MoveTransferredTransactionStaysValid) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(8);
+  db.init_remote_db();
+  auto txn = db.begin_transaction();
+  auto moved = std::move(txn);
+  EXPECT_FALSE(txn.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.active());
+  moved.set_range(rec, 0, 4);
+  moved.commit();
+}
+
+TEST_F(PerseasBasicTest, NoMirrorsRejected) {
+  EXPECT_THROW(Perseas(cluster_, 0, {}, {}), UsageError);
+}
+
+TEST_F(PerseasBasicTest, MirrorOnLocalNodeRejected) {
+  netram::RemoteMemoryServer local(cluster_, 0);
+  EXPECT_THROW(Perseas(cluster_, 0, {&local}, {}), UsageError);
+}
+
+TEST_F(PerseasBasicTest, SecondDatabaseOnSameServerRejected) {
+  auto db = make_db();
+  EXPECT_THROW(Perseas(cluster_, 0, {&server_}, {}), UsageError);
+}
+
+TEST_F(PerseasBasicTest, MaxRecordsEnforced) {
+  PerseasConfig config;
+  config.max_records = 2;
+  auto db = make_db(config);
+  (void)db.persistent_malloc(64);
+  (void)db.persistent_malloc(64);
+  EXPECT_THROW((void)db.persistent_malloc(64), UsageError);
+}
+
+TEST_F(PerseasBasicTest, ReadOnlyTransactionCommitsWithoutRemoteTraffic) {
+  auto db = make_db();
+  (void)db.persistent_malloc(64);
+  db.init_remote_db();
+  cluster_.reset_stats();
+  auto txn = db.begin_transaction();
+  txn.commit();
+  EXPECT_EQ(cluster_.stats().remote_writes, 0u);
+  EXPECT_EQ(db.stats().txns_committed, 1u);
+}
+
+TEST_F(PerseasBasicTest, AbortIsPurelyLocal) {
+  // Paper: "this function performs just a local memory copy operation".
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+  auto txn = db.begin_transaction();
+  txn.set_range(rec, 0, 16);
+  rec.bytes()[0] = std::byte{1};
+  cluster_.reset_stats();
+  txn.abort();
+  EXPECT_EQ(cluster_.stats().remote_writes, 0u);
+  EXPECT_EQ(cluster_.stats().control_rpcs, 0u);
+  EXPECT_EQ(rec.bytes()[0], std::byte{0});
+}
+
+TEST_F(PerseasBasicTest, StatsAccumulate) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+  for (int i = 0; i < 3; ++i) {
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    txn.commit();
+  }
+  EXPECT_EQ(db.stats().txns_committed, 3u);
+  EXPECT_EQ(db.stats().set_ranges, 3u);
+  EXPECT_EQ(db.stats().bytes_undo_local, 24u);
+  EXPECT_EQ(db.stats().bytes_propagated, 24u);
+  EXPECT_GT(db.stats().bytes_undo_remote, 0u);
+}
+
+}  // namespace
+}  // namespace perseas::core

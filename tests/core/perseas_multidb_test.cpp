@@ -1,0 +1,198 @@
+// Several named PERSEAS databases sharing one remote-memory server: key
+// namespacing, independent recovery, and isolation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/perseas.hpp"
+
+namespace perseas::core {
+namespace {
+
+class PerseasMultiDbTest : public ::testing::Test {
+ protected:
+  PerseasMultiDbTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 3), server_(cluster_, 1) {}
+
+  static PerseasConfig named(const char* name) {
+    PerseasConfig config;
+    config.name = name;
+    return config;
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+};
+
+TEST_F(PerseasMultiDbTest, TwoDatabasesCoexistOnOneServer) {
+  Perseas accounts(cluster_, 0, {&server_}, named("accounts"));
+  Perseas orders(cluster_, 0, {&server_}, named("orders"));
+  auto a = accounts.persistent_malloc(64);
+  auto o = orders.persistent_malloc(64);
+  accounts.init_remote_db();
+  orders.init_remote_db();
+
+  {
+    auto txn = accounts.begin_transaction();
+    txn.set_range(a, 0, 8);
+    std::memcpy(a.bytes().data(), "ACCOUNTS", 8);
+    txn.commit();
+  }
+  {
+    auto txn = orders.begin_transaction();
+    txn.set_range(o, 0, 8);
+    std::memcpy(o.bytes().data(), "ORDERS..", 8);
+    txn.commit();
+  }
+  EXPECT_EQ(std::memcmp(a.bytes().data(), "ACCOUNTS", 8), 0);
+  EXPECT_EQ(std::memcmp(o.bytes().data(), "ORDERS..", 8), 0);
+}
+
+TEST_F(PerseasMultiDbTest, SameNameOnSameServerRejected) {
+  Perseas first(cluster_, 0, {&server_}, named("dup"));
+  EXPECT_THROW(Perseas(cluster_, 0, {&server_}, named("dup")), UsageError);
+}
+
+TEST_F(PerseasMultiDbTest, EachDatabaseRecoversByItsOwnName) {
+  {
+    Perseas accounts(cluster_, 0, {&server_}, named("accounts"));
+    Perseas orders(cluster_, 0, {&server_}, named("orders"));
+    auto a = accounts.persistent_malloc(64);
+    auto o = orders.persistent_malloc(64);
+    accounts.init_remote_db();
+    orders.init_remote_db();
+    auto ta = accounts.begin_transaction();
+    ta.set_range(a, 0, 8);
+    std::memcpy(a.bytes().data(), "ACCOUNTS", 8);
+    ta.commit();
+    auto to = orders.begin_transaction();
+    to.set_range(o, 0, 8);
+    std::memcpy(o.bytes().data(), "ORDERS..", 8);
+    to.commit();
+  }
+  cluster_.crash_node(0);
+  cluster_.restart_node(0);
+
+  auto accounts = Perseas::recover(cluster_, 0, {&server_}, named("accounts"));
+  EXPECT_EQ(std::memcmp(accounts.record(0).bytes().data(), "ACCOUNTS", 8), 0);
+  auto orders = Perseas::recover(cluster_, 2, {&server_}, named("orders"));
+  EXPECT_EQ(std::memcmp(orders.record(0).bytes().data(), "ORDERS..", 8), 0);
+}
+
+TEST_F(PerseasMultiDbTest, RecoverUnknownNameFails) {
+  Perseas db(cluster_, 0, {&server_}, named("real"));
+  (void)db.persistent_malloc(64);
+  db.init_remote_db();
+  EXPECT_THROW(Perseas::recover(cluster_, 2, {&server_}, named("imaginary")), RecoveryError);
+}
+
+TEST_F(PerseasMultiDbTest, CrashOfOneDatabasesTransactionDoesNotTouchTheOther) {
+  Perseas accounts(cluster_, 0, {&server_}, named("accounts"));
+  Perseas orders(cluster_, 0, {&server_}, named("orders"));
+  auto a = accounts.persistent_malloc(64);
+  auto o = orders.persistent_malloc(64);
+  accounts.init_remote_db();
+  orders.init_remote_db();
+  {
+    auto txn = orders.begin_transaction();
+    txn.set_range(o, 0, 8);
+    std::memcpy(o.bytes().data(), "ORDERS..", 8);
+    txn.commit();
+  }
+
+  cluster_.failures().arm("perseas.commit.before_flag_clear", [&] {
+    cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+    throw sim::NodeCrashed(0, sim::FailureKind::kSoftwareCrash, "armed");
+  });
+  auto txn = accounts.begin_transaction();
+  EXPECT_THROW(
+      {
+        txn.set_range(a, 0, 8);
+        std::memcpy(a.bytes().data(), "TORN....", 8);
+        txn.commit();
+      },
+      sim::NodeCrashed);
+
+  cluster_.restart_node(0);
+  auto rec_accounts = Perseas::recover(cluster_, 0, {&server_}, named("accounts"));
+  auto rec_orders = Perseas::recover(cluster_, 2, {&server_}, named("orders"));
+  EXPECT_EQ(rec_accounts.record(0).bytes()[0], std::byte{0});  // rolled back
+  EXPECT_EQ(std::memcmp(rec_orders.record(0).bytes().data(), "ORDERS..", 8), 0);
+}
+
+TEST_F(PerseasMultiDbTest, ApplicationsOnDifferentNodesShareAMirrorServer) {
+  PerseasConfig a_cfg = named("alpha");
+  PerseasConfig b_cfg = named("beta");
+  Perseas alpha(cluster_, 0, {&server_}, a_cfg);
+  Perseas beta(cluster_, 2, {&server_}, b_cfg);
+  auto a = alpha.persistent_malloc(64);
+  auto b = beta.persistent_malloc(64);
+  alpha.init_remote_db();
+  beta.init_remote_db();
+  {
+    auto txn = alpha.begin_transaction();
+    txn.set_range(a, 0, 5);
+    std::memcpy(a.bytes().data(), "alpha", 5);
+    txn.commit();
+  }
+  {
+    auto txn = beta.begin_transaction();
+    txn.set_range(b, 0, 4);
+    std::memcpy(b.bytes().data(), "beta", 4);
+    txn.commit();
+  }
+  // Either application's machine can die without affecting the other.
+  cluster_.crash_node(0);
+  auto beta_still = beta.record(0);
+  EXPECT_EQ(std::memcmp(beta_still.bytes().data(), "beta", 4), 0);
+  cluster_.restart_node(0);
+  auto alpha_back = Perseas::recover(cluster_, 0, {&server_}, a_cfg);
+  EXPECT_EQ(std::memcmp(alpha_back.record(0).bytes().data(), "alpha", 5), 0);
+}
+
+TEST_F(PerseasMultiDbTest, GracefulShutdownLeavesARecoverableImage) {
+  PerseasConfig config = named("graceful");
+  {
+    Perseas db(cluster_, 0, {&server_}, config);
+    auto rec = db.persistent_malloc(64);
+    db.init_remote_db();
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    std::memcpy(rec.bytes().data(), "SHUTDOWN", 8);
+    txn.commit();
+    db.shutdown();  // scheduled maintenance, not a crash
+    EXPECT_TRUE(db.is_shut_down());
+    EXPECT_THROW(db.begin_transaction(), UsageError);
+  }
+  // Much later, possibly on different hardware:
+  auto back = Perseas::recover(cluster_, 2, {&server_}, config);
+  EXPECT_EQ(std::memcmp(back.record(0).bytes().data(), "SHUTDOWN", 8), 0);
+}
+
+TEST_F(PerseasMultiDbTest, DecommissionFreesEverything) {
+  PerseasConfig config = named("gone");
+  const auto exports_before = server_.export_count();
+  {
+    Perseas db(cluster_, 0, {&server_}, config);
+    (void)db.persistent_malloc(64);
+    db.init_remote_db();
+    db.shutdown(/*decommission=*/true);
+  }
+  EXPECT_EQ(server_.export_count(), exports_before);
+  EXPECT_THROW(Perseas::recover(cluster_, 2, {&server_}, config), RecoveryError);
+  // The name is free for reuse.
+  EXPECT_NO_THROW(Perseas(cluster_, 0, {&server_}, config));
+}
+
+TEST_F(PerseasMultiDbTest, ShutdownDuringTransactionRejected) {
+  Perseas db(cluster_, 0, {&server_}, named("busy"));
+  (void)db.persistent_malloc(64);
+  db.init_remote_db();
+  auto txn = db.begin_transaction();
+  EXPECT_THROW(db.shutdown(), UsageError);
+  txn.abort();
+  EXPECT_NO_THROW(db.shutdown());
+}
+
+}  // namespace
+}  // namespace perseas::core

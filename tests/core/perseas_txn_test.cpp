@@ -1,0 +1,211 @@
+// Transaction-semantics properties of PERSEAS: atomicity of commit/abort
+// sequences against a reference model, overlapping ranges, multiple
+// records, undo-log growth, and the eager/lazy remote-undo modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/perseas.hpp"
+#include "sim/random.hpp"
+
+namespace perseas::core {
+namespace {
+
+struct TxnParams {
+  bool eager;
+  bool optimized;
+};
+
+class PerseasTxnTest : public ::testing::TestWithParam<TxnParams> {
+ protected:
+  PerseasTxnTest() : cluster_(sim::HardwareProfile::forth_1997(), 2), server_(cluster_, 1) {}
+
+  PerseasConfig config() const {
+    PerseasConfig c;
+    c.eager_remote_undo = GetParam().eager;
+    c.optimized_sci_memcpy = GetParam().optimized;
+    return c;
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+};
+
+TEST_P(PerseasTxnTest, RandomizedCommitAbortMatchesReferenceModel) {
+  Perseas db(cluster_, 0, {&server_}, config());
+  constexpr std::uint64_t kSize = 2048;
+  auto rec = db.persistent_malloc(kSize);
+  db.init_remote_db();
+
+  std::vector<std::byte> reference(kSize, std::byte{0});
+  sim::Rng rng(99);
+
+  for (int t = 0; t < 200; ++t) {
+    auto txn = db.begin_transaction();
+    std::vector<std::byte> shadow = reference;  // txn-local view
+    const int ranges = static_cast<int>(rng.between(1, 5));
+    for (int r = 0; r < ranges; ++r) {
+      const std::uint64_t size = 1 + rng.below(128);
+      const std::uint64_t offset = rng.below(kSize - size + 1);
+      txn.set_range(rec, offset, size);
+      for (std::uint64_t i = 0; i < size; ++i) {
+        shadow[offset + i] = static_cast<std::byte>(rng.next());
+      }
+      std::memcpy(rec.bytes().data() + offset, shadow.data() + offset, size);
+    }
+    if (rng.chance(0.3)) {
+      txn.abort();  // reference unchanged
+    } else {
+      txn.commit();
+      reference = std::move(shadow);
+    }
+    ASSERT_EQ(std::memcmp(rec.bytes().data(), reference.data(), kSize), 0) << "txn " << t;
+  }
+}
+
+TEST_P(PerseasTxnTest, MirrorMatchesLocalAfterEveryCommit) {
+  Perseas db(cluster_, 0, {&server_}, config());
+  auto rec = db.persistent_malloc(512);
+  db.init_remote_db();
+  sim::Rng rng(7);
+
+  netram::RemoteMemoryClient peek(cluster_, 0);
+  const auto seg = peek.sci_connect_segment(server_, db_key(0));
+  ASSERT_TRUE(seg);
+
+  for (int t = 0; t < 50; ++t) {
+    auto txn = db.begin_transaction();
+    const std::uint64_t size = 1 + rng.below(64);
+    const std::uint64_t offset = rng.below(512 - size + 1);
+    txn.set_range(rec, offset, size);
+    std::memset(rec.bytes().data() + offset, static_cast<int>(t), size);
+    txn.commit();
+
+    std::vector<std::byte> remote(512);
+    peek.sci_memcpy_read(*seg, 0, remote);
+    ASSERT_EQ(std::memcmp(remote.data(), rec.bytes().data(), 512), 0) << "txn " << t;
+  }
+}
+
+TEST_P(PerseasTxnTest, AbortedTransactionLeavesMirrorUntouched) {
+  Perseas db(cluster_, 0, {&server_}, config());
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+
+  netram::RemoteMemoryClient peek(cluster_, 0);
+  const auto seg = peek.sci_connect_segment(server_, db_key(0));
+  ASSERT_TRUE(seg);
+
+  auto txn = db.begin_transaction();
+  txn.set_range(rec, 0, 8);
+  std::memset(rec.bytes().data(), 0x55, 8);
+  txn.abort();
+
+  std::vector<std::byte> remote(8);
+  peek.sci_memcpy_read(*seg, 0, remote);
+  for (const std::byte b : remote) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_P(PerseasTxnTest, OverlappingRangesRollBackCorrectly) {
+  Perseas db(cluster_, 0, {&server_}, config());
+  auto rec = db.persistent_malloc(16);
+  db.init_remote_db();
+  {
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 8);
+    std::memcpy(rec.bytes().data(), "AAAAAAAA", 8);
+    txn.set_range(rec, 4, 8);
+    std::memcpy(rec.bytes().data() + 4, "BBBBBBBB", 8);
+    txn.abort();
+  }
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(rec.bytes()[i], std::byte{0}) << i;
+}
+
+TEST_P(PerseasTxnTest, MultipleRecordsInOneTransaction) {
+  Perseas db(cluster_, 0, {&server_}, config());
+  auto a = db.persistent_malloc(64);
+  auto b = db.persistent_malloc(64);
+  db.init_remote_db();
+  {
+    auto txn = db.begin_transaction();
+    txn.set_range(a, 0, 4);
+    txn.set_range(b, 8, 4);
+    std::memcpy(a.bytes().data(), "aaaa", 4);
+    std::memcpy(b.bytes().data() + 8, "bbbb", 4);
+    txn.commit();
+  }
+  EXPECT_EQ(std::memcmp(a.bytes().data(), "aaaa", 4), 0);
+  EXPECT_EQ(std::memcmp(b.bytes().data() + 8, "bbbb", 4), 0);
+}
+
+TEST_P(PerseasTxnTest, UndoLogGrowsOnDemand) {
+  PerseasConfig c = config();
+  c.undo_capacity = 256;  // tiny: force growth
+  Perseas db(cluster_, 0, {&server_}, c);
+  auto rec = db.persistent_malloc(4096);
+  db.init_remote_db();
+  {
+    auto txn = db.begin_transaction();
+    for (int i = 0; i < 8; ++i) {
+      txn.set_range(rec, static_cast<std::uint64_t>(i) * 512, 512);
+      std::memset(rec.bytes().data() + i * 512, i + 1, 512);
+    }
+    txn.commit();
+  }
+  EXPECT_GT(db.stats().undo_growths, 0u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rec.bytes()[static_cast<std::size_t>(i) * 512], static_cast<std::byte>(i + 1));
+  }
+  // Growth keeps abort working too.
+  {
+    auto txn = db.begin_transaction();
+    for (int i = 0; i < 8; ++i) {
+      txn.set_range(rec, static_cast<std::uint64_t>(i) * 512, 512);
+      std::memset(rec.bytes().data() + i * 512, 0xEE, 512);
+    }
+    txn.abort();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rec.bytes()[static_cast<std::size_t>(i) * 512], static_cast<std::byte>(i + 1));
+  }
+}
+
+TEST_P(PerseasTxnTest, LargeSingleRangeTransaction) {
+  PerseasConfig c = config();
+  c.undo_capacity = 1 << 20;
+  Perseas db(cluster_, 0, {&server_}, c);
+  const std::uint64_t kBig = 1 << 20;
+  auto rec = db.persistent_malloc(kBig + 64);
+  db.init_remote_db();
+  auto txn = db.begin_transaction();
+  txn.set_range(rec, 64, kBig);
+  std::memset(rec.bytes().data() + 64, 0x3C, kBig);
+  txn.commit();
+  EXPECT_EQ(rec.bytes()[64], std::byte{0x3C});
+  EXPECT_EQ(rec.bytes()[63], std::byte{0});
+}
+
+TEST_P(PerseasTxnTest, TransactionIdsIncrease) {
+  Perseas db(cluster_, 0, {&server_}, config());
+  (void)db.persistent_malloc(64);
+  db.init_remote_db();
+  auto t1 = db.begin_transaction();
+  const auto id1 = t1.id();
+  t1.commit();
+  auto t2 = db.begin_transaction();
+  EXPECT_GT(t2.id(), id1);
+  t2.abort();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PerseasTxnTest,
+    ::testing::Values(TxnParams{true, true}, TxnParams{true, false}, TxnParams{false, true},
+                      TxnParams{false, false}),
+    [](const ::testing::TestParamInfo<TxnParams>& info) {
+      return std::string(info.param.eager ? "eager" : "lazy") +
+             (info.param.optimized ? "_opt" : "_naive");
+    });
+
+}  // namespace
+}  // namespace perseas::core

@@ -1,0 +1,215 @@
+#include "core/persistent_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "sim/random.hpp"
+
+namespace perseas::core {
+namespace {
+
+class PersistentHeapTest : public ::testing::Test {
+ protected:
+  PersistentHeapTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 2),
+        server_(cluster_, 1),
+        db_(cluster_, 0, {&server_}, {}) {}
+
+  PersistentHeap make_heap(std::uint64_t record_bytes = 4096) {
+    record_ = db_.persistent_malloc(record_bytes);
+    db_.init_remote_db();
+    return PersistentHeap::format(db_, record_);
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+  Perseas db_;
+  RecordHandle record_;
+};
+
+TEST_F(PersistentHeapTest, AllocGivesDisjointWritableMemory) {
+  auto heap = make_heap();
+  auto txn = db_.begin_transaction();
+  const auto a = heap.alloc(txn, 100);
+  const auto b = heap.alloc(txn, 100);
+  ASSERT_NE(a, PersistentHeap::kNull);
+  ASSERT_NE(b, PersistentHeap::kNull);
+  EXPECT_GE(heap.allocation_size(a), 100u);
+  EXPECT_GE(heap.allocation_size(b), 100u);
+  // Disjoint payloads.
+  EXPECT_TRUE(b >= a + heap.allocation_size(a) + 16 || a >= b + heap.allocation_size(b) + 16);
+  txn.commit();
+  heap.check_consistency();
+}
+
+TEST_F(PersistentHeapTest, FreeEnablesReuseAndCoalesces) {
+  auto heap = make_heap(1024);
+  auto txn = db_.begin_transaction();
+  const auto a = heap.alloc(txn, 200);
+  const auto b = heap.alloc(txn, 200);
+  const auto c = heap.alloc(txn, 200);
+  ASSERT_TRUE(a && b && c);
+  heap.free(txn, b);
+  heap.free(txn, a);  // coalesces with b's hole
+  heap.free(txn, c);  // coalesces everything back into one block
+  const auto big = heap.alloc(txn, 700);
+  EXPECT_NE(big, PersistentHeap::kNull);
+  txn.commit();
+  heap.check_consistency();
+}
+
+TEST_F(PersistentHeapTest, ExhaustionReturnsNull) {
+  auto heap = make_heap(256);
+  auto txn = db_.begin_transaction();
+  EXPECT_EQ(heap.alloc(txn, 1 << 20), PersistentHeap::kNull);
+  txn.commit();
+}
+
+TEST_F(PersistentHeapTest, UsageErrors) {
+  auto heap = make_heap();
+  auto txn = db_.begin_transaction();
+  EXPECT_THROW(heap.alloc(txn, 0), UsageError);
+  EXPECT_THROW(heap.free(txn, 0), UsageError);            // null
+  EXPECT_THROW(heap.free(txn, 999'999), UsageError);      // out of heap
+  const auto a = heap.alloc(txn, 64);
+  heap.free(txn, a);
+  EXPECT_THROW(heap.free(txn, a), UsageError);            // double free
+  EXPECT_THROW((void)heap.deref(a), UsageError);                // freed block
+  txn.commit();
+}
+
+TEST_F(PersistentHeapTest, AbortRollsBackTheHeapStructure) {
+  auto heap = make_heap();
+  std::uint64_t kept = 0;
+  {
+    auto txn = db_.begin_transaction();
+    kept = heap.alloc(txn, 64);
+    txn.commit();
+  }
+  const auto free_before = heap.bytes_free();
+  {
+    auto txn = db_.begin_transaction();
+    (void)heap.alloc(txn, 128);
+    (void)heap.alloc(txn, 256);
+    heap.free(txn, kept);
+    txn.abort();  // all three mutations must vanish
+  }
+  heap.check_consistency();
+  EXPECT_EQ(heap.bytes_free(), free_before);
+  EXPECT_GE(heap.allocation_size(kept), 64u);  // still live
+}
+
+TEST_F(PersistentHeapTest, SurvivesCrashAndRecovery) {
+  auto heap = make_heap();
+  std::uint64_t offset = 0;
+  {
+    auto txn = db_.begin_transaction();
+    offset = heap.alloc(txn, 32);
+    auto span = heap.deref(offset);
+    txn.set_range(record_, offset, 16);
+    std::memcpy(span.data(), "persistent-heap!", 16);
+    txn.commit();
+  }
+  cluster_.crash_node(0);
+  cluster_.restart_node(0);
+  auto recovered = Perseas::recover(cluster_, 0, {&server_});
+  auto heap2 = PersistentHeap::attach(recovered, recovered.record(0));
+  heap2.check_consistency();
+  EXPECT_EQ(std::memcmp(heap2.deref(offset).data(), "persistent-heap!", 16), 0);
+  // Still fully operational.
+  auto txn = recovered.begin_transaction();
+  EXPECT_NE(heap2.alloc(txn, 64), PersistentHeap::kNull);
+  txn.commit();
+}
+
+TEST_F(PersistentHeapTest, CrashMidAllocRollsBackToWellFormedHeap) {
+  auto heap = make_heap();
+  const auto free_before = heap.bytes_free();
+  cluster_.failures().arm("perseas.commit.after_flag_set", [&] {
+    cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+    throw sim::NodeCrashed(0, sim::FailureKind::kSoftwareCrash, "armed");
+  });
+  try {
+    auto txn = db_.begin_transaction();
+    (void)heap.alloc(txn, 512);
+    txn.commit();
+    FAIL() << "expected crash";
+  } catch (const sim::NodeCrashed&) {
+  }
+  cluster_.restart_node(0);
+  auto recovered = Perseas::recover(cluster_, 0, {&server_});
+  auto heap2 = PersistentHeap::attach(recovered, recovered.record(0));
+  heap2.check_consistency();
+  EXPECT_EQ(heap2.bytes_free(), free_before);
+}
+
+TEST_F(PersistentHeapTest, AttachValidatesTheRecord) {
+  record_ = db_.persistent_malloc(4096);  // never formatted
+  db_.init_remote_db();
+  EXPECT_THROW(PersistentHeap::attach(db_, record_), UsageError);
+}
+
+TEST_F(PersistentHeapTest, FormatRequiresMinimumSize) {
+  record_ = db_.persistent_malloc(24);
+  db_.init_remote_db();
+  EXPECT_THROW(PersistentHeap::format(db_, record_), UsageError);
+}
+
+TEST_F(PersistentHeapTest, RandomizedAllocFreeFuzzAgainstReference) {
+  auto heap = make_heap(16 << 10);
+  sim::Rng rng(77);
+  std::map<std::uint64_t, std::uint64_t> live;  // offset -> requested size
+
+  std::uint64_t committed_free = heap.bytes_free();
+  for (int step = 0; step < 400; ++step) {
+    auto txn = db_.begin_transaction();
+    // Stage one mutation; apply it to the reference only if committed.
+    std::uint64_t alloc_offset = PersistentHeap::kNull;
+    std::uint64_t alloc_size = 0;
+    std::uint64_t free_offset = PersistentHeap::kNull;
+    if (live.empty() || rng.chance(0.6)) {
+      alloc_size = 1 + rng.below(600);
+      alloc_offset = heap.alloc(txn, alloc_size);
+      if (alloc_offset != PersistentHeap::kNull) {
+        ASSERT_GE(heap.allocation_size(alloc_offset), alloc_size);
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.below(live.size())));
+      free_offset = it->first;
+      heap.free(txn, free_offset);
+    }
+    if (rng.chance(0.15)) {
+      txn.abort();  // the staged mutation must vanish entirely
+      ASSERT_EQ(heap.bytes_free(), committed_free);
+    } else {
+      txn.commit();
+      if (alloc_offset != PersistentHeap::kNull) live[alloc_offset] = alloc_size;
+      if (free_offset != PersistentHeap::kNull) live.erase(free_offset);
+      committed_free = heap.bytes_free();
+    }
+    heap.check_consistency();
+    // Every reference allocation is still live with sufficient capacity.
+    for (const auto& [offset, size] : live) {
+      ASSERT_GE(heap.allocation_size(offset), size);
+    }
+  }
+}
+
+TEST_F(PersistentHeapTest, BytesAccountingBalances) {
+  auto heap = make_heap(2048);
+  const auto total_free = heap.bytes_free();
+  auto txn = db_.begin_transaction();
+  const auto a = heap.alloc(txn, 100);
+  ASSERT_NE(a, PersistentHeap::kNull);
+  EXPECT_EQ(heap.bytes_used(), heap.allocation_size(a));
+  heap.free(txn, a);
+  txn.commit();
+  EXPECT_EQ(heap.bytes_free(), total_free);
+  EXPECT_EQ(heap.bytes_used(), 0u);
+}
+
+}  // namespace
+}  // namespace perseas::core

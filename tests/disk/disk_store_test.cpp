@@ -1,0 +1,75 @@
+#include "disk/disk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace perseas::disk {
+namespace {
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  DiskStoreTest() : disk_(clock_, sim::HardwareProfile::forth_1997().disk) {}
+
+  sim::SimClock clock_;
+  DiskModel disk_;
+};
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST_F(DiskStoreTest, WriteThenReadRoundTrips) {
+  DiskStore store("f", disk_, 4096);
+  store.write(100, bytes_of("payload"), /*synchronous=*/true);
+  std::vector<std::byte> out(7);
+  store.read(100, out);
+  EXPECT_EQ(std::memcmp(out.data(), "payload", 7), 0);
+}
+
+TEST_F(DiskStoreTest, MetadataAccessors) {
+  DiskStore store("log", disk_, 8192);
+  EXPECT_EQ(store.name(), "log");
+  EXPECT_EQ(store.size(), 8192u);
+  EXPECT_TRUE(store.contents_survived());
+}
+
+TEST_F(DiskStoreTest, SyncWriteCostsMoreThanAsync) {
+  DiskStore store("f", disk_, 1 << 20);
+  const auto sync_cost = store.write(0, bytes_of("abc"), true);
+  const auto async_cost = store.write(4096, bytes_of("abc"), false);
+  EXPECT_GT(sync_cost, async_cost);
+}
+
+TEST_F(DiskStoreTest, OutOfBoundsRejected) {
+  DiskStore store("f", disk_, 16);
+  EXPECT_THROW(store.write(10, bytes_of("toolong"), true), std::out_of_range);
+  std::vector<std::byte> out(17);
+  EXPECT_THROW(store.read(0, out), std::out_of_range);
+}
+
+TEST_F(DiskStoreTest, AsyncContentVisibleImmediatelyDurableAfterFlush) {
+  DiskStore store("f", disk_, 4096);
+  store.write(0, bytes_of("async"), /*synchronous=*/false);
+  std::vector<std::byte> out(5);
+  store.read(0, out);
+  EXPECT_EQ(std::memcmp(out.data(), "async", 5), 0);
+  EXPECT_GE(store.flush(), 0);
+}
+
+TEST_F(DiskStoreTest, BaseOffsetSeparatesFilesOnOneDisk) {
+  DiskStore log("log", disk_, 4096, /*base_offset=*/0);
+  DiskStore db("db", disk_, 4096, /*base_offset=*/1 << 20);
+  log.write(0, bytes_of("L"), true);
+  db.write(0, bytes_of("D"), true);
+  std::vector<std::byte> out(1);
+  log.read(0, out);
+  EXPECT_EQ(static_cast<char>(out[0]), 'L');
+  db.read(0, out);
+  EXPECT_EQ(static_cast<char>(out[0]), 'D');
+}
+
+}  // namespace
+}  // namespace perseas::disk

@@ -1,0 +1,71 @@
+#include "disk/nvram_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace perseas::disk {
+namespace {
+
+TEST(NvramStore, WriteReadRoundTrip) {
+  sim::SimClock clock;
+  NvramStore store("nvram", clock, 4096);
+  const char msg[] = "battery-backed";
+  store.write(100, {reinterpret_cast<const std::byte*>(msg), sizeof msg}, true);
+  std::vector<std::byte> out(sizeof msg);
+  store.read(100, out);
+  EXPECT_EQ(std::memcmp(out.data(), msg, sizeof msg), 0);
+}
+
+TEST(NvramStore, CostIsOverheadPlusTransfer) {
+  sim::SimClock clock;
+  NvramParams params;
+  NvramStore store("nvram", clock, 1 << 20);
+  const std::vector<std::byte> data(25'000);  // 1 ms at 25 MB/s
+  const auto cost = store.write(0, data, true);
+  EXPECT_EQ(cost, params.request_overhead + sim::ms(1.0));
+  EXPECT_EQ(clock.now(), cost);
+}
+
+TEST(NvramStore, SyncAndAsyncCostTheSame) {
+  sim::SimClock clock;
+  NvramStore store("nvram", clock, 4096);
+  const std::vector<std::byte> data(64);
+  EXPECT_EQ(store.write(0, data, true), store.write(64, data, false));
+}
+
+TEST(NvramStore, MuchFasterThanDiskMuchSlowerThanMemory) {
+  sim::SimClock clock;
+  NvramStore store("nvram", clock, 4096);
+  const std::vector<std::byte> data(64);
+  const auto cost = store.write(0, data, true);
+  EXPECT_LT(cost, sim::ms(1));   // disk sync writes are ~10 ms
+  EXPECT_GT(cost, sim::us(10));  // local memcpy is well under 1 us
+}
+
+TEST(NvramStore, ContentsAlwaysSurvive) {
+  sim::SimClock clock;
+  NvramStore store("nvram", clock, 64);
+  EXPECT_TRUE(store.contents_survived());
+}
+
+TEST(NvramStore, BoundsChecked) {
+  sim::SimClock clock;
+  NvramStore store("nvram", clock, 64);
+  const std::vector<std::byte> data(65);
+  EXPECT_THROW(store.write(0, data, true), std::out_of_range);
+  std::vector<std::byte> out(8);
+  EXPECT_THROW(store.read(60, out), std::out_of_range);
+}
+
+TEST(NvramStore, TracksWriteCount) {
+  sim::SimClock clock;
+  NvramStore store("nvram", clock, 64);
+  const std::vector<std::byte> data(8);
+  store.write(0, data, true);
+  store.write(8, data, false);
+  EXPECT_EQ(store.writes(), 2u);
+}
+
+}  // namespace
+}  // namespace perseas::disk

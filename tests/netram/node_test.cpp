@@ -1,0 +1,71 @@
+#include "netram/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace perseas::netram {
+namespace {
+
+TEST(Node, ConstructionState) {
+  Node n(2, "node-2", 4096, 1);
+  EXPECT_EQ(n.id(), 2u);
+  EXPECT_EQ(n.name(), "node-2");
+  EXPECT_EQ(n.power_supply(), 1u);
+  EXPECT_FALSE(n.crashed());
+  EXPECT_EQ(n.crash_epoch(), 0u);
+  EXPECT_EQ(n.arena_bytes(), 4096u);
+}
+
+TEST(Node, MemoryStartsZeroed) {
+  Node n(0, "n", 256, 0);
+  auto span = n.mem(0, 256);
+  for (const std::byte b : span) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(Node, MemBoundsChecked) {
+  Node n(0, "n", 256, 0);
+  EXPECT_NO_THROW((void)n.mem(0, 256));
+  EXPECT_NO_THROW((void)n.mem(255, 1));
+  EXPECT_THROW((void)n.mem(0, 257), std::out_of_range);
+  EXPECT_THROW((void)n.mem(256, 1), std::out_of_range);
+  EXPECT_THROW((void)n.mem(~0ULL, 2), std::out_of_range);  // overflow guard
+}
+
+TEST(Node, CrashWipesMemoryWithGarbage) {
+  Node n(0, "n", 64, 0);
+  auto span = n.mem(0, 8);
+  std::memset(span.data(), 0x42, 8);
+  n.crash(sim::FailureKind::kSoftwareCrash);
+  EXPECT_TRUE(n.crashed());
+  EXPECT_EQ(n.crash_epoch(), 1u);
+  EXPECT_EQ(n.last_failure(), sim::FailureKind::kSoftwareCrash);
+  // Contents are garbage, not the old value and not zero.
+  EXPECT_EQ(n.mem(0, 1)[0], std::byte{0xDB});
+}
+
+TEST(Node, RestartZeroesMemoryAndResetsAllocator) {
+  Node n(0, "n", 256, 0);
+  const auto off = n.allocator().allocate(64);
+  ASSERT_TRUE(off);
+  n.crash(sim::FailureKind::kPowerOutage);
+  n.restart();
+  EXPECT_FALSE(n.crashed());
+  EXPECT_EQ(n.mem(0, 1)[0], std::byte{0});
+  EXPECT_EQ(n.allocator().bytes_in_use(), 0u);
+  // The epoch keeps counting across restarts so stale services notice.
+  EXPECT_EQ(n.crash_epoch(), 1u);
+  n.crash(sim::FailureKind::kHardwareFault);
+  EXPECT_EQ(n.crash_epoch(), 2u);
+}
+
+TEST(Node, HangStateIsJustATimestamp) {
+  Node n(0, "n", 64, 0);
+  n.hang_until(12345);
+  EXPECT_EQ(n.hang_until(), 12345);
+  n.restart();
+  EXPECT_EQ(n.hang_until(), 0);
+}
+
+}  // namespace
+}  // namespace perseas::netram

@@ -1,0 +1,155 @@
+// Tests of the reliable-network-RAM operations: remote malloc / free,
+// sci_memcpy, and the sci_connect_segment recovery path.
+#include "netram/remote_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace perseas::netram {
+namespace {
+
+class RemoteMemoryTest : public ::testing::Test {
+ protected:
+  RemoteMemoryTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 2),
+        server_(cluster_, 1),
+        client_(cluster_, 0) {}
+
+  Cluster cluster_;
+  RemoteMemoryServer server_;
+  RemoteMemoryClient client_;
+};
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(seed + i);
+  return v;
+}
+
+TEST_F(RemoteMemoryTest, MallocExportsASegment) {
+  const auto seg = client_.sci_get_new_segment(server_, 1024, "db");
+  EXPECT_EQ(seg.server_node, 1u);
+  EXPECT_EQ(seg.size, 1024u);
+  EXPECT_EQ(seg.key, "db");
+  EXPECT_TRUE(seg.valid());
+  EXPECT_EQ(server_.export_count(), 1u);
+  EXPECT_EQ(server_.exported_bytes(), 1024u);
+}
+
+TEST_F(RemoteMemoryTest, MallocChargesAControlRoundTrip) {
+  const auto t0 = cluster_.clock().now();
+  (void)client_.sci_get_new_segment(server_, 64, "a");
+  EXPECT_GE(cluster_.clock().now() - t0, cluster_.profile().sci.control_rtt);
+}
+
+TEST_F(RemoteMemoryTest, DuplicateKeyRejected) {
+  (void)client_.sci_get_new_segment(server_, 64, "a");
+  EXPECT_THROW((void)client_.sci_get_new_segment(server_, 64, "a"), std::invalid_argument);
+}
+
+TEST_F(RemoteMemoryTest, ExhaustionThrowsBadAlloc) {
+  EXPECT_THROW((void)client_.sci_get_new_segment(server_, 1ull << 40, "huge"), std::bad_alloc);
+}
+
+TEST_F(RemoteMemoryTest, FreeReleasesMemory) {
+  const auto seg = client_.sci_get_new_segment(server_, 1024, "a");
+  client_.sci_free_segment(server_, seg);
+  EXPECT_EQ(server_.export_count(), 0u);
+  // The key becomes reusable.
+  EXPECT_NO_THROW((void)client_.sci_get_new_segment(server_, 1024, "a"));
+}
+
+TEST_F(RemoteMemoryTest, WriteThenReadRoundTrips) {
+  const auto seg = client_.sci_get_new_segment(server_, 256, "a");
+  const auto data = pattern(100);
+  client_.sci_memcpy_write(seg, 40, data);
+  std::vector<std::byte> out(100);
+  client_.sci_memcpy_read(seg, 40, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(RemoteMemoryTest, WritesOutsideSegmentRejected) {
+  const auto seg = client_.sci_get_new_segment(server_, 64, "a");
+  const auto data = pattern(65);
+  EXPECT_THROW(client_.sci_memcpy_write(seg, 0, data), std::out_of_range);
+  EXPECT_THROW(client_.sci_memcpy_write(seg, 60, pattern(8)), std::out_of_range);
+  std::vector<std::byte> out(8);
+  EXPECT_THROW(client_.sci_memcpy_read(seg, 60, out), std::out_of_range);
+}
+
+TEST_F(RemoteMemoryTest, InvalidSegmentRejected) {
+  RemoteSegment bogus;
+  EXPECT_THROW(client_.sci_memcpy_write(bogus, 0, pattern(4)), std::invalid_argument);
+}
+
+TEST_F(RemoteMemoryTest, ConnectFindsLiveSegment) {
+  const auto seg = client_.sci_get_new_segment(server_, 128, "meta");
+  client_.sci_memcpy_write(seg, 0, pattern(16, 9));
+
+  // A different client (e.g. a recovery process on another machine) can
+  // reconnect by key and read the same bytes.
+  RemoteMemoryClient other(cluster_, 0);
+  const auto found = other.sci_connect_segment(server_, "meta");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->offset, seg.offset);
+  std::vector<std::byte> out(16);
+  other.sci_memcpy_read(*found, 0, out);
+  EXPECT_EQ(out, pattern(16, 9));
+}
+
+TEST_F(RemoteMemoryTest, ConnectUnknownKeyReturnsNothing) {
+  EXPECT_FALSE(client_.sci_connect_segment(server_, "nope").has_value());
+}
+
+TEST_F(RemoteMemoryTest, SegmentsSurviveClientCrash) {
+  const auto seg = client_.sci_get_new_segment(server_, 64, "survives");
+  client_.sci_memcpy_write(seg, 0, pattern(8, 3));
+  cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+  cluster_.restart_node(0);
+  // The data is still on node 1; a fresh client reconnects and reads it.
+  RemoteMemoryClient reborn(cluster_, 0);
+  const auto found = reborn.sci_connect_segment(server_, "survives");
+  ASSERT_TRUE(found.has_value());
+  std::vector<std::byte> out(8);
+  reborn.sci_memcpy_read(*found, 0, out);
+  EXPECT_EQ(out, pattern(8, 3));
+}
+
+TEST_F(RemoteMemoryTest, ServerCrashDropsAllExports) {
+  (void)client_.sci_get_new_segment(server_, 64, "a");
+  (void)client_.sci_get_new_segment(server_, 64, "b");
+  cluster_.crash_node(1, sim::FailureKind::kPowerOutage);
+  cluster_.restart_node(1);
+  EXPECT_EQ(server_.export_count(), 0u);
+  EXPECT_FALSE(client_.sci_connect_segment(server_, "a").has_value());
+}
+
+TEST_F(RemoteMemoryTest, OperationsOnCrashedServerThrow) {
+  const auto seg = client_.sci_get_new_segment(server_, 64, "a");
+  cluster_.crash_node(1);
+  EXPECT_THROW(client_.sci_memcpy_write(seg, 0, pattern(4)), sim::NodeCrashed);
+  std::vector<std::byte> out(4);
+  EXPECT_THROW(client_.sci_memcpy_read(seg, 0, out), sim::NodeCrashed);
+  EXPECT_THROW((void)client_.sci_get_new_segment(server_, 64, "b"), sim::NodeCrashed);
+}
+
+TEST_F(RemoteMemoryTest, FreeingStaleSegmentAfterServerCrashIsSafe) {
+  const auto seg = client_.sci_get_new_segment(server_, 64, "a");
+  cluster_.crash_node(1);
+  cluster_.restart_node(1);
+  EXPECT_NO_THROW(client_.sci_free_segment(server_, seg));
+}
+
+TEST_F(RemoteMemoryTest, BigCopyIsChargedAtStreamingThroughput) {
+  const auto seg = client_.sci_get_new_segment(server_, 1 << 20, "big");
+  const auto data = pattern(1 << 20);
+  const auto t0 = cluster_.clock().now();
+  client_.sci_memcpy_write(seg, 0, data);
+  const double mbps = (1 << 20) / sim::to_seconds(cluster_.clock().now() - t0) / 1e6;
+  EXPECT_GT(mbps, 30.0);
+  EXPECT_LT(mbps, 80.0);
+}
+
+}  // namespace
+}  // namespace perseas::netram

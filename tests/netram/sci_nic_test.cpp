@@ -1,0 +1,133 @@
+// Tests of the stateful eight-buffer NIC write path (figure 4), including
+// the equivalence property that justifies the analytic SciLinkModel.
+#include "netram/sci_nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netram/sci_link.hpp"
+#include "sim/random.hpp"
+
+namespace perseas::netram {
+namespace {
+
+class SciNicTest : public ::testing::Test {
+ protected:
+  sim::SciParams params_ = sim::HardwareProfile::forth_1997().sci;
+};
+
+TEST_F(SciNicTest, Figure4AddressMapping) {
+  SciNic nic(params_);
+  // Bits 0..5: offset; bits 6..8: buffer id.
+  EXPECT_EQ(nic.buffer_of(0), 0u);
+  EXPECT_EQ(nic.buffer_of(63), 0u);
+  EXPECT_EQ(nic.buffer_of(64), 1u);
+  EXPECT_EQ(nic.buffer_of(64 * 7), 7u);
+  EXPECT_EQ(nic.buffer_of(64 * 8), 0u);  // wraps: 8 buffers
+  EXPECT_EQ(nic.buffer_of(64 * 9 + 13), 1u);
+}
+
+TEST_F(SciNicTest, GathersStoresUntilBarrier) {
+  SciNic nic(params_);
+  auto f = nic.store(0, 4);
+  EXPECT_EQ(f.full_packets + f.partial_packets, 0u);  // gathered, not sent
+  EXPECT_EQ(nic.dirty_buffers(), 1u);
+  f = nic.barrier();
+  EXPECT_EQ(f.partial_packets, 1u);
+  EXPECT_EQ(f.full_packets, 0u);
+  EXPECT_EQ(nic.dirty_buffers(), 0u);
+}
+
+TEST_F(SciNicTest, CompletedBufferFlushesImmediately) {
+  SciNic nic(params_);
+  const auto f = nic.store(0, 64);  // writes the sixteenth word
+  EXPECT_EQ(f.full_packets, 1u);
+  EXPECT_EQ(nic.dirty_buffers(), 0u);
+  // Nothing left for the barrier.
+  const auto b = nic.barrier();
+  EXPECT_EQ(b.full_packets + b.partial_packets, 0u);
+}
+
+TEST_F(SciNicTest, WordByWordFillAlsoCompletesTheBuffer) {
+  SciNic nic(params_);
+  SciFlush total;
+  for (int w = 0; w < 16; ++w) total += nic.store(static_cast<std::uint64_t>(w) * 4, 4);
+  EXPECT_EQ(total.full_packets, 1u);
+  EXPECT_EQ(total.partial_packets, 0u);
+}
+
+TEST_F(SciNicTest, PartialBufferFlushesAsSixteenBytePackets) {
+  SciNic nic(params_);
+  nic.store(0, 4);    // sub-chunk 0
+  nic.store(20, 4);   // sub-chunk 1
+  nic.store(60, 4);   // sub-chunk 3
+  const auto f = nic.barrier();
+  EXPECT_EQ(f.partial_packets, 3u);
+}
+
+TEST_F(SciNicTest, ConflictingChunkForcesAFlush) {
+  SciNic nic(params_);
+  nic.store(0, 4);  // buffer 0, chunk 0
+  // Chunk 512 also maps to buffer 0 (8 buffers x 64 bytes): conflict.
+  const auto f = nic.store(512, 4);
+  EXPECT_EQ(f.partial_packets, 1u);  // chunk 0's gathered store went out
+  EXPECT_EQ(nic.conflict_flushes(), 1u);
+  EXPECT_EQ(nic.dirty_buffers(), 1u);  // chunk 512 is now gathered
+}
+
+TEST_F(SciNicTest, StridedStoresThrashOneBuffer) {
+  // The behaviour the analytic model cannot see: a 512-byte stride maps
+  // every store to the same buffer, so nothing is ever gathered.
+  SciNic nic(params_);
+  SciFlush total;
+  for (int i = 0; i < 16; ++i) total += nic.store(static_cast<std::uint64_t>(i) * 512, 4);
+  total += nic.barrier();
+  EXPECT_EQ(total.partial_packets, 16u);
+  EXPECT_EQ(nic.conflict_flushes(), 15u);
+}
+
+TEST_F(SciNicTest, EightIndependentStreamsCoexist) {
+  SciNic nic(params_);
+  for (int i = 0; i < 8; ++i) nic.store(static_cast<std::uint64_t>(i) * 64, 4);
+  EXPECT_EQ(nic.dirty_buffers(), 8u);
+  const auto f = nic.barrier();
+  EXPECT_EQ(f.partial_packets, 8u);
+}
+
+TEST_F(SciNicTest, RejectsUnsupportedGeometry) {
+  sim::SciParams bad = params_;
+  bad.buffer_bytes = 128;
+  EXPECT_THROW(SciNic nic(bad), std::invalid_argument);
+  bad = params_;
+  bad.write_buffers = 0;
+  EXPECT_THROW(SciNic nic(bad), std::invalid_argument);
+}
+
+// The equivalence property: for any contiguous word-aligned burst issued
+// into an empty NIC and terminated by a barrier, the packets the state
+// machine emits equal the analytic model's packet counts.
+class NicLinkEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NicLinkEquivalence, ContiguousBurstsMatchTheAnalyticModel) {
+  const sim::SciParams params = sim::HardwareProfile::forth_1997().sci;
+  const SciLinkModel link(params);
+  sim::Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t addr = rng.below(1024) * 4;  // word aligned
+    const std::uint64_t size = (1 + rng.below(300)) * 4;
+
+    SciNic nic(params);
+    SciFlush machine = nic.store(addr, size);
+    machine += nic.barrier();
+
+    const auto analytic = link.store_burst(addr, size);
+    ASSERT_EQ(machine.full_packets, analytic.full_packets)
+        << "addr=" << addr << " size=" << size;
+    ASSERT_EQ(machine.partial_packets, analytic.partial_packets)
+        << "addr=" << addr << " size=" << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NicLinkEquivalence, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace perseas::netram

@@ -1,0 +1,58 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perseas::sim {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.advance_count(), 0u);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock clock;
+  clock.advance(us(2.5));
+  clock.advance(ms(1.0));
+  EXPECT_EQ(clock.now(), 2'500 + 1'000'000);
+  EXPECT_EQ(clock.advance_count(), 2u);
+}
+
+TEST(SimClock, ZeroAdvanceCountsButDoesNotMove) {
+  SimClock clock;
+  clock.advance(0);
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.advance_count(), 1u);
+}
+
+TEST(SimClock, ResetClearsEverything) {
+  SimClock clock;
+  clock.advance(123);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_EQ(clock.advance_count(), 0u);
+}
+
+TEST(StopWatch, MeasuresOnlyItsWindow) {
+  SimClock clock;
+  clock.advance(us(10));
+  StopWatch watch(clock);
+  EXPECT_EQ(watch.elapsed(), 0);
+  clock.advance(us(3));
+  EXPECT_EQ(watch.elapsed(), us(3.0));
+  clock.advance(us(4));
+  EXPECT_EQ(watch.elapsed(), us(7.0));
+}
+
+TEST(StopWatch, RestartRebasesTheWindow) {
+  SimClock clock;
+  StopWatch watch(clock);
+  clock.advance(us(5));
+  watch.restart();
+  clock.advance(us(2));
+  EXPECT_EQ(watch.elapsed(), us(2.0));
+}
+
+}  // namespace
+}  // namespace perseas::sim

@@ -1,0 +1,54 @@
+#include "sim/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace perseas::sim {
+namespace {
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(Crc32c, KnownVector) {
+  // Standard CRC-32C test vector: "123456789" -> 0xE3069283.
+  EXPECT_EQ(crc32c_final(bytes_of("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(crc32c_final({}), 0u);
+}
+
+TEST(Crc32c, Deterministic) {
+  const auto data = bytes_of("perseas");
+  EXPECT_EQ(crc32c_final(data), crc32c_final(data));
+}
+
+TEST(Crc32c, SensitiveToEveryByte) {
+  auto data = bytes_of("a quick brown fox jumps over the lazy dog");
+  const auto baseline = crc32c_final(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto copy = data;
+    copy[i] ^= std::byte{0x01};
+    EXPECT_NE(crc32c_final(copy), baseline) << "flip at " << i;
+  }
+}
+
+TEST(Crc32c, SensitiveToOrder) {
+  EXPECT_NE(crc32c_final(bytes_of("ab")), crc32c_final(bytes_of("ba")));
+}
+
+TEST(Crc32c, ChainingMatchesOneShot) {
+  const auto whole = bytes_of("hello world");
+  const auto left = bytes_of("hello ");
+  const auto right = bytes_of("world");
+  const std::uint32_t chained = crc32c(right, crc32c(left)) ^ 0xffffffffu;
+  EXPECT_EQ(chained, crc32c_final(whole));
+}
+
+}  // namespace
+}  // namespace perseas::sim

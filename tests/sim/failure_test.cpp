@@ -1,0 +1,104 @@
+#include "sim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perseas::sim {
+namespace {
+
+TEST(FailureKind, Names) {
+  EXPECT_EQ(to_string(FailureKind::kPowerOutage), "power-outage");
+  EXPECT_EQ(to_string(FailureKind::kHardwareFault), "hardware-fault");
+  EXPECT_EQ(to_string(FailureKind::kSoftwareCrash), "software-crash");
+  EXPECT_EQ(to_string(FailureKind::kHang), "hang");
+}
+
+TEST(NodeCrashed, CarriesContext) {
+  const NodeCrashed e(3, FailureKind::kPowerOutage, "perseas.commit.after_flag_set");
+  EXPECT_EQ(e.node_id(), 3u);
+  EXPECT_EQ(e.kind(), FailureKind::kPowerOutage);
+  EXPECT_EQ(e.point(), "perseas.commit.after_flag_set");
+  EXPECT_NE(std::string(e.what()).find("node 3"), std::string::npos);
+}
+
+TEST(FailureInjector, NotifyCountsHits) {
+  FailureInjector fi;
+  fi.notify("a");
+  fi.notify("a");
+  fi.notify("b");
+  EXPECT_EQ(fi.hits("a"), 2u);
+  EXPECT_EQ(fi.hits("b"), 1u);
+  EXPECT_EQ(fi.hits("never"), 0u);
+}
+
+TEST(FailureInjector, ArmFiresOnNextHit) {
+  FailureInjector fi;
+  int fired = 0;
+  fi.arm("x", [&] { ++fired; });
+  fi.notify("y");
+  EXPECT_EQ(fired, 0);
+  fi.notify("x");
+  EXPECT_EQ(fired, 1);
+  fi.notify("x");  // one-shot
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FailureInjector, CountdownSkipsHits) {
+  FailureInjector fi;
+  int fired = 0;
+  fi.arm("x", 2, [&] { ++fired; });  // fire on the 3rd hit from now
+  fi.notify("x");
+  fi.notify("x");
+  EXPECT_EQ(fired, 0);
+  fi.notify("x");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FailureInjector, CountdownIsRelativeToCurrentHits) {
+  FailureInjector fi;
+  fi.notify("x");
+  fi.notify("x");
+  int fired = 0;
+  fi.arm("x", 0, [&] { ++fired; });  // next hit, regardless of history
+  fi.notify("x");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FailureInjector, ThrowingActionIsRemovedBeforeItThrows) {
+  FailureInjector fi;
+  fi.arm("x", [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fi.notify("x"), std::runtime_error);
+  // Re-entering the point after the crash must not re-fire.
+  EXPECT_NO_THROW(fi.notify("x"));
+}
+
+TEST(FailureInjector, MultipleArmsOnOnePointAllFire) {
+  FailureInjector fi;
+  int fired = 0;
+  fi.arm("x", [&] { ++fired; });
+  fi.arm("x", [&] { ++fired; });
+  fi.notify("x");
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FailureInjector, ClearDisarms) {
+  FailureInjector fi;
+  int fired = 0;
+  fi.arm("x", [&] { ++fired; });
+  fi.clear();
+  fi.notify("x");
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(FailureInjector, SeenPointsAreSortedAndUnique) {
+  FailureInjector fi;
+  fi.notify("b");
+  fi.notify("a");
+  fi.notify("b");
+  const auto points = fi.seen_points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], "a");
+  EXPECT_EQ(points[1], "b");
+}
+
+}  // namespace
+}  // namespace perseas::sim

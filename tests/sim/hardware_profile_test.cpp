@@ -1,0 +1,71 @@
+#include "sim/hardware_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perseas::sim {
+namespace {
+
+TEST(HardwareProfile, Forth1997MatchesPaperSciGeometry) {
+  const auto p = HardwareProfile::forth_1997();
+  EXPECT_EQ(p.sci.buffer_bytes, 64u);
+  EXPECT_EQ(p.sci.write_buffers, 8u);
+  EXPECT_EQ(p.sci.small_packet_bytes, 16u);
+}
+
+TEST(HardwareProfile, Forth1997SciAnchor) {
+  const auto p = HardwareProfile::forth_1997();
+  // A lone 4-byte store: first packet + partial flush = 2.5 us (paper).
+  EXPECT_EQ(p.sci.first_packet_latency + p.sci.partial_flush_penalty, us(2.5));
+  // Two 16-byte packets: 2.9 us (paper).
+  EXPECT_EQ(p.sci.first_packet_latency + p.sci.partial_packet_stream +
+                p.sci.partial_flush_penalty,
+            us(2.9));
+}
+
+TEST(HardwareProfile, DiskRotationFollowsRpm) {
+  DiskParams d;
+  d.rpm = 7200;
+  EXPECT_NEAR(d.full_rotation_ms(), 8.333, 0.01);
+  EXPECT_NEAR(d.avg_rotational_ms(), 4.167, 0.01);
+}
+
+TEST(HardwareProfile, AdvancedByZeroYearsIsIdentity) {
+  const auto p = HardwareProfile::forth_1997();
+  const auto q = p.advanced_by_years(0);
+  EXPECT_EQ(q.sci.first_packet_latency, p.sci.first_packet_latency);
+  EXPECT_DOUBLE_EQ(q.disk.avg_seek_ms, p.disk.avg_seek_ms);
+  EXPECT_DOUBLE_EQ(q.disk.transfer_bytes_per_sec, p.disk.transfer_bytes_per_sec);
+}
+
+TEST(HardwareProfile, TrendsImproveBothButNetworkFaster) {
+  const auto p = HardwareProfile::forth_1997();
+  const auto q = p.advanced_by_years(5);
+  // Everything got faster.
+  EXPECT_LT(q.sci.first_packet_latency, p.sci.first_packet_latency);
+  EXPECT_LT(q.sci.full_packet_stream, p.sci.full_packet_stream);
+  EXPECT_LT(q.disk.avg_seek_ms, p.disk.avg_seek_ms);
+  EXPECT_GT(q.disk.transfer_bytes_per_sec, p.disk.transfer_bytes_per_sec);
+  // The paper's section 6 argument: the network/disk gap widens with time.
+  const double net_speedup = static_cast<double>(p.sci.full_packet_stream) /
+                             static_cast<double>(q.sci.full_packet_stream);
+  const double disk_speedup = q.disk.transfer_bytes_per_sec / p.disk.transfer_bytes_per_sec;
+  EXPECT_GT(net_speedup, disk_speedup);
+}
+
+class TrendYears : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrendYears, LatenciesShrinkMonotonically) {
+  const int years = GetParam();
+  const auto p = HardwareProfile::forth_1997();
+  const auto a = p.advanced_by_years(years);
+  const auto b = p.advanced_by_years(years + 1);
+  EXPECT_LE(b.sci.first_packet_latency, a.sci.first_packet_latency);
+  EXPECT_LE(b.sci.control_rtt, a.sci.control_rtt);
+  EXPECT_LE(b.disk.avg_seek_ms, a.disk.avg_seek_ms);
+  EXPECT_GE(b.disk.transfer_bytes_per_sec, a.disk.transfer_bytes_per_sec);
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroToTenYears, TrendYears, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace perseas::sim

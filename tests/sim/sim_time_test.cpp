@@ -1,0 +1,58 @@
+#include "sim/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perseas::sim {
+namespace {
+
+TEST(SimTime, ConstructorsScaleCorrectly) {
+  EXPECT_EQ(ns(1), 1);
+  EXPECT_EQ(us(1.0), 1'000);
+  EXPECT_EQ(ms(1.0), 1'000'000);
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+}
+
+TEST(SimTime, FractionalConstructorsRound) {
+  EXPECT_EQ(us(2.5), 2'500);
+  EXPECT_EQ(us(0.0004), 0);  // rounds to nearest ns
+  EXPECT_EQ(us(0.0006), 1);
+  EXPECT_EQ(ms(0.75), 750'000);
+}
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_us(us(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(to_ms(ms(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.0)), 2.0);
+}
+
+TEST(SimTime, TransferTimeMatchesBandwidth) {
+  // 1 MB at 1 MB/s is one second.
+  EXPECT_EQ(transfer_time(1'000'000, 1e6), seconds(1.0));
+  // 75 MB/s moves 75 bytes per microsecond.
+  EXPECT_EQ(transfer_time(75, 75e6), us(1.0));
+}
+
+TEST(SimTime, TransferTimeEdgeCases) {
+  EXPECT_EQ(transfer_time(0, 1e6), 0);
+  EXPECT_EQ(transfer_time(100, 0.0), 0);
+  EXPECT_EQ(transfer_time(100, -5.0), 0);
+}
+
+TEST(SimTime, TransferTimeIsMonotonicInBytes) {
+  SimDuration prev = 0;
+  for (std::uint64_t bytes = 1; bytes <= 1 << 20; bytes *= 2) {
+    const SimDuration t = transfer_time(bytes, 75e6);
+    EXPECT_GE(t, prev) << "bytes=" << bytes;
+    prev = t;
+  }
+}
+
+TEST(SimTime, FormatDurationPicksUnits) {
+  EXPECT_EQ(format_duration(ns(500)), "500 ns");
+  EXPECT_EQ(format_duration(us(2.5)), "2.50 us");
+  EXPECT_EQ(format_duration(ms(13.2)), "13.20 ms");
+  EXPECT_EQ(format_duration(seconds(1.5)), "1.500 s");
+}
+
+}  // namespace
+}  // namespace perseas::sim

@@ -1,0 +1,100 @@
+#include "wal/log_format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace perseas::wal {
+namespace {
+
+LogRange make_range(std::uint64_t offset, std::initializer_list<int> bytes) {
+  LogRange r;
+  r.offset = offset;
+  for (const int b : bytes) r.data.push_back(static_cast<std::byte>(b));
+  return r;
+}
+
+TEST(LogFormat, RoundTripsSingleRange) {
+  std::vector<std::byte> log;
+  const LogRange in = make_range(40, {1, 2, 3});
+  append_record(log, 7, std::span<const LogRange>{&in, 1});
+
+  std::uint64_t pos = 0;
+  const auto out = read_record(log, pos);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].offset, 40u);
+  EXPECT_EQ((*out)[0].data, in.data);
+  EXPECT_EQ(pos, log.size());
+}
+
+TEST(LogFormat, RoundTripsMultipleRangesAndRecords) {
+  std::vector<std::byte> log;
+  const std::vector<LogRange> first{make_range(0, {9}), make_range(100, {8, 7})};
+  const std::vector<LogRange> second{make_range(50, {1, 1, 1, 1})};
+  append_record(log, 1, first);
+  append_record(log, 2, second);
+
+  std::uint64_t pos = 0;
+  const auto a = read_record(log, pos);
+  ASSERT_TRUE(a && a->size() == 2);
+  const auto b = read_record(log, pos);
+  ASSERT_TRUE(b && b->size() == 1);
+  EXPECT_EQ((*b)[0].offset, 50u);
+  EXPECT_FALSE(read_record(log, pos).has_value());
+}
+
+TEST(LogFormat, AppendReturnsBytesWritten) {
+  std::vector<std::byte> log;
+  const LogRange in = make_range(0, {1, 2});
+  const auto n = append_record(log, 1, std::span<const LogRange>{&in, 1});
+  EXPECT_EQ(n, log.size());
+  EXPECT_EQ(n, sizeof(RecordHeader) + sizeof(RangeHeader) + 2);
+}
+
+TEST(LogFormat, EmptyRangesRecordIsValid) {
+  std::vector<std::byte> log;
+  append_record(log, 3, std::span<const LogRange>{});
+  std::uint64_t pos = 0;
+  const auto out = read_record(log, pos);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(LogFormat, ScanStopsAtZeroedBytes) {
+  std::vector<std::byte> log(256);  // all zero: no valid magic
+  std::uint64_t pos = 0;
+  EXPECT_FALSE(read_record(log, pos).has_value());
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(LogFormat, ScanStopsAtTruncatedRecord) {
+  std::vector<std::byte> log;
+  const LogRange in = make_range(0, {1, 2, 3, 4});
+  append_record(log, 1, std::span<const LogRange>{&in, 1});
+  log.resize(log.size() - 2);  // cut the tail
+  std::uint64_t pos = 0;
+  EXPECT_FALSE(read_record(log, pos).has_value());
+}
+
+TEST(LogFormat, ScanStopsAtCorruptMagic) {
+  std::vector<std::byte> log;
+  const LogRange in = make_range(0, {1});
+  append_record(log, 1, std::span<const LogRange>{&in, 1});
+  log[0] ^= std::byte{0xFF};
+  std::uint64_t pos = 0;
+  EXPECT_FALSE(read_record(log, pos).has_value());
+}
+
+TEST(LogFormat, ValidPrefixBeforeGarbageIsRecovered) {
+  std::vector<std::byte> log;
+  const LogRange in = make_range(8, {5, 6});
+  append_record(log, 1, std::span<const LogRange>{&in, 1});
+  const auto good = log.size();
+  log.resize(log.size() + 64);  // zeroed tail, as after a sentinel stamp
+  std::uint64_t pos = 0;
+  EXPECT_TRUE(read_record(log, pos).has_value());
+  EXPECT_EQ(pos, good);
+  EXPECT_FALSE(read_record(log, pos).has_value());
+}
+
+}  // namespace
+}  // namespace perseas::wal

@@ -1,0 +1,154 @@
+#include "wal/vista.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace perseas::wal {
+namespace {
+
+class VistaTest : public ::testing::Test {
+ protected:
+  VistaTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 1),
+        rio_(cluster_, 0, /*ups_protected=*/true) {}
+
+  Vista make_vista() {
+    VistaOptions options;
+    options.db_size = 4096;
+    options.undo_capacity = 4096;
+    return Vista(cluster_, 0, rio_, options);
+  }
+
+  netram::Cluster cluster_;
+  rio::RioCache rio_;
+};
+
+TEST_F(VistaTest, CommitKeepsUpdates) {
+  auto v = make_vista();
+  v.begin_transaction();
+  v.set_range(0, 5);
+  std::memcpy(v.db().data(), "hello", 5);
+  v.commit_transaction();
+  EXPECT_EQ(std::memcmp(v.db().data(), "hello", 5), 0);
+  EXPECT_EQ(v.stats().commits, 1u);
+}
+
+TEST_F(VistaTest, AbortRollsBack) {
+  auto v = make_vista();
+  v.begin_transaction();
+  v.set_range(0, 4);
+  std::memcpy(v.db().data(), "good", 4);
+  v.commit_transaction();
+
+  v.begin_transaction();
+  v.set_range(0, 4);
+  std::memcpy(v.db().data(), "evil", 4);
+  v.abort_transaction();
+  EXPECT_EQ(std::memcmp(v.db().data(), "good", 4), 0);
+}
+
+TEST_F(VistaTest, RecoveryRollsBackInterruptedTransaction) {
+  auto v = make_vista();
+  v.begin_transaction();
+  v.set_range(0, 4);
+  std::memcpy(v.db().data(), "good", 4);
+  v.commit_transaction();
+
+  v.begin_transaction();
+  v.set_range(0, 4);
+  std::memcpy(v.db().data(), "evil", 4);
+  // OS crash mid-transaction: Rio keeps both db and undo log.
+  cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+  cluster_.restart_node(0);
+  EXPECT_EQ(v.recover(), 1u);
+  EXPECT_EQ(std::memcmp(v.db().data(), "good", 4), 0);
+}
+
+TEST_F(VistaTest, RecoveryAfterCommitIsANoOp) {
+  auto v = make_vista();
+  v.begin_transaction();
+  v.set_range(0, 4);
+  std::memcpy(v.db().data(), "done", 4);
+  v.commit_transaction();
+  cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+  cluster_.restart_node(0);
+  EXPECT_EQ(v.recover(), 0u);
+  EXPECT_EQ(std::memcmp(v.db().data(), "done", 4), 0);
+}
+
+TEST_F(VistaTest, PowerOutageWithoutUpsLosesEverything) {
+  netram::Cluster cluster(sim::HardwareProfile::forth_1997(), 1);
+  rio::RioCache fragile(cluster, 0, /*ups_protected=*/false);
+  VistaOptions options;
+  options.db_size = 256;
+  options.undo_capacity = 256;
+  Vista v(cluster, 0, fragile, options);
+  v.begin_transaction();
+  v.set_range(0, 4);
+  v.commit_transaction();
+  cluster.crash_node(0, sim::FailureKind::kPowerOutage);
+  cluster.restart_node(0);
+  // This is the failure mode PERSEAS survives and Vista does not.
+  EXPECT_THROW(v.recover(), std::runtime_error);
+}
+
+TEST_F(VistaTest, SmallTransactionsCostAFewMicroseconds) {
+  auto v = make_vista();
+  // Warm up one transaction, then measure.
+  v.begin_transaction();
+  v.set_range(0, 4);
+  v.commit_transaction();
+  const auto t0 = cluster_.clock().now();
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) {
+    v.begin_transaction();
+    v.set_range(0, 4);
+    v.db()[0] = static_cast<std::byte>(i);
+    v.commit_transaction();
+  }
+  const double mean_us = sim::to_us(cluster_.clock().now() - t0) / kN;
+  // Paper: Vista small-transaction latency is a few microseconds.
+  EXPECT_LT(mean_us, 8.0);
+  EXPECT_GT(mean_us, 1.0);
+}
+
+TEST_F(VistaTest, ReverseOrderUndoHandlesOverlaps) {
+  auto v = make_vista();
+  v.begin_transaction();
+  v.set_range(0, 4);
+  std::memcpy(v.db().data(), "AAAA", 4);
+  v.set_range(2, 4);
+  std::memcpy(v.db().data() + 2, "BBBB", 4);
+  v.abort_transaction();
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(v.db()[i], std::byte{0}) << i;
+}
+
+TEST_F(VistaTest, UndoLogFullThrows) {
+  auto v = make_vista();
+  v.begin_transaction();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) v.set_range(0, 1024);
+      },
+      std::runtime_error);
+}
+
+TEST_F(VistaTest, ApiMisuseThrows) {
+  auto v = make_vista();
+  EXPECT_THROW(v.set_range(0, 4), std::logic_error);
+  EXPECT_THROW(v.commit_transaction(), std::logic_error);
+  v.begin_transaction();
+  EXPECT_THROW(v.begin_transaction(), std::logic_error);
+  EXPECT_THROW(v.set_range(4090, 100), std::out_of_range);
+}
+
+TEST_F(VistaTest, RequiresColocatedRio) {
+  netram::Cluster cluster(sim::HardwareProfile::forth_1997(), 2);
+  rio::RioCache remote_rio(cluster, 1);
+  VistaOptions options;
+  EXPECT_THROW(Vista(cluster, 0, remote_rio, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perseas::wal

@@ -1,0 +1,115 @@
+#include "workload/order_entry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/engines.hpp"
+
+namespace perseas::workload {
+namespace {
+
+OrderEntryOptions small_options() {
+  OrderEntryOptions o;
+  o.warehouses = 1;
+  o.districts_per_warehouse = 2;
+  o.items = 100;
+  o.order_capacity = 64;
+  return o;
+}
+
+EngineLab make_lab(EngineKind kind, const OrderEntryOptions& o) {
+  LabOptions lo;
+  lo.db_size = OrderEntry::required_db_size(o);
+  return EngineLab(kind, lo);
+}
+
+TEST(OrderEntry, RequiredSizeCoversAllTables) {
+  const auto o = small_options();
+  const std::uint64_t order_slot = 32 + 15 * 24;
+  EXPECT_EQ(OrderEntry::required_db_size(o), 2 * 64 + 100 * 32 + 100 * 32 + 64 * order_slot);
+}
+
+TEST(OrderEntry, TooSmallDatabaseRejected) {
+  LabOptions lo;
+  lo.db_size = 64;
+  EngineLab lab(EngineKind::kVista, lo);
+  EXPECT_THROW(OrderEntry(lab.engine(), small_options()), std::invalid_argument);
+}
+
+TEST(OrderEntry, InvariantsHoldAfterLoad) {
+  auto lab = make_lab(EngineKind::kPerseas, small_options());
+  OrderEntry w(lab.engine(), small_options());
+  w.load();
+  EXPECT_NO_THROW(w.check_invariants());
+  EXPECT_EQ(w.orders_placed(), 0u);
+}
+
+TEST(OrderEntry, InvariantsHoldAfterManyOrders) {
+  auto lab = make_lab(EngineKind::kPerseas, small_options());
+  OrderEntry w(lab.engine(), small_options());
+  w.load();
+  const auto result = w.run(300);
+  EXPECT_EQ(result.transactions, 300u);
+  EXPECT_EQ(w.orders_placed(), 300u);
+  EXPECT_NO_THROW(w.check_invariants());
+}
+
+TEST(OrderEntry, OrderRingWrapsAround) {
+  auto o = small_options();
+  o.order_capacity = 8;
+  auto lab = make_lab(EngineKind::kPerseas, o);
+  OrderEntry w(lab.engine(), o);
+  w.load();
+  w.run(30);
+  EXPECT_NO_THROW(w.check_invariants());
+}
+
+TEST(OrderEntry, InvariantsHoldOnEveryEngine) {
+  for (const auto kind : {EngineKind::kVista, EngineKind::kRvmRio, EngineKind::kRemoteWal,
+                          EngineKind::kRvmNvram, EngineKind::kFsMirror}) {
+    auto lab = make_lab(kind, small_options());
+    OrderEntry w(lab.engine(), small_options());
+    w.load();
+    w.run(100);
+    EXPECT_NO_THROW(w.check_invariants()) << to_string(kind);
+  }
+}
+
+TEST(OrderEntry, HeavierThanDebitCreditPerTransaction) {
+  auto lab = make_lab(EngineKind::kPerseas, small_options());
+  auto& engine = dynamic_cast<PerseasEngine&>(lab.engine());
+  OrderEntry w(lab.engine(), small_options());
+  w.load();
+  const auto before = engine.perseas().stats().set_ranges;
+  w.run_one();
+  const auto ranges = engine.perseas().stats().set_ranges - before;
+  // district + 5..15 stock rows + order insert.
+  EXPECT_GE(ranges, 7u);
+  EXPECT_LE(ranges, 17u);
+}
+
+TEST(OrderEntry, ThroughputMatchesPaperBallparkOnPerseas) {
+  OrderEntryOptions o;  // defaults
+  LabOptions lo;
+  lo.db_size = OrderEntry::required_db_size(o);
+  EngineLab lab(EngineKind::kPerseas, lo);
+  OrderEntry w(lab.engine(), o);
+  w.load();
+  const auto result = w.run(2'000);
+  // Paper table 1: several thousand order-entry transactions per second,
+  // clearly below debit-credit.
+  EXPECT_GT(result.txns_per_second(), 3'000.0);
+  EXPECT_LT(result.txns_per_second(), 20'000.0);
+}
+
+TEST(OrderEntry, DeterministicForFixedSeed) {
+  auto lab1 = make_lab(EngineKind::kPerseas, small_options());
+  auto lab2 = make_lab(EngineKind::kPerseas, small_options());
+  OrderEntry w1(lab1.engine(), small_options(), /*seed=*/4);
+  OrderEntry w2(lab2.engine(), small_options(), /*seed=*/4);
+  w1.load();
+  w2.load();
+  EXPECT_EQ(w1.run(100).elapsed, w2.run(100).elapsed);
+}
+
+}  // namespace
+}  // namespace perseas::workload

@@ -1,0 +1,72 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/engines.hpp"
+
+namespace perseas::workload {
+namespace {
+
+TEST(SyntheticWorkload, RunsRequestedTransactionCount) {
+  EngineLab lab(EngineKind::kPerseas);
+  SyntheticWorkload w(lab.engine(), 64);
+  const auto result = w.run(100);
+  EXPECT_EQ(result.transactions, 100u);
+  EXPECT_EQ(result.latency.count(), 100u);
+  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.txns_per_second(), 0.0);
+}
+
+TEST(SyntheticWorkload, LatencyGrowsWithTransactionSize) {
+  EngineLab lab(EngineKind::kPerseas);
+  double prev = 0;
+  for (const std::uint64_t size : {4ULL, 256ULL, 4096ULL, 65536ULL}) {
+    SyntheticWorkload w(lab.engine(), size);
+    const auto result = w.run(50);
+    EXPECT_GT(result.latency.mean_us(), prev) << size;
+    prev = result.latency.mean_us();
+  }
+}
+
+TEST(SyntheticWorkload, RejectsBadSizes) {
+  EngineLab lab(EngineKind::kPerseas);
+  EXPECT_THROW(SyntheticWorkload(lab.engine(), 0), std::invalid_argument);
+  EXPECT_THROW(SyntheticWorkload(lab.engine(), lab.engine().db_size() + 1),
+               std::invalid_argument);
+}
+
+TEST(SyntheticWorkload, WholeDatabaseTransactionWorks) {
+  LabOptions options;
+  options.db_size = 4096;
+  EngineLab lab(EngineKind::kPerseas, options);
+  SyntheticWorkload w(lab.engine(), 4096);
+  EXPECT_GT(w.run_one(), 0);
+}
+
+TEST(SyntheticWorkload, DeterministicForFixedSeed) {
+  LabOptions options;
+  EngineLab lab1(EngineKind::kPerseas, options);
+  EngineLab lab2(EngineKind::kPerseas, options);
+  SyntheticWorkload w1(lab1.engine(), 128, /*seed=*/5);
+  SyntheticWorkload w2(lab2.engine(), 128, /*seed=*/5);
+  const auto r1 = w1.run(200);
+  const auto r2 = w2.run(200);
+  EXPECT_EQ(r1.elapsed, r2.elapsed);
+}
+
+TEST(SyntheticWorkload, SameShapeOnEveryEngine) {
+  // The workload itself must be engine-agnostic: same transaction count,
+  // strictly positive latency everywhere.
+  for (const auto kind : {EngineKind::kPerseas, EngineKind::kVista, EngineKind::kRvmRio,
+                          EngineKind::kRemoteWal, EngineKind::kRvmNvram,
+                          EngineKind::kFsMirror}) {
+    EngineLab lab(kind);
+    SyntheticWorkload w(lab.engine(), 32);
+    const auto result = w.run(20);
+    EXPECT_EQ(result.transactions, 20u) << to_string(kind);
+    EXPECT_GT(result.latency.p50_us(), 0.0) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace perseas::workload

@@ -1,0 +1,123 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/engines.hpp"
+
+namespace perseas::workload {
+namespace {
+
+TEST(Trace, SyntheticShape) {
+  const auto trace = Trace::synthetic(4096, 10, 2, 64, 0.3, 42);
+  EXPECT_EQ(trace.transactions(), 10u);
+  EXPECT_EQ(trace.db_size(), 4096u);
+  // begin + 2*(set+write) + end per txn.
+  EXPECT_EQ(trace.ops().size(), 10u * 6u);
+}
+
+TEST(Trace, SyntheticIsDeterministic) {
+  const auto a = Trace::synthetic(4096, 20, 2, 64, 0.3, 7);
+  const auto b = Trace::synthetic(4096, 20, 2, 64, 0.3, 7);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  const auto c = Trace::synthetic(4096, 20, 2, 64, 0.3, 8);
+  EXPECT_NE(a.to_text(), c.to_text());
+}
+
+TEST(Trace, TextRoundTrip) {
+  const auto trace = Trace::synthetic(4096, 15, 3, 100, 0.25, 99);
+  const auto reparsed = Trace::from_text(trace.to_text());
+  EXPECT_EQ(reparsed.to_text(), trace.to_text());
+  EXPECT_EQ(reparsed.db_size(), trace.db_size());
+  EXPECT_EQ(reparsed.ops().size(), trace.ops().size());
+}
+
+TEST(Trace, FromTextRejectsGarbage) {
+  EXPECT_THROW(Trace::from_text("not a trace"), std::invalid_argument);
+  EXPECT_THROW(Trace::from_text("perseas-trace v1 db_size 0\n"), std::invalid_argument);
+  EXPECT_THROW(Trace::from_text("perseas-trace v1 db_size 64\nfly away\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Trace::from_text("perseas-trace v1 db_size 64\nset 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Trace, SyntheticValidatesGeometry) {
+  EXPECT_THROW(Trace::synthetic(0, 1, 1, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Trace::synthetic(64, 1, 1, 128, 0, 1), std::invalid_argument);
+}
+
+TEST(Replay, MalformedSequencesRejected) {
+  EngineLab lab(EngineKind::kVista);
+  Trace bad;
+  bad.commit();
+  EXPECT_THROW(replay(Trace::from_text("perseas-trace v1 db_size 64\ncommit\n"), lab.engine()),
+               std::invalid_argument);
+  EXPECT_THROW(replay(Trace::from_text("perseas-trace v1 db_size 64\nset 0 8\n"), lab.engine()),
+               std::invalid_argument);
+}
+
+TEST(Replay, EngineSmallerThanTraceRejected) {
+  LabOptions options;
+  options.db_size = 1024;
+  EngineLab lab(EngineKind::kVista, options);
+  const auto trace = Trace::synthetic(4096, 1, 1, 16, 0, 1);
+  EXPECT_THROW(replay(trace, lab.engine()), std::invalid_argument);
+}
+
+TEST(Replay, CountsTransactionsAndAdvancesTime) {
+  EngineLab lab(EngineKind::kPerseas);
+  const auto trace = Trace::synthetic(4096, 25, 2, 64, 0.2, 5);
+  const auto result = replay(trace, lab.engine());
+  EXPECT_EQ(result.transactions, 25u);
+  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.txns_per_second(), 0.0);
+}
+
+TEST(Replay, EveryEngineProducesTheSameFinalDigest) {
+  // The keystone property: one trace, eight engines, one digest.
+  const auto trace = Trace::synthetic(8192, 60, 3, 150, 0.3, 1234);
+  std::uint32_t expected = 0;
+  bool first = true;
+  for (const auto kind :
+       {EngineKind::kPerseas, EngineKind::kVista, EngineKind::kRvmRio, EngineKind::kRvmDisk,
+        EngineKind::kRvmDiskGroupCommit, EngineKind::kRvmNvram, EngineKind::kRemoteWal,
+        EngineKind::kFsMirror}) {
+    LabOptions options;
+    options.db_size = 8192;
+    EngineLab lab(kind, options);
+    const auto result = replay(trace, lab.engine());
+    if (first) {
+      expected = result.final_digest;
+      first = false;
+    } else {
+      EXPECT_EQ(result.final_digest, expected) << to_string(kind);
+    }
+  }
+}
+
+TEST(Replay, DigestDiffersForDifferentTraces) {
+  LabOptions options;
+  EngineLab lab1(EngineKind::kVista, options);
+  EngineLab lab2(EngineKind::kVista, options);
+  const auto a = replay(Trace::synthetic(4096, 10, 2, 64, 0.0, 1), lab1.engine());
+  const auto b = replay(Trace::synthetic(4096, 10, 2, 64, 0.0, 2), lab2.engine());
+  EXPECT_NE(a.final_digest, b.final_digest);
+}
+
+TEST(Replay, MatchedComparisonPreservesTheOrdering) {
+  // Replaying the identical trace keeps the paper's performance ordering.
+  const auto trace = Trace::synthetic(8192, 200, 1, 64, 0.0, 77);
+  const auto run = [&](EngineKind kind) {
+    LabOptions options;
+    options.db_size = 8192;
+    EngineLab lab(kind, options);
+    return replay(trace, lab.engine()).txns_per_second();
+  };
+  const double perseas = run(EngineKind::kPerseas);
+  const double vista = run(EngineKind::kVista);
+  const double rio = run(EngineKind::kRvmRio);
+  EXPECT_GT(vista, perseas);
+  EXPECT_GT(perseas, rio);
+}
+
+}  // namespace
+}  // namespace perseas::workload
