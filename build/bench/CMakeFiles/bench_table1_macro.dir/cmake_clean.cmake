@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_macro.dir/bench_table1_macro.cpp.o"
+  "CMakeFiles/bench_table1_macro.dir/bench_table1_macro.cpp.o.d"
+  "bench_table1_macro"
+  "bench_table1_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

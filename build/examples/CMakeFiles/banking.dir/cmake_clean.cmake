@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking.dir/banking.cpp.o"
+  "CMakeFiles/banking.dir/banking.cpp.o.d"
+  "banking"
+  "banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_shootout.dir/engines_shootout.cpp.o"
+  "CMakeFiles/engines_shootout.dir/engines_shootout.cpp.o.d"
+  "engines_shootout"
+  "engines_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

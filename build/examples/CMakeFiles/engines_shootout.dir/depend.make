@@ -1,0 +1,2 @@
+# Empty dependencies file for engines_shootout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_shell.dir/perseas_shell.cpp.o"
+  "CMakeFiles/perseas_shell.dir/perseas_shell.cpp.o.d"
+  "perseas_shell"
+  "perseas_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_store.dir/persistent_store.cpp.o"
+  "CMakeFiles/persistent_store.dir/persistent_store.cpp.o.d"
+  "persistent_store"
+  "persistent_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

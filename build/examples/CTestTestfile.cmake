@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kv_store "/root/repo/build/examples/kv_store")
+set_tests_properties(example_kv_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_crash_recovery "/root/repo/build/examples/crash_recovery")
+set_tests_properties(example_crash_recovery PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_failover_demo "/root/repo/build/examples/failover_demo")
+set_tests_properties(example_failover_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_persistent_store "/root/repo/build/examples/persistent_store")
+set_tests_properties(example_persistent_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell_script "sh" "-c" "printf 'malloc 64\\ninit\\nbegin\\nset 0 0 16\\nwrite 0 0 hello-durable\\ncommit\\ncrash 0 power\\nrestart 0\\nrecover 0\\nread 0 0 13\\nstats\\nclock\\nquit\\n' | /root/repo/build/examples/perseas_shell | grep -q 'hello-durable'")
+set_tests_properties(example_shell_script PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/failover.cpp" "src/core/CMakeFiles/perseas_core.dir/failover.cpp.o" "gcc" "src/core/CMakeFiles/perseas_core.dir/failover.cpp.o.d"
+  "/root/repo/src/core/perseas.cpp" "src/core/CMakeFiles/perseas_core.dir/perseas.cpp.o" "gcc" "src/core/CMakeFiles/perseas_core.dir/perseas.cpp.o.d"
+  "/root/repo/src/core/persistent_heap.cpp" "src/core/CMakeFiles/perseas_core.dir/persistent_heap.cpp.o" "gcc" "src/core/CMakeFiles/perseas_core.dir/persistent_heap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perseas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netram/CMakeFiles/perseas_netram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_core.dir/failover.cpp.o"
+  "CMakeFiles/perseas_core.dir/failover.cpp.o.d"
+  "CMakeFiles/perseas_core.dir/perseas.cpp.o"
+  "CMakeFiles/perseas_core.dir/perseas.cpp.o.d"
+  "CMakeFiles/perseas_core.dir/persistent_heap.cpp.o"
+  "CMakeFiles/perseas_core.dir/persistent_heap.cpp.o.d"
+  "libperseas_core.a"
+  "libperseas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/disk_model.cpp" "src/disk/CMakeFiles/perseas_disk.dir/disk_model.cpp.o" "gcc" "src/disk/CMakeFiles/perseas_disk.dir/disk_model.cpp.o.d"
+  "/root/repo/src/disk/disk_store.cpp" "src/disk/CMakeFiles/perseas_disk.dir/disk_store.cpp.o" "gcc" "src/disk/CMakeFiles/perseas_disk.dir/disk_store.cpp.o.d"
+  "/root/repo/src/disk/nvram_store.cpp" "src/disk/CMakeFiles/perseas_disk.dir/nvram_store.cpp.o" "gcc" "src/disk/CMakeFiles/perseas_disk.dir/nvram_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perseas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_disk.dir/disk_model.cpp.o"
+  "CMakeFiles/perseas_disk.dir/disk_model.cpp.o.d"
+  "CMakeFiles/perseas_disk.dir/disk_store.cpp.o"
+  "CMakeFiles/perseas_disk.dir/disk_store.cpp.o.d"
+  "CMakeFiles/perseas_disk.dir/nvram_store.cpp.o"
+  "CMakeFiles/perseas_disk.dir/nvram_store.cpp.o.d"
+  "libperseas_disk.a"
+  "libperseas_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

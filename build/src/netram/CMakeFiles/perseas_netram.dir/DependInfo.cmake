@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netram/arena_allocator.cpp" "src/netram/CMakeFiles/perseas_netram.dir/arena_allocator.cpp.o" "gcc" "src/netram/CMakeFiles/perseas_netram.dir/arena_allocator.cpp.o.d"
+  "/root/repo/src/netram/cluster.cpp" "src/netram/CMakeFiles/perseas_netram.dir/cluster.cpp.o" "gcc" "src/netram/CMakeFiles/perseas_netram.dir/cluster.cpp.o.d"
+  "/root/repo/src/netram/node.cpp" "src/netram/CMakeFiles/perseas_netram.dir/node.cpp.o" "gcc" "src/netram/CMakeFiles/perseas_netram.dir/node.cpp.o.d"
+  "/root/repo/src/netram/remote_memory.cpp" "src/netram/CMakeFiles/perseas_netram.dir/remote_memory.cpp.o" "gcc" "src/netram/CMakeFiles/perseas_netram.dir/remote_memory.cpp.o.d"
+  "/root/repo/src/netram/sci_link.cpp" "src/netram/CMakeFiles/perseas_netram.dir/sci_link.cpp.o" "gcc" "src/netram/CMakeFiles/perseas_netram.dir/sci_link.cpp.o.d"
+  "/root/repo/src/netram/sci_nic.cpp" "src/netram/CMakeFiles/perseas_netram.dir/sci_nic.cpp.o" "gcc" "src/netram/CMakeFiles/perseas_netram.dir/sci_nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perseas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

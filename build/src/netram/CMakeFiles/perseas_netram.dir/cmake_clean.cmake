@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_netram.dir/arena_allocator.cpp.o"
+  "CMakeFiles/perseas_netram.dir/arena_allocator.cpp.o.d"
+  "CMakeFiles/perseas_netram.dir/cluster.cpp.o"
+  "CMakeFiles/perseas_netram.dir/cluster.cpp.o.d"
+  "CMakeFiles/perseas_netram.dir/node.cpp.o"
+  "CMakeFiles/perseas_netram.dir/node.cpp.o.d"
+  "CMakeFiles/perseas_netram.dir/remote_memory.cpp.o"
+  "CMakeFiles/perseas_netram.dir/remote_memory.cpp.o.d"
+  "CMakeFiles/perseas_netram.dir/sci_link.cpp.o"
+  "CMakeFiles/perseas_netram.dir/sci_link.cpp.o.d"
+  "CMakeFiles/perseas_netram.dir/sci_nic.cpp.o"
+  "CMakeFiles/perseas_netram.dir/sci_nic.cpp.o.d"
+  "libperseas_netram.a"
+  "libperseas_netram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_netram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

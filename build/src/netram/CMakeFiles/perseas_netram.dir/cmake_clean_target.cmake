@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperseas_netram.a"
+)

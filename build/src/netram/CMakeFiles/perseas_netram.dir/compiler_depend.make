@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for perseas_netram.
+# This may be replaced when dependencies are built.

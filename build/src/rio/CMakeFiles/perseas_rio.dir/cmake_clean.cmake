@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_rio.dir/rio_cache.cpp.o"
+  "CMakeFiles/perseas_rio.dir/rio_cache.cpp.o.d"
+  "libperseas_rio.a"
+  "libperseas_rio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_rio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/failure.cpp" "src/sim/CMakeFiles/perseas_sim.dir/failure.cpp.o" "gcc" "src/sim/CMakeFiles/perseas_sim.dir/failure.cpp.o.d"
+  "/root/repo/src/sim/hardware_profile.cpp" "src/sim/CMakeFiles/perseas_sim.dir/hardware_profile.cpp.o" "gcc" "src/sim/CMakeFiles/perseas_sim.dir/hardware_profile.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/perseas_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/perseas_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/sim_time.cpp" "src/sim/CMakeFiles/perseas_sim.dir/sim_time.cpp.o" "gcc" "src/sim/CMakeFiles/perseas_sim.dir/sim_time.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/perseas_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/perseas_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

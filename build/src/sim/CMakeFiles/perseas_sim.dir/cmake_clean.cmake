@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_sim.dir/failure.cpp.o"
+  "CMakeFiles/perseas_sim.dir/failure.cpp.o.d"
+  "CMakeFiles/perseas_sim.dir/hardware_profile.cpp.o"
+  "CMakeFiles/perseas_sim.dir/hardware_profile.cpp.o.d"
+  "CMakeFiles/perseas_sim.dir/random.cpp.o"
+  "CMakeFiles/perseas_sim.dir/random.cpp.o.d"
+  "CMakeFiles/perseas_sim.dir/sim_time.cpp.o"
+  "CMakeFiles/perseas_sim.dir/sim_time.cpp.o.d"
+  "CMakeFiles/perseas_sim.dir/stats.cpp.o"
+  "CMakeFiles/perseas_sim.dir/stats.cpp.o.d"
+  "libperseas_sim.a"
+  "libperseas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

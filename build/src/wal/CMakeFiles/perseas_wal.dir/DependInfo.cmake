@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wal/fs_mirror.cpp" "src/wal/CMakeFiles/perseas_wal.dir/fs_mirror.cpp.o" "gcc" "src/wal/CMakeFiles/perseas_wal.dir/fs_mirror.cpp.o.d"
+  "/root/repo/src/wal/log_format.cpp" "src/wal/CMakeFiles/perseas_wal.dir/log_format.cpp.o" "gcc" "src/wal/CMakeFiles/perseas_wal.dir/log_format.cpp.o.d"
+  "/root/repo/src/wal/remote_wal.cpp" "src/wal/CMakeFiles/perseas_wal.dir/remote_wal.cpp.o" "gcc" "src/wal/CMakeFiles/perseas_wal.dir/remote_wal.cpp.o.d"
+  "/root/repo/src/wal/rvm.cpp" "src/wal/CMakeFiles/perseas_wal.dir/rvm.cpp.o" "gcc" "src/wal/CMakeFiles/perseas_wal.dir/rvm.cpp.o.d"
+  "/root/repo/src/wal/vista.cpp" "src/wal/CMakeFiles/perseas_wal.dir/vista.cpp.o" "gcc" "src/wal/CMakeFiles/perseas_wal.dir/vista.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perseas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netram/CMakeFiles/perseas_netram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/perseas_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/perseas_rio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_wal.dir/fs_mirror.cpp.o"
+  "CMakeFiles/perseas_wal.dir/fs_mirror.cpp.o.d"
+  "CMakeFiles/perseas_wal.dir/log_format.cpp.o"
+  "CMakeFiles/perseas_wal.dir/log_format.cpp.o.d"
+  "CMakeFiles/perseas_wal.dir/remote_wal.cpp.o"
+  "CMakeFiles/perseas_wal.dir/remote_wal.cpp.o.d"
+  "CMakeFiles/perseas_wal.dir/rvm.cpp.o"
+  "CMakeFiles/perseas_wal.dir/rvm.cpp.o.d"
+  "CMakeFiles/perseas_wal.dir/vista.cpp.o"
+  "CMakeFiles/perseas_wal.dir/vista.cpp.o.d"
+  "libperseas_wal.a"
+  "libperseas_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/debit_credit.cpp" "src/workload/CMakeFiles/perseas_workload.dir/debit_credit.cpp.o" "gcc" "src/workload/CMakeFiles/perseas_workload.dir/debit_credit.cpp.o.d"
+  "/root/repo/src/workload/engines.cpp" "src/workload/CMakeFiles/perseas_workload.dir/engines.cpp.o" "gcc" "src/workload/CMakeFiles/perseas_workload.dir/engines.cpp.o.d"
+  "/root/repo/src/workload/order_entry.cpp" "src/workload/CMakeFiles/perseas_workload.dir/order_entry.cpp.o" "gcc" "src/workload/CMakeFiles/perseas_workload.dir/order_entry.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/perseas_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/perseas_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/perseas_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/perseas_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perseas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netram/CMakeFiles/perseas_netram.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/perseas_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/perseas_rio.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/perseas_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/perseas_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_workload.dir/debit_credit.cpp.o"
+  "CMakeFiles/perseas_workload.dir/debit_credit.cpp.o.d"
+  "CMakeFiles/perseas_workload.dir/engines.cpp.o"
+  "CMakeFiles/perseas_workload.dir/engines.cpp.o.d"
+  "CMakeFiles/perseas_workload.dir/order_entry.cpp.o"
+  "CMakeFiles/perseas_workload.dir/order_entry.cpp.o.d"
+  "CMakeFiles/perseas_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/perseas_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/perseas_workload.dir/trace.cpp.o"
+  "CMakeFiles/perseas_workload.dir/trace.cpp.o.d"
+  "libperseas_workload.a"
+  "libperseas_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

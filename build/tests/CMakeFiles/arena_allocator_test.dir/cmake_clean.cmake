@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arena_allocator_test.dir/netram/arena_allocator_test.cpp.o"
+  "CMakeFiles/arena_allocator_test.dir/netram/arena_allocator_test.cpp.o.d"
+  "arena_allocator_test"
+  "arena_allocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arena_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_test.dir/sim/clock_test.cpp.o"
+  "CMakeFiles/clock_test.dir/sim/clock_test.cpp.o.d"
+  "clock_test"
+  "clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_test.dir/integration/comparison_test.cpp.o"
+  "CMakeFiles/comparison_test.dir/integration/comparison_test.cpp.o.d"
+  "comparison_test"
+  "comparison_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

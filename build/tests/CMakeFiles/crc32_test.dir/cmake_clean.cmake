@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crc32_test.dir/sim/crc32_test.cpp.o"
+  "CMakeFiles/crc32_test.dir/sim/crc32_test.cpp.o.d"
+  "crc32_test"
+  "crc32_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crc32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debit_credit_test.dir/workload/debit_credit_test.cpp.o"
+  "CMakeFiles/debit_credit_test.dir/workload/debit_credit_test.cpp.o.d"
+  "debit_credit_test"
+  "debit_credit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debit_credit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_store_test.dir/disk/disk_store_test.cpp.o"
+  "CMakeFiles/disk_store_test.dir/disk/disk_store_test.cpp.o.d"
+  "disk_store_test"
+  "disk_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

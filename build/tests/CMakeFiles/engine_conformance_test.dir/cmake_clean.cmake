@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_conformance_test.dir/workload/engine_conformance_test.cpp.o"
+  "CMakeFiles/engine_conformance_test.dir/workload/engine_conformance_test.cpp.o.d"
+  "engine_conformance_test"
+  "engine_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

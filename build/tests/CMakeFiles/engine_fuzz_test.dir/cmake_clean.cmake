@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_fuzz_test.dir/workload/engine_fuzz_test.cpp.o"
+  "CMakeFiles/engine_fuzz_test.dir/workload/engine_fuzz_test.cpp.o.d"
+  "engine_fuzz_test"
+  "engine_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

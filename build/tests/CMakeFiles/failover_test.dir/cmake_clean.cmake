@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_test.dir/core/failover_test.cpp.o"
+  "CMakeFiles/failover_test.dir/core/failover_test.cpp.o.d"
+  "failover_test"
+  "failover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

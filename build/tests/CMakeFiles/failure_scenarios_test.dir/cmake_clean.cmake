@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_scenarios_test.dir/integration/failure_scenarios_test.cpp.o"
+  "CMakeFiles/failure_scenarios_test.dir/integration/failure_scenarios_test.cpp.o.d"
+  "failure_scenarios_test"
+  "failure_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_mirror_test.dir/wal/fs_mirror_test.cpp.o"
+  "CMakeFiles/fs_mirror_test.dir/wal/fs_mirror_test.cpp.o.d"
+  "fs_mirror_test"
+  "fs_mirror_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_mirror_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

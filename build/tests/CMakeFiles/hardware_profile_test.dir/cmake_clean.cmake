@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_profile_test.dir/sim/hardware_profile_test.cpp.o"
+  "CMakeFiles/hardware_profile_test.dir/sim/hardware_profile_test.cpp.o.d"
+  "hardware_profile_test"
+  "hardware_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

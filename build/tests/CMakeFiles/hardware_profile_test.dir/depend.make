@@ -1,0 +1,2 @@
+# Empty dependencies file for hardware_profile_test.
+# This may be replaced when dependencies are built.

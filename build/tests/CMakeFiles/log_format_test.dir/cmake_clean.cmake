@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_format_test.dir/wal/log_format_test.cpp.o"
+  "CMakeFiles/log_format_test.dir/wal/log_format_test.cpp.o.d"
+  "log_format_test"
+  "log_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

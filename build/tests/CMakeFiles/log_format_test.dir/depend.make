@@ -1,0 +1,2 @@
+# Empty dependencies file for log_format_test.
+# This may be replaced when dependencies are built.

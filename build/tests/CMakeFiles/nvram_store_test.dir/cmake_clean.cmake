@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvram_store_test.dir/disk/nvram_store_test.cpp.o"
+  "CMakeFiles/nvram_store_test.dir/disk/nvram_store_test.cpp.o.d"
+  "nvram_store_test"
+  "nvram_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvram_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_entry_test.dir/workload/order_entry_test.cpp.o"
+  "CMakeFiles/order_entry_test.dir/workload/order_entry_test.cpp.o.d"
+  "order_entry_test"
+  "order_entry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_basic_test.dir/core/perseas_basic_test.cpp.o"
+  "CMakeFiles/perseas_basic_test.dir/core/perseas_basic_test.cpp.o.d"
+  "perseas_basic_test"
+  "perseas_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_cost_test.dir/core/perseas_cost_test.cpp.o"
+  "CMakeFiles/perseas_cost_test.dir/core/perseas_cost_test.cpp.o.d"
+  "perseas_cost_test"
+  "perseas_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

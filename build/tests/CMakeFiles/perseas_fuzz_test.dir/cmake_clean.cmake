@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_fuzz_test.dir/core/perseas_fuzz_test.cpp.o"
+  "CMakeFiles/perseas_fuzz_test.dir/core/perseas_fuzz_test.cpp.o.d"
+  "perseas_fuzz_test"
+  "perseas_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/perseas_mirror_test.cpp" "tests/CMakeFiles/perseas_mirror_test.dir/core/perseas_mirror_test.cpp.o" "gcc" "tests/CMakeFiles/perseas_mirror_test.dir/core/perseas_mirror_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/perseas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/perseas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/perseas_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/rio/CMakeFiles/perseas_rio.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/perseas_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/netram/CMakeFiles/perseas_netram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perseas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_mirror_test.dir/core/perseas_mirror_test.cpp.o"
+  "CMakeFiles/perseas_mirror_test.dir/core/perseas_mirror_test.cpp.o.d"
+  "perseas_mirror_test"
+  "perseas_mirror_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_mirror_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

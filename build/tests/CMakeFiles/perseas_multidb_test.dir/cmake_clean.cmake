@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_multidb_test.dir/core/perseas_multidb_test.cpp.o"
+  "CMakeFiles/perseas_multidb_test.dir/core/perseas_multidb_test.cpp.o.d"
+  "perseas_multidb_test"
+  "perseas_multidb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_multidb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_recovery_test.dir/core/perseas_recovery_test.cpp.o"
+  "CMakeFiles/perseas_recovery_test.dir/core/perseas_recovery_test.cpp.o.d"
+  "perseas_recovery_test"
+  "perseas_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

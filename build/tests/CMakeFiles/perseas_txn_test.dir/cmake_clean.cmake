@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perseas_txn_test.dir/core/perseas_txn_test.cpp.o"
+  "CMakeFiles/perseas_txn_test.dir/core/perseas_txn_test.cpp.o.d"
+  "perseas_txn_test"
+  "perseas_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perseas_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_heap_test.dir/core/persistent_heap_test.cpp.o"
+  "CMakeFiles/persistent_heap_test.dir/core/persistent_heap_test.cpp.o.d"
+  "persistent_heap_test"
+  "persistent_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

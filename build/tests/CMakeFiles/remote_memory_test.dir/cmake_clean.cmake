@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_memory_test.dir/netram/remote_memory_test.cpp.o"
+  "CMakeFiles/remote_memory_test.dir/netram/remote_memory_test.cpp.o.d"
+  "remote_memory_test"
+  "remote_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_wal_test.dir/wal/remote_wal_test.cpp.o"
+  "CMakeFiles/remote_wal_test.dir/wal/remote_wal_test.cpp.o.d"
+  "remote_wal_test"
+  "remote_wal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_cache_test.dir/rio/rio_cache_test.cpp.o"
+  "CMakeFiles/rio_cache_test.dir/rio/rio_cache_test.cpp.o.d"
+  "rio_cache_test"
+  "rio_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

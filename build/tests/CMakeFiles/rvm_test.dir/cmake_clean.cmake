@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvm_test.dir/wal/rvm_test.cpp.o"
+  "CMakeFiles/rvm_test.dir/wal/rvm_test.cpp.o.d"
+  "rvm_test"
+  "rvm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_link_test.dir/netram/sci_link_test.cpp.o"
+  "CMakeFiles/sci_link_test.dir/netram/sci_link_test.cpp.o.d"
+  "sci_link_test"
+  "sci_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sci_link_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_nic_test.dir/netram/sci_nic_test.cpp.o"
+  "CMakeFiles/sci_nic_test.dir/netram/sci_nic_test.cpp.o.d"
+  "sci_nic_test"
+  "sci_nic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

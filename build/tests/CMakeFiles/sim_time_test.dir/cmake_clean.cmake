@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_time_test.dir/sim/sim_time_test.cpp.o"
+  "CMakeFiles/sim_time_test.dir/sim/sim_time_test.cpp.o.d"
+  "sim_time_test"
+  "sim_time_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

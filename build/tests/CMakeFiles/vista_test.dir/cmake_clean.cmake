@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vista_test.dir/wal/vista_test.cpp.o"
+  "CMakeFiles/vista_test.dir/wal/vista_test.cpp.o.d"
+  "vista_test"
+  "vista_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vista_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
