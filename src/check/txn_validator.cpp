@@ -1,0 +1,245 @@
+#include "check/txn_validator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "core/layout.hpp"
+#include "sim/crc32.hpp"
+
+namespace perseas::check {
+
+namespace {
+
+/// Mirrors the CRC computed by Perseas::serialize_undo: CRC-32C over the
+/// payload fields and the before-image, excluding magic and the checksum
+/// slot itself.  Recomputed here independently so the validator would catch
+/// a serializer that signs the wrong bytes.  memcpy-packed like the
+/// serializer's version: no references into unaligned storage.
+std::uint32_t expected_checksum(const core::UndoEntryHeader& hdr,
+                                std::span<const std::byte> image) {
+  std::array<std::byte, sizeof hdr.record + sizeof hdr.txn_id + sizeof hdr.offset +
+                            sizeof hdr.size>
+      fields;
+  std::byte* p = fields.data();
+  std::memcpy(p, &hdr.record, sizeof hdr.record);
+  p += sizeof hdr.record;
+  std::memcpy(p, &hdr.txn_id, sizeof hdr.txn_id);
+  p += sizeof hdr.txn_id;
+  std::memcpy(p, &hdr.offset, sizeof hdr.offset);
+  p += sizeof hdr.offset;
+  std::memcpy(p, &hdr.size, sizeof hdr.size);
+  const std::uint32_t crc = sim::crc32c(fields);
+  return sim::crc32c(image, crc) ^ 0xffffffffu;
+}
+
+}  // namespace
+
+CoverageError::CoverageError(std::uint32_t record, std::uint64_t offset, std::uint64_t length)
+    : ValidationError("uncovered write: record " + std::to_string(record) + ", offset " +
+                      std::to_string(offset) + ", length " + std::to_string(length) +
+                      " modified without a covering set_range (unrecoverable after a crash)"),
+      record_(record),
+      offset_(offset),
+      length_(length) {}
+
+void TxnValidator::reset_txn() noexcept {
+  tracked_.clear();
+  active_ = false;
+}
+
+void TxnValidator::merge_range(std::vector<ByteRange>& ranges, std::uint64_t offset,
+                               std::uint64_t size) {
+  const auto at = std::lower_bound(
+      ranges.begin(), ranges.end(), offset,
+      [](const ByteRange& r, std::uint64_t o) { return r.offset < o; });
+  auto it = ranges.insert(at, ByteRange{offset, size});
+  // Coalesce with the predecessor, then swallow successors while they
+  // overlap or touch.  set_range may be called with duplicates and
+  // overlaps; the union is what coverage is judged against.
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->size >= it->offset) {
+      prev->size = std::max(prev->offset + prev->size, it->offset + it->size) - prev->offset;
+      it = ranges.erase(it);
+      it = std::prev(it);
+    }
+  }
+  auto next = std::next(it);
+  while (next != ranges.end() && it->offset + it->size >= next->offset) {
+    it->size = std::max(it->offset + it->size, next->offset + next->size) - it->offset;
+    next = ranges.erase(next);
+  }
+}
+
+bool TxnValidator::covered(const std::vector<ByteRange>& ranges, std::uint64_t offset,
+                          std::uint64_t size) {
+  // Ranges are coalesced, so a contiguous run is covered iff one merged
+  // interval contains it entirely.
+  const auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), offset,
+      [](std::uint64_t o, const ByteRange& r) { return o < r.offset; });
+  if (it == ranges.begin()) return false;
+  const auto& r = *std::prev(it);
+  return offset >= r.offset && offset + size <= r.offset + r.size;
+}
+
+void TxnValidator::on_begin(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
+  reset_txn();
+  txn_id_ = txn_id;
+  active_ = true;
+  ++stats_.txns_observed;
+  tracked_.reserve(records.size());
+  for (const auto& r : records) {
+    TrackedRecord tr;
+    tr.index = r.index;
+    tr.snapshot.assign(r.bytes.begin(), r.bytes.end());
+    ++stats_.snapshots_taken;
+    stats_.snapshot_bytes += tr.snapshot.size();
+    tracked_.push_back(std::move(tr));
+  }
+}
+
+void TxnValidator::on_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                                std::uint64_t size) {
+  if (!active_ || txn_id != txn_id_) return;
+  for (auto& tr : tracked_) {
+    if (tr.index == record) {
+      merge_range(tr.ranges, offset, size);
+      ++stats_.ranges_tracked;
+      return;
+    }
+  }
+}
+
+void TxnValidator::on_undo_push(std::uint64_t txn_id, std::span<const std::byte> serialized,
+                                std::span<const std::byte> remote) {
+  ++stats_.undo_crosschecks;
+  if (serialized.size() != remote.size() ||
+      std::memcmp(serialized.data(), remote.data(), serialized.size()) != 0) {
+    reset_txn();
+    throw UndoMismatchError(
+        "remote undo entry does not byte-match the local serialization (txn " +
+        std::to_string(txn_id) + ")");
+  }
+  if (serialized.size() < sizeof(core::UndoEntryHeader)) {
+    reset_txn();
+    throw UndoMismatchError("undo entry shorter than its header (txn " +
+                            std::to_string(txn_id) + ")");
+  }
+  core::UndoEntryHeader hdr;
+  std::memcpy(&hdr, serialized.data(), sizeof hdr);
+  const std::span<const std::byte> image = serialized.subspan(sizeof hdr, hdr.size);
+  if (hdr.magic != core::UndoEntryHeader::kMagic || hdr.txn_id != txn_id ||
+      serialized.size() != core::undo_entry_bytes(hdr.size) ||
+      hdr.checksum != expected_checksum(hdr, image)) {
+    reset_txn();
+    throw UndoMismatchError("undo entry header/CRC is internally inconsistent (txn " +
+                            std::to_string(txn_id) + ")");
+  }
+}
+
+void TxnValidator::on_commit(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
+  if (!active_ || txn_id != txn_id_) return;
+  ++stats_.commits_checked;
+  for (const auto& view : records) {
+    const TrackedRecord* tr = nullptr;
+    for (const auto& t : tracked_) {
+      if (t.index == view.index) {
+        tr = &t;
+        break;
+      }
+    }
+    if (tr == nullptr || tr->snapshot.size() != view.bytes.size()) continue;
+
+    // Scan for modified byte runs outside the declared union.  The range
+    // cursor advances monotonically with the byte position.
+    const std::uint64_t n = tr->snapshot.size();
+    std::size_t ri = 0;
+    std::uint64_t p = 0;
+    while (p < n) {
+      if (view.bytes[p] == tr->snapshot[p]) {
+        ++p;
+        continue;
+      }
+      while (ri < tr->ranges.size() && tr->ranges[ri].offset + tr->ranges[ri].size <= p) ++ri;
+      if (ri < tr->ranges.size() && tr->ranges[ri].offset <= p) {
+        ++p;  // modified and covered
+        continue;
+      }
+      // Modified and uncovered: report the whole contiguous run of
+      // modified bytes up to the next declared range.
+      const std::uint64_t next_range =
+          ri < tr->ranges.size() ? tr->ranges[ri].offset : n;
+      std::uint64_t end = p;
+      while (end < n && end < next_range && view.bytes[end] != tr->snapshot[end]) ++end;
+      ++stats_.uncovered_writes;
+      const auto record = tr->index;
+      reset_txn();
+      throw CoverageError(record, p, end - p);
+    }
+  }
+  // Coverage holds; now flag declared ranges whose bytes never changed —
+  // their before-images were logged locally and pushed to every mirror for
+  // nothing (paper figure 6: undo traffic is the dominant per-txn cost).
+  for (const auto& tr : tracked_) {
+    const core::TxnRecordView* view = nullptr;
+    for (const auto& v : records) {
+      if (v.index == tr.index) {
+        view = &v;
+        break;
+      }
+    }
+    if (view == nullptr || view->bytes.size() != tr.snapshot.size()) continue;
+    for (const auto& r : tr.ranges) {
+      bool touched = false;
+      for (std::uint64_t p = r.offset; p < r.offset + r.size && !touched; ++p) {
+        touched = view->bytes[p] != tr.snapshot[p];
+      }
+      if (!touched) {
+        ++stats_.unused_ranges;
+        warnings_.push_back("txn " + std::to_string(txn_id) + ": declared range [" +
+                            std::to_string(r.offset) + ", " +
+                            std::to_string(r.offset + r.size) + ") of record " +
+                            std::to_string(tr.index) +
+                            " was never modified (wasted undo bandwidth)");
+      }
+    }
+  }
+  reset_txn();
+}
+
+void TxnValidator::on_abort(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
+  if (!active_ || txn_id != txn_id_) return;
+  ++stats_.aborts_checked;
+  for (const auto& view : records) {
+    const TrackedRecord* tr = nullptr;
+    for (const auto& t : tracked_) {
+      if (t.index == view.index) {
+        tr = &t;
+        break;
+      }
+    }
+    if (tr == nullptr || tr->snapshot.size() != view.bytes.size()) continue;
+    const std::uint64_t n = tr->snapshot.size();
+    for (std::uint64_t p = 0; p < n; ++p) {
+      if (view.bytes[p] == tr->snapshot[p]) continue;
+      const auto record = tr->index;
+      reset_txn();
+      throw SnapshotMismatchError(
+          "abort left record " + std::to_string(record) + " differing from its "
+          "begin snapshot at offset " + std::to_string(p) +
+          " — an uncovered write survived the rollback (txn " + std::to_string(txn_id) + ")");
+    }
+  }
+  reset_txn();
+}
+
+std::vector<ByteRange> TxnValidator::declared_ranges(std::uint32_t record) const {
+  for (const auto& tr : tracked_) {
+    if (tr.index == record) return tr.ranges;
+  }
+  return {};
+}
+
+}  // namespace perseas::check

@@ -1,0 +1,138 @@
+// Write-set validator for the PERSEAS undo-coverage contract.
+//
+// PERSEAS (like RVM) requires that every in-place write to a mapped record
+// inside a transaction be covered by a prior set_range.  An uncovered write
+// commits without complaint but is invisible to the undo log: it is not
+// rolled back on abort and not propagated on commit, so the database is
+// silently unrecoverable after a crash — the classic bug class of
+// undo-log persistent-memory systems.
+//
+// TxnValidator makes the contract machine-checked.  Installed as the
+// instance's TxnObserver (PerseasConfig::validate_writes), it
+//
+//   * snapshots every record's bytes at begin_transaction,
+//   * tracks the union of declared set_range intervals (merging duplicates
+//     and overlaps),
+//   * at commit diffs the records against their snapshots and raises
+//     CoverageError — naming record, offset, and length — for the first
+//     modified byte run not inside the declared union,
+//   * warns (a counter plus a retrievable message) about declared ranges
+//     whose bytes never changed: wasted undo bandwidth, the dominant
+//     per-transaction cost in the paper's figure 6 model,
+//   * verifies after every remote undo push that the mirror's serialized
+//     entry byte-matches the local serialization and that its embedded
+//     CRC-32C is internally consistent,
+//   * verifies after abort that every record is byte-identical to its
+//     begin snapshot.
+//
+// The validator performs plain local computation only: it never touches
+// the cluster, charges no simulated time, and adds no network traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/txn_hooks.hpp"
+
+namespace perseas::check {
+
+/// Base class of everything TxnValidator raises.
+class ValidationError : public core::PerseasError {
+ public:
+  using PerseasError::PerseasError;
+};
+
+/// A modified byte run inside a transaction was not covered by set_range.
+/// Carries the exact location so tests and tooling can pinpoint the write.
+class CoverageError : public ValidationError {
+ public:
+  CoverageError(std::uint32_t record, std::uint64_t offset, std::uint64_t length);
+
+  [[nodiscard]] std::uint32_t record() const noexcept { return record_; }
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+  [[nodiscard]] std::uint64_t length() const noexcept { return length_; }
+
+ private:
+  std::uint32_t record_;
+  std::uint64_t offset_;
+  std::uint64_t length_;
+};
+
+/// The remote undo log's bytes do not match the local serialization (or an
+/// entry's embedded checksum is inconsistent with its own payload).
+class UndoMismatchError : public ValidationError {
+ public:
+  using ValidationError::ValidationError;
+};
+
+/// After abort, a record's bytes differ from its begin_transaction
+/// snapshot — an uncovered write survived the rollback.
+class SnapshotMismatchError : public ValidationError {
+ public:
+  using ValidationError::ValidationError;
+};
+
+/// Half-open byte interval [offset, offset + size) within one record.
+struct ByteRange {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+
+class TxnValidator final : public core::TxnObserver {
+ public:
+  TxnValidator() = default;
+
+  void on_begin(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) override;
+  void on_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                    std::uint64_t size) override;
+  void on_undo_push(std::uint64_t txn_id, std::span<const std::byte> serialized,
+                    std::span<const std::byte> remote) override;
+  void on_commit(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) override;
+  void on_abort(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) override;
+
+  [[nodiscard]] const core::TxnObserverStats& stats() const noexcept override { return stats_; }
+
+  /// True between on_begin and the matching on_commit / on_abort (or until
+  /// a validation error disarmed the transaction's tracking).
+  [[nodiscard]] bool tracking() const noexcept { return active_; }
+
+  /// The merged, sorted declared ranges of `record` for the open
+  /// transaction (empty when none / not tracking).  Exposed for tests.
+  [[nodiscard]] std::vector<ByteRange> declared_ranges(std::uint32_t record) const;
+
+  /// Human-readable warnings accumulated across transactions (one per
+  /// declared-but-untouched range).  Never cleared by the validator.
+  [[nodiscard]] const std::vector<std::string>& warnings() const noexcept { return warnings_; }
+
+ private:
+  struct TrackedRecord {
+    std::uint32_t index = 0;
+    std::vector<std::byte> snapshot;
+    std::vector<ByteRange> ranges;  // sorted by offset, coalesced
+  };
+
+  /// Inserts [offset, offset+size) into `ranges`, merging overlapping and
+  /// adjacent intervals.
+  static void merge_range(std::vector<ByteRange>& ranges, std::uint64_t offset,
+                          std::uint64_t size);
+
+  /// True when [offset, offset+size) lies inside the union of `ranges`.
+  static bool covered(const std::vector<ByteRange>& ranges, std::uint64_t offset,
+                      std::uint64_t size);
+
+  void reset_txn() noexcept;
+
+  core::TxnObserverStats stats_;
+  std::vector<TrackedRecord> tracked_;
+  std::vector<std::string> warnings_;
+  std::uint64_t txn_id_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace perseas::check

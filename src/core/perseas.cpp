@@ -1,9 +1,12 @@
 #include "core/perseas.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdlib>
 #include <cstring>
 #include <new>
 
+#include "check/txn_validator.hpp"
 #include "sim/clock.hpp"
 #include "sim/crc32.hpp"
 
@@ -100,13 +103,29 @@ void Transaction::abort() {
 
 // --- construction -----------------------------------------------------------
 
+void Perseas::maybe_install_validator() {
+  if (config_.validate_writes || std::getenv("PERSEAS_VALIDATE_WRITES") != nullptr) {
+    observer_ = std::make_unique<check::TxnValidator>();
+  }
+}
+
+std::vector<TxnRecordView> Perseas::observer_views() {
+  std::vector<TxnRecordView> views;
+  views.reserve(records_.size());
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    views.push_back(TxnRecordView{i, record_bytes(i)});
+  }
+  return views;
+}
+
 Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
-                 std::vector<netram::RemoteMemoryServer*> mirrors, PerseasConfig config)
+                 const std::vector<netram::RemoteMemoryServer*>& mirrors, PerseasConfig config)
     : cluster_(&cluster),
       local_(local),
-      config_(config),
+      config_(std::move(config)),
       client_(cluster, local),
-      undo_capacity_(config.undo_capacity) {
+      undo_capacity_(config_.undo_capacity) {
+  maybe_install_validator();
   if (mirrors.empty()) throw UsageError("Perseas: at least one mirror is required");
   for (auto* server : mirrors) {
     if (server == nullptr) throw UsageError("Perseas: null mirror server");
@@ -121,7 +140,9 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
 }
 
 Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config)
-    : cluster_(&cluster), local_(local), config_(config), client_(cluster, local) {}
+    : cluster_(&cluster), local_(local), config_(std::move(config)), client_(cluster, local) {
+  maybe_install_validator();
+}
 
 void Perseas::create_mirror_segments(Mirror& m) {
   try {
@@ -253,6 +274,10 @@ Transaction Perseas::begin_transaction() {
   undo_.clear();
   undo_used_ = 0;
   ++txn_counter_;
+  if (observer_) {
+    const auto views = observer_views();
+    observer_->on_begin(txn_counter_, views);
+  }
   return Transaction{this, txn_counter_};
 }
 
@@ -261,14 +286,24 @@ Transaction Perseas::begin_transaction() {
 namespace {
 
 /// CRC-32C over the entry's payload fields and before-image (the magic and
-/// the checksum slot itself are excluded).
+/// the checksum slot itself are excluded).  The fields are memcpy'd into a
+/// packed buffer so the computation never forms references into a header
+/// that may live at an arbitrary log offset; chaining over the packed
+/// bytes produces the identical CRC as the per-field version.
 std::uint32_t undo_entry_checksum(const UndoEntryHeader& hdr,
                                   std::span<const std::byte> image) {
-  std::uint32_t crc = sim::crc32c(
-      {reinterpret_cast<const std::byte*>(&hdr.record), sizeof hdr.record});
-  crc = sim::crc32c({reinterpret_cast<const std::byte*>(&hdr.txn_id), sizeof hdr.txn_id}, crc);
-  crc = sim::crc32c({reinterpret_cast<const std::byte*>(&hdr.offset), sizeof hdr.offset}, crc);
-  crc = sim::crc32c({reinterpret_cast<const std::byte*>(&hdr.size), sizeof hdr.size}, crc);
+  std::array<std::byte, sizeof hdr.record + sizeof hdr.txn_id + sizeof hdr.offset +
+                            sizeof hdr.size>
+      fields;
+  std::byte* p = fields.data();
+  std::memcpy(p, &hdr.record, sizeof hdr.record);
+  p += sizeof hdr.record;
+  std::memcpy(p, &hdr.txn_id, sizeof hdr.txn_id);
+  p += sizeof hdr.txn_id;
+  std::memcpy(p, &hdr.offset, sizeof hdr.offset);
+  p += sizeof hdr.offset;
+  std::memcpy(p, &hdr.size, sizeof hdr.size);
+  const std::uint32_t crc = sim::crc32c(fields);
   return sim::crc32c(image, crc) ^ 0xffffffffu;
 }
 
@@ -293,6 +328,13 @@ void Perseas::push_undo_entry(const LocalUndo& u, std::uint64_t txn_id) {
     client_.sci_memcpy_write(m.undo, undo_used_, buf, netram::StreamHint::kNewBurst,
                              config_.optimized_sci_memcpy);
     stats_.bytes_undo_remote += buf.size();
+    if (observer_) {
+      // Peek at the mirror's memory directly (no simulated traffic): the
+      // serialized entry just written must byte-match the local log.
+      const auto remote =
+          cluster_->node(m.server->host()).mem(m.undo.offset + undo_used_, buf.size());
+      observer_->on_undo_push(txn_id, buf, remote);
+    }
   }
 }
 
@@ -346,6 +388,7 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   if (offset + size > records_[record].size || offset + size < offset) {
     throw UsageError("set_range: range exceeds record");
   }
+  if (observer_) observer_->on_set_range(txn_id, record, offset, size);
 
   LocalUndo u;
   u.record = record;
@@ -374,6 +417,14 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
 void Perseas::txn_commit(std::uint64_t txn_id) {
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_commit);
   if (!in_txn_) throw UsageError("commit: no active transaction");
+
+  if (observer_) {
+    // Nothing has been propagated yet: a CoverageError here leaves the
+    // transaction active and both database images untouched, so the caller
+    // can still abort locally.
+    const auto views = observer_views();
+    observer_->on_commit(txn_id, views);
+  }
 
   if (!config_.eager_remote_undo) {
     // Lazy mode: make the undo images durable on the mirrors now, before
@@ -456,6 +507,13 @@ void Perseas::txn_abort() {
   undo_.clear();
   in_txn_ = false;
   ++stats_.txns_aborted;
+  if (observer_) {
+    // The declared before-images are restored; every record must now be
+    // byte-identical to its begin snapshot or an uncovered write leaked
+    // through the rollback.
+    const auto views = observer_views();
+    observer_->on_abort(txn_counter_, views);
+  }
   cluster_->failures().notify(kAbortDone);
 }
 
@@ -502,7 +560,7 @@ void Perseas::rebuild_mirror(std::uint32_t index) {
 }
 
 Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
-                         std::vector<netram::RemoteMemoryServer*> servers,
+                         const std::vector<netram::RemoteMemoryServer*>& servers,
                          PerseasConfig config) {
   Perseas p{AttachTag{}, cluster, new_local, config};
 

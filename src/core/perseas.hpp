@@ -30,16 +30,25 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/errors.hpp"
 #include "core/layout.hpp"
+#include "core/txn_hooks.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
 
 namespace perseas::core {
+
+/// True when `p` satisfies `align` (a power of two).  RecordHandle's typed
+/// views check this before reinterpret_cast: dereferencing a misaligned
+/// pointer is undefined behaviour, not a slow path.
+[[nodiscard]] inline bool is_aligned_for(const void* p, std::size_t align) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
 
 struct PerseasConfig {
   /// Name of this database: namespaces its segment keys on the mirrors, so
@@ -58,6 +67,15 @@ struct PerseasConfig {
   bool eager_remote_undo = true;
   /// Use the aligned-64-byte sci_memcpy optimization (paper section 4).
   bool optimized_sci_memcpy = true;
+  /// Install check::TxnValidator as this instance's transaction observer:
+  /// every record is snapshotted at begin_transaction and commit verifies
+  /// that all modified bytes were covered by set_range (raising
+  /// check::CoverageError otherwise), that abort restored the snapshot,
+  /// and that remote undo entries byte-match the local log.  Debug/test
+  /// facility: costs real memory and CPU per transaction but charges no
+  /// simulated time.  Off by default; the environment variable
+  /// PERSEAS_VALIDATE_WRITES=1 force-enables it (CI sanitizer runs).
+  bool validate_writes = false;
 };
 
 struct PerseasStats {
@@ -96,20 +114,28 @@ class RecordHandle {
   /// transaction must be covered by a prior set_range.
   [[nodiscard]] std::span<std::byte> bytes() const;
 
-  /// Typed view; T must be trivially copyable and fit the record.
+  /// Typed view; T must be trivially copyable, fit the record, and be
+  /// satisfiable by the record's alignment (the arena aligns every record
+  /// to 64 bytes, so only over-aligned types can fail).
   template <typename T>
   [[nodiscard]] T& as() const {
     static_assert(std::is_trivially_copyable_v<T>);
     auto b = bytes();
     if (sizeof(T) > b.size()) throw UsageError("RecordHandle::as: type larger than record");
+    if (!is_aligned_for(b.data(), alignof(T))) {
+      throw UsageError("RecordHandle::as: record storage is misaligned for this type");
+    }
     return *reinterpret_cast<T*>(b.data());
   }
 
-  /// Typed array view over the whole record.
+  /// Typed array view over the whole record (same alignment contract).
   template <typename T>
   [[nodiscard]] std::span<T> array() const {
     static_assert(std::is_trivially_copyable_v<T>);
     auto b = bytes();
+    if (!is_aligned_for(b.data(), alignof(T))) {
+      throw UsageError("RecordHandle::array: record storage is misaligned for this type");
+    }
     return {reinterpret_cast<T*>(b.data()), b.size() / sizeof(T)};
   }
 
@@ -158,7 +184,7 @@ class Perseas {
   /// PERSEAS_init: attaches to the cluster on `local` and prepares mirror
   /// state on every server in `mirrors` (>= 1, hosts distinct from local).
   Perseas(netram::Cluster& cluster, netram::NodeId local,
-          std::vector<netram::RemoteMemoryServer*> mirrors, PerseasConfig config = {});
+          const std::vector<netram::RemoteMemoryServer*>& mirrors, PerseasConfig config = {});
 
   Perseas(Perseas&&) noexcept = default;
   Perseas& operator=(Perseas&&) noexcept = default;
@@ -191,6 +217,19 @@ class Perseas {
   [[nodiscard]] const PerseasConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool in_transaction() const noexcept { return in_txn_; }
 
+  /// True when a transaction observer (the write-set validator) is
+  /// installed; see PerseasConfig::validate_writes.
+  [[nodiscard]] bool validating() const noexcept { return observer_ != nullptr; }
+  /// The installed observer, or nullptr (tests downcast to
+  /// check::TxnValidator for its extended accessors).
+  [[nodiscard]] TxnObserver* txn_observer() noexcept { return observer_.get(); }
+  /// Observer counters; all-zero when no observer is installed, which is
+  /// how tests assert the validator's strict zero-overhead-when-off
+  /// property (no snapshots taken, nothing tracked).
+  [[nodiscard]] TxnObserverStats validator_stats() const noexcept {
+    return observer_ ? observer_->stats() : TxnObserverStats{};
+  }
+
   /// Rebuilds mirror `index` (whose server lost its exports in a crash and
   /// has been restarted) from the local database: re-exports all segments
   /// and pushes metadata and record contents.
@@ -212,7 +251,7 @@ class Perseas {
   /// died, then pulls every record into local memory and re-synchronizes
   /// any additional reachable mirrors.
   static Perseas recover(netram::Cluster& cluster, netram::NodeId new_local,
-                         std::vector<netram::RemoteMemoryServer*> servers,
+                         const std::vector<netram::RemoteMemoryServer*>& servers,
                          PerseasConfig config = {});
 
  private:
@@ -243,6 +282,12 @@ class Perseas {
   Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config);
 
   [[nodiscard]] std::span<std::byte> record_bytes(std::uint32_t index);
+  /// Builds the record views handed to the observer (observer installed
+  /// only: never called on the validation-off path).
+  [[nodiscard]] std::vector<TxnRecordView> observer_views();
+  /// Installs check::TxnValidator when the config (or the
+  /// PERSEAS_VALIDATE_WRITES environment variable) asks for it.
+  void maybe_install_validator();
   void create_mirror_segments(Mirror& m);
   void push_meta(Mirror& m);
   void push_record(Mirror& m, std::uint32_t index);
@@ -273,6 +318,9 @@ class Perseas {
   std::uint64_t undo_capacity_ = 0;
   std::uint64_t undo_used_ = 0;
   std::vector<LocalUndo> undo_;
+
+  /// Installed by maybe_install_validator; hooks fire only when non-null.
+  std::unique_ptr<TxnObserver> observer_;
 
   PerseasStats stats_;
 };

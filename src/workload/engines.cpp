@@ -7,7 +7,7 @@ namespace perseas::workload {
 PerseasEngine::PerseasEngine(netram::Cluster& cluster, netram::NodeId local,
                              std::vector<netram::RemoteMemoryServer*> mirrors,
                              std::uint64_t db_size, core::PerseasConfig config)
-    : cluster_(&cluster), db_(cluster, local, std::move(mirrors), config) {
+    : cluster_(&cluster), db_(cluster, local, mirrors, std::move(config)) {
   record_ = db_.persistent_malloc(db_size);
   db_.init_remote_db();
 }

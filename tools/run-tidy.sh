@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Runs clang-tidy with the repo's .clang-tidy over every first-party source
+# file (src/, bench/, examples/; tests are covered when TIDY_TESTS=1).
+#
+#   tools/run-tidy.sh [build-dir]
+#
+# Needs a configured build directory containing compile_commands.json
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default; any `cmake -B build -S .`
+# produces it).  Honors $CLANG_TIDY to select a specific binary.  When no
+# clang-tidy is installed the script is a no-op that exits 0, so the gate
+# degrades gracefully on machines without LLVM tooling; CI installs
+# clang-tidy and runs the real thing.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      TIDY="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run-tidy: clang-tidy not found; skipping (install clang-tidy to run this gate)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run-tidy: generating $BUILD_DIR/compile_commands.json" >&2
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+fi
+
+FILES=$(find src bench examples -name '*.cpp' | sort)
+if [ "${TIDY_TESTS:-0}" = "1" ]; then
+  FILES="$FILES $(find tests -name '*.cpp' | sort)"
+fi
+
+echo "run-tidy: $TIDY over $(echo "$FILES" | wc -w) files (build dir: $BUILD_DIR)" >&2
+STATUS=0
+for f in $FILES; do
+  # --quiet suppresses the "N warnings generated" chatter; findings still
+  # print and, via WarningsAsErrors in .clang-tidy, fail the run.
+  "$TIDY" --quiet -p "$BUILD_DIR" "$f" || STATUS=1
+done
+if [ "$STATUS" -ne 0 ]; then
+  echo "run-tidy: FAILED (findings above)" >&2
+else
+  echo "run-tidy: clean" >&2
+fi
+exit "$STATUS"
