@@ -18,17 +18,28 @@ workload::LabOptions lab_options() {
   return options;
 }
 
-void print_figure6() {
+void print_figure6(bench::Harness& harness) {
   bench::print_header("Figure 6: PERSEAS transaction overhead vs transaction size",
                       "Papathanasiou & Markatos 1997, figure 6");
   std::printf("%12s %18s %18s\n", "txn bytes", "overhead (us)", "txns/s");
-  for (std::uint64_t size = 4; size <= (1 << 20); size *= 4) {
-    workload::EngineLab lab(workload::EngineKind::kPerseas, lab_options());
+  const std::uint64_t max_size = harness.quick() ? 4096 : (1 << 20);
+  for (std::uint64_t size = 4; size <= max_size; size *= 4) {
+    workload::LabOptions lo = lab_options();
+    lo.trace = harness.trace();
+    lo.metrics = harness.metrics();
+    lo.trace_label = "perseas txn=" + std::to_string(size) + "B";
+    workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
     workload::SyntheticWorkload w(lab.engine(), size);
-    const std::uint64_t n = size >= (1 << 18) ? 30 : 2000;
+    const std::uint64_t n = harness.quick() ? 200 : (size >= (1 << 18) ? 30 : 2000);
     const auto result = w.run(n);
     std::printf("%12llu %18.2f %18.0f\n", static_cast<unsigned long long>(size),
                 result.latency.mean_us(), result.txns_per_second());
+    harness.add_row(obs::Json::object()
+                        .set("txn_bytes", size)
+                        .set("txns", n)
+                        .set("mean_us", result.latency.mean_us())
+                        .set("txns_per_second", result.txns_per_second()));
+    if (harness.metrics() != nullptr) lab.export_metrics(*harness.metrics());
   }
   std::printf("\nanchors: very small transactions complete in < 8 us\n"
               "         (> 100,000 txns/s); 1 MB transactions in < 0.1 s.\n");
@@ -48,6 +59,10 @@ void bm_perseas_txn(benchmark::State& state) {
 BENCHMARK(bm_perseas_txn)->UseManualTime()->RangeMultiplier(8)->Range(4, 1 << 20);
 
 int main(int argc, char** argv) {
-  print_figure6();
-  return perseas::bench::run_registered_benchmarks(argc, argv);
+  perseas::bench::Harness harness("fig6_txn_overhead", argc, argv);
+  print_figure6(harness);
+  const bool ok = harness.finish();
+  if (harness.quick()) return ok ? 0 : 1;  // CI smoke runs skip google-benchmark
+  const int rc = perseas::bench::run_registered_benchmarks(argc, argv);
+  return ok ? rc : 1;
 }

@@ -14,33 +14,43 @@ namespace {
 
 using namespace perseas;
 
-workload::WorkloadResult run_debit_credit(const workload::DebitCreditOptions& o,
+workload::WorkloadResult run_debit_credit(bench::Harness& harness,
+                                          const workload::DebitCreditOptions& o,
                                           std::uint64_t txns) {
   workload::LabOptions lo;
   lo.db_size = workload::DebitCredit::required_db_size(o);
   lo.perseas.undo_capacity = 4 << 20;
+  lo.trace = harness.trace();
+  lo.metrics = harness.metrics();
+  lo.trace_label = "perseas debit-credit";
   workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
   workload::DebitCredit w(lab.engine(), o);
   w.load();
   auto result = w.run(txns);
   w.check_invariants();
+  if (harness.metrics() != nullptr) lab.export_metrics(*harness.metrics());
   return result;
 }
 
-workload::WorkloadResult run_order_entry(const workload::OrderEntryOptions& o,
+workload::WorkloadResult run_order_entry(bench::Harness& harness,
+                                         const workload::OrderEntryOptions& o,
                                          std::uint64_t txns) {
   workload::LabOptions lo;
   lo.db_size = workload::OrderEntry::required_db_size(o);
   lo.perseas.undo_capacity = 4 << 20;
+  lo.trace = harness.trace();
+  lo.metrics = harness.metrics();
+  lo.trace_label = "perseas order-entry";
   workload::EngineLab lab(workload::EngineKind::kPerseas, lo);
   workload::OrderEntry w(lab.engine(), o);
   w.load();
   auto result = w.run(txns);
   w.check_invariants();
+  if (harness.metrics() != nullptr) lab.export_metrics(*harness.metrics());
   return result;
 }
 
-void print_table1() {
+void print_table1(bench::Harness& harness) {
   bench::print_header("Table 1: PERSEAS throughput for debit-credit and order-entry",
                       "Papathanasiou & Markatos 1997, table 1");
 
@@ -50,9 +60,16 @@ void print_table1() {
     workload::DebitCreditOptions o;
     o.accounts_per_branch = accounts;
     const auto size = workload::DebitCredit::required_db_size(o);
-    const auto r = run_debit_credit(o, 10'000);
+    const std::uint64_t txns = harness.quick() ? 500 : 10'000;
+    const auto r = run_debit_credit(harness, o, txns);
     std::printf("%16llu %14.0f %14.2f\n", static_cast<unsigned long long>(size),
                 r.txns_per_second(), r.latency.mean_us());
+    harness.add_row(obs::Json::object()
+                        .set("workload", "debit-credit")
+                        .set("db_bytes", size)
+                        .set("txns", txns)
+                        .set("mean_us", r.latency.mean_us())
+                        .set("txns_per_second", r.txns_per_second()));
   }
 
   std::printf("\n--- order-entry (TPC-C style), various database sizes ---\n");
@@ -61,9 +78,16 @@ void print_table1() {
     workload::OrderEntryOptions o;
     o.items = items;
     const auto size = workload::OrderEntry::required_db_size(o);
-    const auto r = run_order_entry(o, 5'000);
+    const std::uint64_t txns = harness.quick() ? 250 : 5'000;
+    const auto r = run_order_entry(harness, o, txns);
     std::printf("%16llu %14.0f %14.2f\n", static_cast<unsigned long long>(size),
                 r.txns_per_second(), r.latency.mean_us());
+    harness.add_row(obs::Json::object()
+                        .set("workload", "order-entry")
+                        .set("db_bytes", size)
+                        .set("txns", txns)
+                        .set("mean_us", r.latency.mean_us())
+                        .set("txns_per_second", r.txns_per_second()));
   }
 
   std::printf("\npaper table 1: debit-credit > 20,000 txns/s; order-entry in the\n"
@@ -98,6 +122,10 @@ BENCHMARK(bm_debit_credit)->UseManualTime();
 BENCHMARK(bm_order_entry)->UseManualTime();
 
 int main(int argc, char** argv) {
-  print_table1();
-  return perseas::bench::run_registered_benchmarks(argc, argv);
+  perseas::bench::Harness harness("table1_macro", argc, argv);
+  print_table1(harness);
+  const bool ok = harness.finish();
+  if (harness.quick()) return ok ? 0 : 1;  // CI smoke runs skip google-benchmark
+  const int rc = perseas::bench::run_registered_benchmarks(argc, argv);
+  return ok ? rc : 1;
 }

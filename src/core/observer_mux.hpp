@@ -1,0 +1,89 @@
+// Fan-out TxnObserver: lets several observers watch one Perseas instance.
+//
+// PR 1 installed at most one observer (check::TxnValidator); the
+// observability subsystem adds obs::TxnTracer, and both must be able to run
+// together — the validator keeps its veto power (its hooks run first, so a
+// CoverageError still aborts the commit before any propagation), while the
+// tracer sees every hook that was not vetoed.  Children run in insertion
+// order; a throwing child stops the fan-out, exactly as if it were the only
+// observer.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/txn_hooks.hpp"
+
+namespace perseas::core {
+
+class TxnObserverMux final : public TxnObserver {
+ public:
+  TxnObserverMux() = default;
+
+  void add(std::unique_ptr<TxnObserver> child) {
+    if (child != nullptr) children_.push_back(std::move(child));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return children_.size(); }
+  [[nodiscard]] TxnObserver* child(std::size_t i) noexcept {
+    return i < children_.size() ? children_[i].get() : nullptr;
+  }
+
+  void on_begin(std::uint64_t txn_id, std::span<const TxnRecordView> records) override {
+    for (auto& c : children_) c->on_begin(txn_id, records);
+  }
+
+  void on_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                    std::uint64_t size) override {
+    for (auto& c : children_) c->on_set_range(txn_id, record, offset, size);
+  }
+
+  void on_undo_push(std::uint64_t txn_id, std::span<const std::byte> serialized,
+                    std::span<const std::byte> remote) override {
+    for (auto& c : children_) c->on_undo_push(txn_id, serialized, remote);
+  }
+
+  void on_commit(std::uint64_t txn_id, std::span<const TxnRecordView> records) override {
+    for (auto& c : children_) c->on_commit(txn_id, records);
+  }
+
+  void on_abort(std::uint64_t txn_id, std::span<const TxnRecordView> records) override {
+    for (auto& c : children_) c->on_abort(txn_id, records);
+  }
+
+  void on_phase(std::uint64_t txn_id, TxnPhase phase, sim::SimTime start,
+                sim::SimDuration duration, std::uint64_t bytes, std::uint32_t mirror) override {
+    for (auto& c : children_) c->on_phase(txn_id, phase, start, duration, bytes, mirror);
+  }
+
+  void on_commit_complete(std::uint64_t txn_id) override {
+    for (auto& c : children_) c->on_commit_complete(txn_id);
+  }
+
+  /// Field-wise sum over the children (so Perseas::validator_stats keeps
+  /// reporting the validator's counters when a tracer rides along — the
+  /// tracer's TxnObserverStats stay all-zero by design).
+  [[nodiscard]] const TxnObserverStats& stats() const noexcept override {
+    merged_ = TxnObserverStats{};
+    for (const auto& c : children_) {
+      const TxnObserverStats& s = c->stats();
+      merged_.txns_observed += s.txns_observed;
+      merged_.snapshots_taken += s.snapshots_taken;
+      merged_.snapshot_bytes += s.snapshot_bytes;
+      merged_.ranges_tracked += s.ranges_tracked;
+      merged_.commits_checked += s.commits_checked;
+      merged_.aborts_checked += s.aborts_checked;
+      merged_.undo_crosschecks += s.undo_crosschecks;
+      merged_.uncovered_writes += s.uncovered_writes;
+      merged_.unused_ranges += s.unused_ranges;
+    }
+    return merged_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<TxnObserver>> children_;
+  mutable TxnObserverStats merged_;
+};
+
+}  // namespace perseas::core

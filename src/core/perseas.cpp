@@ -7,6 +7,8 @@
 #include <new>
 
 #include "check/txn_validator.hpp"
+#include "core/observer_mux.hpp"
+#include "obs/txn_tracer.hpp"
 #include "sim/clock.hpp"
 #include "sim/crc32.hpp"
 
@@ -103,9 +105,135 @@ void Transaction::abort() {
 
 // --- construction -----------------------------------------------------------
 
-void Perseas::maybe_install_validator() {
+namespace {
+
+/// Non-empty value of environment variable `name`, or nullptr.
+const char* env_path(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+void Perseas::maybe_install_observers() {
+  std::unique_ptr<TxnObserver> validator;
   if (config_.validate_writes || std::getenv("PERSEAS_VALIDATE_WRITES") != nullptr) {
-    observer_ = std::make_unique<check::TxnValidator>();
+    validator = std::make_unique<check::TxnValidator>();
+  }
+
+  // Config pointers win; the environment variables only kick in when the
+  // caller wired nothing, and then the instance owns the sinks and dumps
+  // them at destruction.
+  obs::TraceRecorder* trace = config_.trace;
+  obs::MetricsRegistry* metrics = config_.metrics;
+  if (trace == nullptr && metrics == nullptr) {
+    if (const char* path = env_path("PERSEAS_TRACE")) {
+      owned_trace_ = std::make_unique<obs::TraceRecorder>();
+      owned_trace_path_ = path;
+      trace = owned_trace_.get();
+    }
+    if (const char* path = env_path("PERSEAS_METRICS")) {
+      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+      owned_metrics_path_ = path;
+      metrics = owned_metrics_.get();
+    }
+  }
+
+  std::unique_ptr<TxnObserver> tracer;
+  if (trace != nullptr || metrics != nullptr) {
+    std::uint32_t track = config_.trace_track;
+    if (trace != nullptr && track == 0) {
+      track = trace->register_track("perseas:" + config_.name);
+      trace->set_thread_name(track, static_cast<std::uint32_t>(local_),
+                             "node-" + std::to_string(local_));
+    }
+    tracer = std::make_unique<obs::TxnTracer>(cluster_->clock(), trace, track, metrics,
+                                              static_cast<std::uint32_t>(local_));
+  }
+
+  if (validator != nullptr && tracer != nullptr) {
+    auto mux = std::make_unique<TxnObserverMux>();
+    mux->add(std::move(validator));  // first: a veto throw skips the tracer
+    mux->add(std::move(tracer));
+    observer_ = std::move(mux);
+  } else if (validator != nullptr) {
+    observer_ = std::move(validator);
+  } else {
+    observer_ = std::move(tracer);
+  }
+}
+
+void Perseas::flush_owned_observability() noexcept {
+  try {
+    if (owned_metrics_ != nullptr) {
+      export_metrics(*owned_metrics_);
+      owned_metrics_->save(owned_metrics_path_);
+      owned_metrics_.reset();
+    }
+    if (owned_trace_ != nullptr) {
+      owned_trace_->save(owned_trace_path_);
+      owned_trace_.reset();
+    }
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructor path: a failed dump must not terminate the program.
+  }
+}
+
+Perseas::~Perseas() { flush_owned_observability(); }
+
+void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
+  const std::string db = "db=\"" + config_.name + "\"";
+  const auto count = [&](std::string_view name, std::string_view help, std::uint64_t v,
+                         const std::string& labels) { reg.counter(name, help, labels).add(v); };
+
+  count("perseas_txns_total", "Transactions finished, by outcome", stats_.txns_committed,
+        db + ",outcome=\"committed\"");
+  count("perseas_txns_total", "Transactions finished, by outcome", stats_.txns_aborted,
+        db + ",outcome=\"aborted\"");
+  count("perseas_set_ranges_total", "set_range declarations", stats_.set_ranges, db);
+  count("perseas_undo_growths_total", "Undo-log doubling events", stats_.undo_growths, db);
+  count("perseas_mirror_rebuilds_total", "rebuild_mirror invocations", stats_.mirror_rebuilds,
+        db);
+
+  // The per-channel byte counters the acceptance check compares against
+  // PerseasStats: undo (local memcpy / remote push) and propagation.
+  const char* bytes_help = "Bytes moved per PERSEAS channel";
+  count("perseas_bytes_total", bytes_help, stats_.bytes_undo_local,
+        db + ",channel=\"undo_local\"");
+  count("perseas_bytes_total", bytes_help, stats_.bytes_undo_remote,
+        db + ",channel=\"undo_remote\"");
+  count("perseas_bytes_total", bytes_help, stats_.bytes_propagated,
+        db + ",channel=\"propagate\"");
+
+  // Simulated nanoseconds per protocol phase (exact integers; figure 3's
+  // cost decomposition).
+  const char* phase_help = "Simulated nanoseconds spent per protocol phase";
+  count("perseas_phase_ns_total", phase_help, static_cast<std::uint64_t>(stats_.time_local_undo),
+        db + ",phase=\"local_undo\"");
+  count("perseas_phase_ns_total", phase_help,
+        static_cast<std::uint64_t>(stats_.time_remote_undo), db + ",phase=\"remote_undo\"");
+  count("perseas_phase_ns_total", phase_help,
+        static_cast<std::uint64_t>(stats_.time_propagation), db + ",phase=\"propagate\"");
+  count("perseas_phase_ns_total", phase_help,
+        static_cast<std::uint64_t>(stats_.time_commit_flags), db + ",phase=\"commit_flags\"");
+
+  reg.gauge("perseas_undo_capacity_bytes", "Current undo-log capacity", db)
+      .set(static_cast<double>(undo_capacity_));
+  reg.gauge("perseas_undo_used_bytes", "Undo-log bytes occupied by the open transaction", db)
+      .set(static_cast<double>(undo_used_));
+  reg.gauge("perseas_mirrors", "Configured replication degree", db)
+      .set(static_cast<double>(mirrors_.size()));
+  reg.gauge("perseas_records", "Persistent records allocated", db)
+      .set(static_cast<double>(records_.size()));
+
+  if (observer_) {
+    const TxnObserverStats v = validator_stats();
+    count("perseas_validator_commits_checked_total", "Commits diffed by check::TxnValidator",
+          v.commits_checked, db);
+    count("perseas_validator_uncovered_writes_total", "CoverageErrors raised",
+          v.uncovered_writes, db);
+    count("perseas_validator_snapshot_bytes_total", "Bytes snapshotted by the validator",
+          v.snapshot_bytes, db);
   }
 }
 
@@ -125,7 +253,7 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
       config_(std::move(config)),
       client_(cluster, local),
       undo_capacity_(config_.undo_capacity) {
-  maybe_install_validator();
+  maybe_install_observers();
   if (mirrors.empty()) throw UsageError("Perseas: at least one mirror is required");
   for (auto* server : mirrors) {
     if (server == nullptr) throw UsageError("Perseas: null mirror server");
@@ -141,7 +269,7 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
 
 Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config)
     : cluster_(&cluster), local_(local), config_(std::move(config)), client_(cluster, local) {
-  maybe_install_validator();
+  maybe_install_observers();
 }
 
 void Perseas::create_mirror_segments(Mirror& m) {
@@ -400,6 +528,10 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   stats_.time_local_undo += local_watch.elapsed();
   stats_.bytes_undo_local += size;
   ++stats_.set_ranges;
+  if (observer_) {
+    observer_->on_phase(txn_id, TxnPhase::kLocalUndo, local_watch.start(),
+                        local_watch.elapsed(), size, 0);
+  }
   cluster_->failures().notify(kAfterLocalUndo);
 
   if (config_.eager_remote_undo) {
@@ -409,6 +541,10 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
     push_undo_entry(u, txn_id);  // figure 3, step 2
     undo_used_ += needed;
     stats_.time_remote_undo += remote_watch.elapsed();
+    if (observer_) {
+      observer_->on_phase(txn_id, TxnPhase::kRemoteUndo, remote_watch.start(),
+                          remote_watch.elapsed(), needed * mirrors_.size(), 0);
+    }
     cluster_->failures().notify(kAfterRemoteUndo);
   }
   undo_.push_back(std::move(u));
@@ -444,16 +580,22 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
       }
     }
     stats_.time_remote_undo += remote_watch.elapsed();
+    if (observer_) {
+      observer_->on_phase(txn_id, TxnPhase::kRemoteUndo, remote_watch.start(),
+                          remote_watch.elapsed(), total * mirrors_.size(), 0);
+    }
   }
 
   if (undo_.empty()) {  // read-only transaction: nothing to propagate
     in_txn_ = false;
     ++stats_.txns_committed;
+    if (observer_) observer_->on_commit_complete(txn_id);
     cluster_->failures().notify(kCommitDone);
     return;
   }
 
-  for (auto& m : mirrors_) {
+  for (std::uint32_t mi = 0; mi < mirrors_.size(); ++mi) {
+    Mirror& m = mirrors_[mi];
     // Announce the propagation: from here until the clearing store, the
     // mirror's database image may be partially updated and recovery must
     // roll it back with the remote undo log.  The announcement carries the
@@ -463,18 +605,28 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(flag),
                              netram::StreamHint::kNewBurst, false);
     stats_.time_commit_flags += set_watch.elapsed();
+    if (observer_) {
+      observer_->on_phase(txn_id, TxnPhase::kFlagSet, set_watch.start(), set_watch.elapsed(),
+                          sizeof flag, mi);
+    }
     cluster_->failures().notify(kAfterFlagSet);
 
     const sim::StopWatch propagate_watch(cluster_->clock());
+    std::uint64_t mirror_bytes = 0;
     for (const auto& u : undo_) {  // figure 3, step 3
       const auto data = record_bytes(u.record).subspan(u.offset, u.before.size());
       client_.sci_memcpy_write(m.db[u.record], u.offset, data,
                                netram::StreamHint::kContinuation,
                                config_.optimized_sci_memcpy);
       stats_.bytes_propagated += data.size();
+      mirror_bytes += data.size();
       cluster_->failures().notify(kAfterRangeCopy);
     }
     stats_.time_propagation += propagate_watch.elapsed();
+    if (observer_) {
+      observer_->on_phase(txn_id, TxnPhase::kPropagate, propagate_watch.start(),
+                          propagate_watch.elapsed(), mirror_bytes, mi);
+    }
 
     cluster_->failures().notify(kBeforeFlagClear);
     // THE commit point (for this mirror): the store clearing the flag.
@@ -483,11 +635,16 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
                              netram::StreamHint::kContinuation, false);
     stats_.time_commit_flags += clear_watch.elapsed();
+    if (observer_) {
+      observer_->on_phase(txn_id, TxnPhase::kFlagClear, clear_watch.start(),
+                          clear_watch.elapsed(), sizeof clear, mi);
+    }
   }
 
   undo_.clear();
   in_txn_ = false;
   ++stats_.txns_committed;
+  if (observer_) observer_->on_commit_complete(txn_id);
   cluster_->failures().notify(kCommitDone);
 }
 

@@ -40,6 +40,8 @@
 #include "core/txn_hooks.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perseas::core {
 
@@ -76,6 +78,19 @@ struct PerseasConfig {
   /// simulated time.  Off by default; the environment variable
   /// PERSEAS_VALIDATE_WRITES=1 force-enables it (CI sanitizer runs).
   bool validate_writes = false;
+  /// Observability (obs::TxnTracer) — both are optional, not owned, and
+  /// must outlive the instance.  When `trace` is set, every transaction
+  /// emits Perfetto spans on `trace_track` (0 = the instance registers its
+  /// own track named after the database); when `metrics` is set, txn
+  /// latency and per-phase histograms are observed live.  When *neither*
+  /// is set, the environment variables PERSEAS_TRACE=<path> and
+  /// PERSEAS_METRICS=<path> make the instance own a recorder/registry and
+  /// dump them at destruction.  Composes with validate_writes through
+  /// core::TxnObserverMux (validator keeps its veto).  Like validation,
+  /// observability charges no simulated time or traffic.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_track = 0;
 };
 
 struct PerseasStats {
@@ -190,7 +205,9 @@ class Perseas {
   Perseas& operator=(Perseas&&) noexcept = default;
   Perseas(const Perseas&) = delete;
   Perseas& operator=(const Perseas&) = delete;
-  ~Perseas() = default;
+  /// Flushes environment-variable-owned observability (PERSEAS_TRACE /
+  /// PERSEAS_METRICS dumps); no-op otherwise.
+  ~Perseas();
 
   /// PERSEAS_malloc: allocates a persistent record of `size` bytes in local
   /// memory and reserves its mirror segments.  Zero-initialized.
@@ -217,9 +234,15 @@ class Perseas {
   [[nodiscard]] const PerseasConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool in_transaction() const noexcept { return in_txn_; }
 
-  /// True when a transaction observer (the write-set validator) is
-  /// installed; see PerseasConfig::validate_writes.
+  /// True when any transaction observer (validator and/or tracer) is
+  /// installed; see PerseasConfig::validate_writes / trace / metrics.
   [[nodiscard]] bool validating() const noexcept { return observer_ != nullptr; }
+
+  /// Folds PerseasStats (plus undo-log occupancy and observer counters)
+  /// into `reg` as perseas_* metrics labelled db="<name>".  Call once per
+  /// instance per registry, right before serialization: the stats struct
+  /// stays the single source of truth and the registry is a view of it.
+  void export_metrics(obs::MetricsRegistry& reg) const;
   /// The installed observer, or nullptr (tests downcast to
   /// check::TxnValidator for its extended accessors).
   [[nodiscard]] TxnObserver* txn_observer() noexcept { return observer_.get(); }
@@ -285,9 +308,13 @@ class Perseas {
   /// Builds the record views handed to the observer (observer installed
   /// only: never called on the validation-off path).
   [[nodiscard]] std::vector<TxnRecordView> observer_views();
-  /// Installs check::TxnValidator when the config (or the
-  /// PERSEAS_VALIDATE_WRITES environment variable) asks for it.
-  void maybe_install_validator();
+  /// Installs the configured observers: check::TxnValidator when
+  /// validate_writes (or PERSEAS_VALIDATE_WRITES) asks for it,
+  /// obs::TxnTracer when trace/metrics (or PERSEAS_TRACE/PERSEAS_METRICS)
+  /// do, both behind a TxnObserverMux when they coexist.
+  void maybe_install_observers();
+  /// Dumps environment-variable-owned trace/metrics (called by ~Perseas).
+  void flush_owned_observability() noexcept;
   void create_mirror_segments(Mirror& m);
   void push_meta(Mirror& m);
   void push_record(Mirror& m, std::uint32_t index);
@@ -319,8 +346,16 @@ class Perseas {
   std::uint64_t undo_used_ = 0;
   std::vector<LocalUndo> undo_;
 
-  /// Installed by maybe_install_validator; hooks fire only when non-null.
+  /// Installed by maybe_install_observers; hooks fire only when non-null.
   std::unique_ptr<TxnObserver> observer_;
+
+  /// Owned only on the PERSEAS_TRACE / PERSEAS_METRICS environment-variable
+  /// path (config pointers take precedence and are never owned); flushed to
+  /// the env-given paths by the destructor.
+  std::unique_ptr<obs::TraceRecorder> owned_trace_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  std::string owned_trace_path_;
+  std::string owned_metrics_path_;
 
   PerseasStats stats_;
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace perseas::disk {
 
 DiskModel::DiskModel(sim::SimClock& clock, const sim::DiskParams& params,
@@ -42,6 +45,10 @@ sim::SimDuration DiskModel::sync_write(std::uint64_t offset, std::uint64_t bytes
   ++stats_.sync_writes;
   stats_.bytes_written += bytes;
   stats_.busy_time += svc;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, trace_tid_, "disk", "disk.sync_write", start,
+                     clock_->now() - start, {{"offset", offset}, {"bytes", bytes}});
+  }
   return clock_->now() - start;
 }
 
@@ -65,6 +72,12 @@ sim::SimDuration DiskModel::async_write(std::uint64_t offset, std::uint64_t byte
   ++stats_.async_writes;
   stats_.bytes_written += bytes;
   stats_.busy_time += svc;
+  if (trace_ != nullptr) {
+    // The span covers the caller-visible cost (stall + driver call), not
+    // the media time, which completes in the background at `done_at`.
+    trace_->complete(trace_track_, trace_tid_, "disk", "disk.async_write", start,
+                     clock_->now() - start, {{"offset", offset}, {"bytes", bytes}});
+  }
   return clock_->now() - start;
 }
 
@@ -78,6 +91,10 @@ sim::SimDuration DiskModel::read(std::uint64_t offset, std::uint64_t bytes) {
   ++stats_.reads;
   stats_.bytes_read += bytes;
   stats_.busy_time += svc;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, trace_tid_, "disk", "disk.read", start,
+                     clock_->now() - start, {{"offset", offset}, {"bytes", bytes}});
+  }
   return clock_->now() - start;
 }
 
@@ -85,12 +102,39 @@ sim::SimDuration DiskModel::flush() {
   const sim::SimTime start = clock_->now();
   if (busy_until_ > clock_->now()) clock_->advance(busy_until_ - clock_->now());
   drain_completed();
+  if (trace_ != nullptr && clock_->now() != start) {
+    trace_->complete(trace_track_, trace_tid_, "disk", "disk.flush", start,
+                     clock_->now() - start, {});
+  }
   return clock_->now() - start;
 }
 
 std::uint64_t DiskModel::pending_bytes() {
   drain_completed();
   return pending_bytes_;
+}
+
+void DiskModel::set_trace(obs::TraceRecorder* trace, std::uint32_t track, std::uint32_t tid) {
+  trace_ = trace;
+  trace_track_ = track;
+  trace_tid_ = tid;
+}
+
+void DiskModel::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.counter("disk_requests_total", "Disk requests by kind", "kind=\"sync_write\"")
+      .add(stats_.sync_writes);
+  reg.counter("disk_requests_total", "Disk requests by kind", "kind=\"async_write\"")
+      .add(stats_.async_writes);
+  reg.counter("disk_requests_total", "Disk requests by kind", "kind=\"read\"")
+      .add(stats_.reads);
+  reg.counter("disk_bytes_total", "Bytes through the disk", "direction=\"write\"")
+      .add(stats_.bytes_written);
+  reg.counter("disk_bytes_total", "Bytes through the disk", "direction=\"read\"")
+      .add(stats_.bytes_read);
+  reg.counter("disk_async_stalls_total", "Async writes that blocked on a full buffer")
+      .add(stats_.async_stalls);
+  reg.counter("disk_busy_ns_total", "Total simulated disk-busy time")
+      .add(static_cast<std::uint64_t>(stats_.busy_time));
 }
 
 }  // namespace perseas::disk

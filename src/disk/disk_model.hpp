@@ -15,6 +15,11 @@
 #include "sim/clock.hpp"
 #include "sim/hardware_profile.hpp"
 
+namespace perseas::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace perseas::obs
+
 namespace perseas::disk {
 
 struct DiskStats {
@@ -53,6 +58,14 @@ class DiskModel {
   [[nodiscard]] const DiskStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const sim::DiskParams& params() const noexcept { return params_; }
 
+  /// Attaches a trace recorder (nullptr detaches): every disk request
+  /// emits a disk.* span on `track` lane `tid`.  Charges nothing when off.
+  void set_trace(obs::TraceRecorder* trace, std::uint32_t track, std::uint32_t tid);
+
+  /// Folds DiskStats into `reg` as disk_* metrics (once per disk per
+  /// registry, at dump time).
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   /// Media service time for one request, given head position heuristics.
   sim::SimDuration service_time(std::uint64_t offset, std::uint64_t bytes);
@@ -73,6 +86,9 @@ class DiskModel {
   std::uint64_t pending_bytes_ = 0;
   std::uint64_t last_end_offset_ = UINT64_MAX;  // head position heuristic
   DiskStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; null = tracing off
+  std::uint32_t trace_track_ = 0;
+  std::uint32_t trace_tid_ = 0;
 };
 
 }  // namespace perseas::disk

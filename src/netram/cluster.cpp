@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace perseas::netram {
 
 Cluster::Cluster(const sim::HardwareProfile& profile, const ClusterConfig& config)
@@ -92,6 +95,7 @@ sim::SimDuration Cluster::remote_write(NodeId local, NodeId remote, std::uint64_
   const SciStoreBreakdown b = optimized
                                   ? link_.optimized_store_burst(remote_offset, data.size(), hint)
                                   : link_.store_burst(remote_offset, data.size(), hint);
+  const sim::SimTime start = clock_.now();
   clock_.advance(b.total);
 
   auto dst = node(remote).mem(remote_offset, data.size());
@@ -101,6 +105,17 @@ sim::SimDuration Cluster::remote_write(NodeId local, NodeId remote, std::uint64_
   stats_.remote_write_bytes += data.size();
   stats_.full_packets += b.full_packets;
   stats_.partial_packets += b.partial_packets;
+  if (trace_ != nullptr) {
+    // Per-store SciStoreBreakdown: how the burst split into full/partial
+    // SCI packets, the quantity figure 4's cost model is built on.
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(local), "net", "sci.store",
+                     start, b.total,
+                     {{"to", remote},
+                      {"offset", remote_offset},
+                      {"bytes", data.size()},
+                      {"full_packets", b.full_packets},
+                      {"partial_packets", b.partial_packets}});
+  }
   return b.total;
 }
 
@@ -111,6 +126,7 @@ sim::SimDuration Cluster::remote_read(NodeId local, NodeId remote, std::uint64_t
   if (out.empty()) return 0;
 
   const sim::SimDuration cost = link_.read_burst(remote_offset, out.size());
+  const sim::SimTime start = clock_.now();
   clock_.advance(cost);
 
   auto src = node(remote).mem(remote_offset, out.size());
@@ -118,6 +134,10 @@ sim::SimDuration Cluster::remote_read(NodeId local, NodeId remote, std::uint64_t
 
   ++stats_.remote_reads;
   stats_.remote_read_bytes += out.size();
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(local), "net", "sci.read", start,
+                     cost, {{"from", remote}, {"offset", remote_offset}, {"bytes", out.size()}});
+  }
   return cost;
 }
 
@@ -125,8 +145,13 @@ sim::SimDuration Cluster::control_rpc(NodeId local, NodeId remote) {
   require_alive(local);
   require_alive(remote);
   const sim::SimDuration cost = profile_.sci.control_rtt;
+  const sim::SimTime start = clock_.now();
   clock_.advance(cost);
   ++stats_.control_rpcs;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(local), "net", "sci.rpc", start,
+                     cost, {{"to", remote}});
+  }
   return cost;
 }
 
@@ -134,15 +159,52 @@ sim::SimDuration Cluster::charge_local_memcpy(NodeId node_id, std::uint64_t byte
   require_alive(node_id);
   const sim::SimDuration cost =
       profile_.memory.memcpy_fixed + sim::transfer_time(bytes, profile_.memory.memcpy_bytes_per_sec);
+  const sim::SimTime start = clock_.now();
   clock_.advance(cost);
   ++stats_.local_memcpys;
   stats_.local_memcpy_bytes += bytes;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(node_id), "mem", "mem.copy",
+                     start, cost, {{"bytes", bytes}});
+  }
   return cost;
 }
 
 void Cluster::charge_cpu(NodeId node_id, sim::SimDuration d) {
   require_alive(node_id);
   clock_.advance(d);
+}
+
+void Cluster::set_trace(obs::TraceRecorder* trace, std::uint32_t track) {
+  trace_ = trace;
+  trace_track_ = track;
+  if (trace_ != nullptr) {
+    for (const auto& n : nodes_) {
+      trace_->set_thread_name(track, static_cast<std::uint32_t>(n->id()), n->name());
+    }
+  }
+}
+
+void Cluster::export_metrics(obs::MetricsRegistry& reg) const {
+  const auto count = [&](std::string_view name, std::string_view help, std::uint64_t v,
+                         std::string_view labels = "") { reg.counter(name, help, labels).add(v); };
+  count("netram_remote_writes_total", "SCI store bursts", stats_.remote_writes);
+  count("netram_remote_reads_total", "SCI read bursts", stats_.remote_reads);
+  count("netram_control_rpcs_total", "Control-plane round trips", stats_.control_rpcs);
+  count("netram_local_memcpys_total", "Charged local memory copies", stats_.local_memcpys);
+  const char* bytes_help = "Bytes moved per netram channel";
+  count("netram_bytes_total", bytes_help, stats_.remote_write_bytes,
+        "channel=\"remote_write\"");
+  count("netram_bytes_total", bytes_help, stats_.remote_read_bytes, "channel=\"remote_read\"");
+  count("netram_bytes_total", bytes_help, stats_.local_memcpy_bytes,
+        "channel=\"local_memcpy\"");
+  const char* pkt_help = "SCI packets per kind (figure 4's cost split)";
+  count("netram_sci_packets_total", pkt_help, stats_.full_packets, "kind=\"full\"");
+  count("netram_sci_packets_total", pkt_help, stats_.partial_packets, "kind=\"partial\"");
+  reg.gauge("netram_sim_clock_ns", "Simulated clock at dump time")
+      .set(static_cast<double>(clock_.now()));
+  reg.gauge("netram_nodes", "Workstations in the cluster")
+      .set(static_cast<double>(nodes_.size()));
 }
 
 }  // namespace perseas::netram

@@ -19,6 +19,11 @@
 #include "sim/hardware_profile.hpp"
 #include "sim/random.hpp"
 
+namespace perseas::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace perseas::obs
+
 namespace perseas::netram {
 
 /// Aggregate traffic counters (per cluster; cheap to snapshot in benches).
@@ -68,6 +73,20 @@ class Cluster {
   [[nodiscard]] const SciLinkModel& link() const noexcept { return link_; }
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = NetworkStats{}; }
+
+  // --- observability --------------------------------------------------------
+
+  /// Attaches a trace recorder (or detaches with nullptr): every charged
+  /// data movement emits a span on `track` with its SciStoreBreakdown
+  /// (full/partial packet split) as args.  Recording charges no simulated
+  /// time; when unset the hot paths only pay one null check.
+  void set_trace(obs::TraceRecorder* trace, std::uint32_t track);
+  [[nodiscard]] obs::TraceRecorder* trace() const noexcept { return trace_; }
+  [[nodiscard]] std::uint32_t trace_track() const noexcept { return trace_track_; }
+
+  /// Folds NetworkStats (plus the simulated clock) into `reg` as netram_*
+  /// metrics.  Call once per cluster per registry, at dump time.
+  void export_metrics(obs::MetricsRegistry& reg) const;
 
   // --- failures ------------------------------------------------------------
 
@@ -124,6 +143,8 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<sim::PowerSupply> supplies_;
   NetworkStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;  ///< not owned; null = tracing off
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace perseas::netram

@@ -1,0 +1,79 @@
+// Minimal ordered JSON value, shared by every observability exporter
+// (Perfetto traces, metrics dumps, bench result documents).
+//
+// Deliberately tiny: insertion-ordered objects (so exported documents are
+// byte-stable run to run, which golden tests and CI schema checks rely on),
+// exact 64-bit integers (byte counters must round-trip without double
+// truncation), and NaN/Inf rendered as null (JSON has no representation for
+// them; an empty latency summary must not produce an unparseable file).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perseas::obs {
+
+class Json {
+ public:
+  /// Constructs null.
+  Json() = default;
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  Json(bool v);                 // NOLINT(google-explicit-constructor)
+  Json(double v);               // NOLINT(google-explicit-constructor)
+  Json(std::int64_t v);         // NOLINT(google-explicit-constructor)
+  Json(std::uint64_t v);        // NOLINT(google-explicit-constructor)
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string v);          // NOLINT(google-explicit-constructor)
+  Json(const char* v) : Json(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+  Json(std::string_view v) : Json(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Object member insert/overwrite (keeps first-insert order).  Returns
+  /// *this for chaining; throws std::logic_error on non-objects.
+  Json& set(std::string key, Json value);
+
+  /// Array append.  Throws std::logic_error on non-arrays.
+  Json& push(Json value);
+
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return kind_ == Kind::kArray ? items_.size() : members_.size();
+  }
+
+  /// Serializes.  indent < 0 gives the compact single-line form; >= 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Escapes `s` as a JSON string literal, including the quotes.
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kDouble,
+    kInt,
+    kUint,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double double_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace perseas::obs

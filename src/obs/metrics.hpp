@@ -1,0 +1,123 @@
+// Named-metric registry: counters, gauges, and histograms, dumped as
+// Prometheus text format and as machine-readable JSON.
+//
+// Two usage patterns coexist:
+//
+//   * live metrics — obs::TxnTracer observes each transaction's latency and
+//     per-phase durations into registry histograms as the workload runs;
+//
+//   * export-on-dump — every layer already keeps an authoritative stats
+//     struct (core::PerseasStats, netram::NetworkStats, disk::DiskStats,
+//     the WAL engines' stats).  Each layer's export_metrics() folds that
+//     struct into the registry right before serialization, so the registry
+//     and the stats structs cannot drift: the stats struct *is* the source
+//     of truth and the registry is a view.  Call export_metrics once per
+//     component instance per registry (counters accumulate across
+//     instances, e.g. one row per bench configuration).
+//
+// Like tracing, the registry charges no simulated time; instrumented hot
+// paths only touch it behind null checks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sim/stats.hpp"
+
+namespace perseas::obs {
+
+/// Monotonic counter (Prometheus "counter").
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous value (Prometheus "gauge").
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Sample distribution backed by the repo's exact-percentile sim::Summary
+/// plus a sim::Log2Histogram for shape; exported as a Prometheus summary
+/// (quantile series + _sum + _count).
+class Histogram {
+ public:
+  void observe(double v) {
+    summary_.add(v);
+    log2_.add(v <= 0.0 ? 0 : static_cast<std::uint64_t>(v));
+  }
+
+  [[nodiscard]] const sim::Summary& summary() const noexcept { return summary_; }
+  [[nodiscard]] const sim::Log2Histogram& shape() const noexcept { return log2_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return summary_.count(); }
+
+ private:
+  sim::Summary summary_;
+  sim::Log2Histogram log2_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Looks up or creates the metric with this name + label set.  `labels`
+  /// is the raw Prometheus label body, e.g. `phase="propagate"` (empty =
+  /// unlabelled).  The help string of the first registration wins.
+  /// Returned references stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name, std::string_view help = "",
+                   std::string_view labels = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "",
+               std::string_view labels = "");
+  Histogram& histogram(std::string_view name, std::string_view help = "",
+                       std::string_view labels = "");
+
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Prometheus text exposition format (one HELP/TYPE block per family).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Machine-readable dump: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, mean, p50, p99, max, sum}}}.
+  [[nodiscard]] Json to_json() const;
+
+  /// Writes the registry to `path`: Prometheus text when the path ends in
+  /// ".prom" or ".txt", pretty JSON otherwise ("-" = JSON on stdout).
+  /// Returns false when the file cannot be opened.
+  bool save(const std::string& path) const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    std::string name;
+    std::string labels;
+    std::string help;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& find_or_create(Kind kind, std::string_view name, std::string_view help,
+                         std::string_view labels);
+
+  /// Registration order; unique_ptr keeps returned references stable.
+  std::vector<std::unique_ptr<Metric>> metrics_;
+};
+
+}  // namespace perseas::obs

@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace perseas::obs {
+
+std::uint32_t TraceRecorder::register_track(std::string name) {
+  tracks_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(tracks_.size());
+}
+
+void TraceRecorder::set_thread_name(std::uint32_t track, std::uint32_t tid, std::string name) {
+  thread_names_.push_back(ThreadName{track, tid, std::move(name)});
+}
+
+void TraceRecorder::complete(std::uint32_t track, std::uint32_t tid, std::string_view cat,
+                             std::string_view name, sim::SimTime start, sim::SimDuration dur,
+                             Args args) {
+  TraceEvent e;
+  e.ph = 'X';
+  e.track = track;
+  e.tid = tid;
+  e.cat = cat;
+  e.name = name;
+  e.ts = start;
+  e.dur = dur;
+  e.args.assign(args.begin(), args.end());
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::instant(std::uint32_t track, std::uint32_t tid, std::string_view cat,
+                            std::string_view name, sim::SimTime ts, Args args) {
+  TraceEvent e;
+  e.ph = 'i';
+  e.track = track;
+  e.tid = tid;
+  e.cat = cat;
+  e.name = name;
+  e.ts = ts;
+  e.args.assign(args.begin(), args.end());
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::clear() {
+  tracks_.clear();
+  thread_names_.clear();
+  events_.clear();
+}
+
+namespace {
+
+/// Chrome trace-event timestamps are microseconds; emit at ns resolution.
+void append_us(std::string& out, sim::SimTime ns_value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld", static_cast<long long>(ns_value / 1000),
+                static_cast<long long>(ns_value % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void TraceRecorder::write_json(std::ostream& out) const {
+  std::string buf;
+  buf += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) buf += ",\n";
+    first = false;
+  };
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    sep();
+    buf += "{\"ph\":\"M\",\"pid\":" + std::to_string(i + 1) +
+           ",\"name\":\"process_name\",\"args\":{\"name\":" + Json::escape(tracks_[i]) + "}}";
+  }
+  for (const auto& t : thread_names_) {
+    sep();
+    buf += "{\"ph\":\"M\",\"pid\":" + std::to_string(t.track) +
+           ",\"tid\":" + std::to_string(t.tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" + Json::escape(t.name) + "}}";
+  }
+  for (const auto& e : events_) {
+    sep();
+    buf += "{\"ph\":\"";
+    buf += e.ph;
+    buf += "\",\"pid\":" + std::to_string(e.track) + ",\"tid\":" + std::to_string(e.tid) +
+           ",\"cat\":" + Json::escape(e.cat) + ",\"name\":" + Json::escape(e.name) + ",\"ts\":";
+    append_us(buf, e.ts);
+    if (e.ph == 'X') {
+      buf += ",\"dur\":";
+      append_us(buf, e.dur);
+    }
+    if (e.ph == 'i') buf += ",\"s\":\"t\"";  // instant scope: thread
+    if (!e.args.empty()) {
+      buf += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& a : e.args) {
+        if (!first_arg) buf += ',';
+        first_arg = false;
+        buf += Json::escape(a.key) + ":" + std::to_string(a.value);
+      }
+      buf += '}';
+    }
+    buf += '}';
+  }
+  buf += "\n]}\n";
+  out << buf;
+}
+
+std::string TraceRecorder::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+bool TraceRecorder::save(const std::string& path) const {
+  if (path == "-") {
+    write_json(std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace perseas::obs

@@ -1,0 +1,101 @@
+// Span/event tracing keyed to simulated time.
+//
+// TraceRecorder is a passive event store: instrumented components (the
+// cluster's SCI data movers, the disk model, the WAL engines, and the
+// obs::TxnTracer transaction observer) append events stamped with the
+// SimTime the cost model charged, and the recorder serializes them as
+// Chrome/Perfetto trace-event JSON.  Open the file at https://ui.perfetto.dev
+// (or chrome://tracing) to see where inside one transaction the simulated
+// microseconds went, across every layer, with engines/runs on separate
+// process tracks.
+//
+// Contract (mirrors check::TxnValidator): recording charges no simulated
+// time and generates no simulated traffic.  Every instrumentation point in
+// library code is guarded by a null check, so a run without a recorder is
+// bit-for-bit identical to one before this subsystem existed — both in
+// simulated cost and in wall-clock hot-path work.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::obs {
+
+/// One key/value pair attached to a trace event (values are 64-bit
+/// unsigned: ids, offsets, byte and packet counts).
+struct TraceArg {
+  std::string key;
+  std::uint64_t value = 0;
+};
+
+/// One recorded event.  `ph` follows the Chrome trace-event phase codes the
+/// exporter emits: 'X' complete (span with duration), 'i' instant.
+struct TraceEvent {
+  char ph = 'X';
+  std::uint32_t track = 0;  ///< Perfetto pid: one lane group per engine/run
+  std::uint32_t tid = 0;    ///< Perfetto tid: the simulated node
+  std::string cat;
+  std::string name;
+  sim::SimTime ts = 0;      ///< ns of simulated time
+  sim::SimDuration dur = 0; ///< ns; meaningful for 'X' only
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  using Args = std::initializer_list<TraceArg>;
+
+  TraceRecorder() = default;
+
+  /// Registers a named track (a Perfetto "process" lane group), e.g. one
+  /// per engine or per bench run.  Returns the track id to pass to the
+  /// event calls.
+  std::uint32_t register_track(std::string name);
+
+  /// Names a thread lane within a track (conventionally "node-<id>").
+  void set_thread_name(std::uint32_t track, std::uint32_t tid, std::string name);
+
+  /// Records a completed span: [start, start + dur) of simulated time.
+  void complete(std::uint32_t track, std::uint32_t tid, std::string_view cat,
+                std::string_view name, sim::SimTime start, sim::SimDuration dur,
+                Args args = {});
+
+  /// Records an instantaneous event at `ts`.
+  void instant(std::uint32_t track, std::uint32_t tid, std::string_view cat,
+               std::string_view name, sim::SimTime ts, Args args = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t track_count() const noexcept { return tracks_.size(); }
+
+  void clear();
+
+  /// Serializes the whole trace as Chrome/Perfetto trace-event JSON
+  /// ({"traceEvents": [...]}; ts/dur in microseconds).
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes the JSON to `path` ("-" = stdout).  Returns false (after
+  /// printing nothing) when the file cannot be opened.
+  bool save(const std::string& path) const;
+
+ private:
+  struct ThreadName {
+    std::uint32_t track = 0;
+    std::uint32_t tid = 0;
+    std::string name;
+  };
+
+  std::vector<std::string> tracks_;  // index + 1 == track id
+  std::vector<ThreadName> thread_names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace perseas::obs

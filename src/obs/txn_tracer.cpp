@@ -1,0 +1,102 @@
+#include "obs/txn_tracer.hpp"
+
+namespace perseas::obs {
+
+namespace {
+
+constexpr const char* kPhaseSpanNames[] = {
+    "txn.local_undo", "txn.remote_undo", "txn.propagate", "txn.flag_set", "txn.flag_clear",
+};
+
+}  // namespace
+
+TxnTracer::TxnTracer(const sim::SimClock& clock, TraceRecorder* trace, std::uint32_t track,
+                     MetricsRegistry* metrics, std::uint32_t node)
+    : clock_(&clock), trace_(trace), metrics_(metrics), track_(track), node_(node) {
+  if (metrics_ != nullptr) {
+    txn_us_ = &metrics_->histogram("perseas_txn_us",
+                                   "Simulated whole-transaction latency in microseconds");
+    undo_entry_bytes_ = &metrics_->histogram("perseas_undo_entry_bytes",
+                                             "Serialized undo entry size pushed per mirror");
+    for (std::size_t p = 0; p < std::size(phase_us_); ++p) {
+      const auto phase_name = core::to_string(static_cast<core::TxnPhase>(p));
+      phase_us_[p] = &metrics_->histogram(
+          "perseas_txn_phase_us", "Simulated per-phase transaction cost in microseconds",
+          "phase=\"" + std::string(phase_name) + "\"");
+    }
+  }
+}
+
+void TxnTracer::on_begin(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
+  (void)records;
+  txn_begin_ts_ = now();
+  commit_request_ts_ = txn_begin_ts_;
+  if (trace_ != nullptr) {
+    trace_->instant(track_, node_, "txn", "txn.begin", txn_begin_ts_, {{"txn", txn_id}});
+  }
+}
+
+void TxnTracer::on_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                             std::uint64_t size) {
+  if (trace_ != nullptr) {
+    trace_->instant(track_, node_, "txn", "txn.set_range", now(),
+                    {{"txn", txn_id}, {"record", record}, {"offset", offset}, {"bytes", size}});
+  }
+}
+
+void TxnTracer::on_undo_push(std::uint64_t txn_id, std::span<const std::byte> serialized,
+                             std::span<const std::byte> remote) {
+  (void)remote;
+  if (trace_ != nullptr) {
+    trace_->instant(track_, node_, "txn", "txn.undo_push", now(),
+                    {{"txn", txn_id}, {"bytes", serialized.size()}});
+  }
+  if (undo_entry_bytes_ != nullptr) {
+    undo_entry_bytes_->observe(static_cast<double>(serialized.size()));
+  }
+}
+
+void TxnTracer::on_commit(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
+  (void)txn_id, (void)records;
+  commit_request_ts_ = now();
+}
+
+void TxnTracer::on_phase(std::uint64_t txn_id, core::TxnPhase phase, sim::SimTime start,
+                         sim::SimDuration duration, std::uint64_t bytes, std::uint32_t mirror) {
+  const auto p = static_cast<std::size_t>(phase);
+  if (trace_ != nullptr && p < std::size(kPhaseSpanNames)) {
+    trace_->complete(track_, node_, "txn", kPhaseSpanNames[p], start, duration,
+                     {{"txn", txn_id}, {"bytes", bytes}, {"mirror", mirror}});
+  }
+  if (p < std::size(phase_us_) && phase_us_[p] != nullptr) {
+    phase_us_[p]->observe(sim::to_us(duration));
+  }
+}
+
+void TxnTracer::close_txn_span(std::uint64_t txn_id, const char* outcome) {
+  const sim::SimTime end = now();
+  if (trace_ != nullptr) {
+    trace_->complete(track_, node_, "txn", "txn", txn_begin_ts_, end - txn_begin_ts_,
+                     {{"txn", txn_id}, {"committed", outcome != nullptr ? 1u : 0u}});
+  }
+  if (txn_us_ != nullptr) txn_us_->observe(sim::to_us(end - txn_begin_ts_));
+  ++txns_traced_;
+}
+
+void TxnTracer::on_commit_complete(std::uint64_t txn_id) {
+  if (trace_ != nullptr) {
+    trace_->complete(track_, node_, "txn", "txn.commit", commit_request_ts_,
+                     now() - commit_request_ts_, {{"txn", txn_id}});
+  }
+  close_txn_span(txn_id, "txn.commit");
+}
+
+void TxnTracer::on_abort(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
+  (void)records;
+  if (trace_ != nullptr) {
+    trace_->instant(track_, node_, "txn", "txn.abort", now(), {{"txn", txn_id}});
+  }
+  close_txn_span(txn_id, nullptr);
+}
+
+}  // namespace perseas::obs

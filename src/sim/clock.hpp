@@ -54,6 +54,10 @@ class StopWatch {
 
   [[nodiscard]] SimDuration elapsed() const noexcept { return clock_->now() - start_; }
 
+  /// The simulated instant the watch was (re)started; with elapsed() this
+  /// is exactly a trace span's [start, start + dur).
+  [[nodiscard]] SimTime start() const noexcept { return start_; }
+
   void restart() noexcept { start_ = clock_->now(); }
 
  private:

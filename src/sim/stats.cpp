@@ -35,12 +35,18 @@ double Summary::stddev() const noexcept {
 }
 
 double Summary::percentile(double q) const {
-  if (samples_.empty()) throw std::out_of_range("Summary::percentile on empty summary");
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q out of [0,1]");
+  // An empty summary has no defined percentile; NaN lets reporting code
+  // (e.g. obs::MetricsRegistry) serialize "no data" without try/catch.
+  if (samples_.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // Pin the endpoints: q=0 is the exact minimum and q=1 the exact maximum,
+  // independent of interpolation rounding.
+  if (q == 0.0) return samples_.front();
+  if (q == 1.0) return samples_.back();
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
@@ -68,14 +74,30 @@ std::uint64_t Log2Histogram::bucket_count(int bucket) const noexcept {
 }
 
 std::string Log2Histogram::render() const {
-  std::string out;
-  char line[128];
+  std::string out = "value range (inclusive)           count  distribution\n";
+  if (total_ == 0) {
+    out += "(no samples)\n";
+    return out;
+  }
+  std::uint64_t max_count = 0;
+  for (const std::uint64_t c : counts_) max_count = std::max(max_count, c);
+
+  constexpr int kBarWidth = 32;
+  char line[160];
   for (int b = 0; b < kBuckets; ++b) {
     if (counts_[b] == 0) continue;
-    const std::uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
-    const std::uint64_t hi = (1ULL << b) - 1;
-    std::snprintf(line, sizeof line, "[%12llu, %12llu] %llu\n", static_cast<unsigned long long>(lo),
-                  static_cast<unsigned long long>(hi), static_cast<unsigned long long>(counts_[b]));
+    char hi_text[24];
+    if (bucket_hi(b) == UINT64_MAX) {
+      std::snprintf(hi_text, sizeof hi_text, "%13s", "+inf");
+    } else {
+      std::snprintf(hi_text, sizeof hi_text, "%13llu",
+                    static_cast<unsigned long long>(bucket_hi(b)));
+    }
+    const int bar = static_cast<int>((counts_[b] * kBarWidth + max_count - 1) / max_count);
+    std::snprintf(line, sizeof line, "[%13llu, %s] %10llu  %.*s\n",
+                  static_cast<unsigned long long>(bucket_lo(b)), hi_text,
+                  static_cast<unsigned long long>(counts_[b]), bar,
+                  "********************************");
     out += line;
   }
   return out;

@@ -2,6 +2,10 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perseas::wal {
 
@@ -38,6 +42,7 @@ void RemoteWal::begin_transaction() {
 }
 
 void RemoteWal::set_range(std::uint64_t offset, std::uint64_t size) {
+  const sim::StopWatch watch(cluster_->clock());
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_set_range);
   if (!in_txn_) throw std::logic_error("RemoteWal: set_range outside a transaction");
   if (offset + size > db_.size() || offset + size < offset) {
@@ -49,9 +54,15 @@ void RemoteWal::set_range(std::uint64_t offset, std::uint64_t size) {
                   db_.begin() + static_cast<std::ptrdiff_t>(offset + size));
   cluster_->charge_local_memcpy(local_, size);
   undo_.push_back(std::move(e));
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(local_), "txn",
+                     "rwal.set_range", watch.start(), watch.elapsed(),
+                     {{"txn", txn_counter_}, {"offset", offset}, {"bytes", size}});
+  }
 }
 
 void RemoteWal::commit_transaction() {
+  const sim::StopWatch watch(cluster_->clock());
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_commit);
   if (!in_txn_) throw std::logic_error("RemoteWal: commit outside a transaction");
 
@@ -100,6 +111,11 @@ void RemoteWal::commit_transaction() {
   undo_.clear();
   in_txn_ = false;
   ++stats_.commits;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(local_), "txn", "rwal.commit",
+                     watch.start(), watch.elapsed(),
+                     {{"txn", txn_counter_}, {"bytes", record_bytes}});
+  }
 }
 
 void RemoteWal::truncate() {
@@ -152,6 +168,21 @@ std::uint64_t RemoteWal::recover() {
   }
   log_used_ = pos;
   return applied;
+}
+
+void RemoteWal::set_trace(obs::TraceRecorder* trace, std::uint32_t track) {
+  trace_ = trace;
+  trace_track_ = track;
+}
+
+void RemoteWal::export_metrics(obs::MetricsRegistry& reg, std::string_view label) const {
+  const std::string l = "engine=\"" + std::string(label) + "\"";
+  reg.counter("wal_commits_total", "WAL-engine commits", l).add(stats_.commits);
+  reg.counter("wal_aborts_total", "WAL-engine aborts", l).add(stats_.aborts);
+  reg.counter("wal_bytes_logged_total", "Redo/undo bytes logged", l).add(stats_.bytes_logged);
+  reg.counter("rwal_disk_chunks_total", "Write-behind chunks sent to disk", l)
+      .add(stats_.disk_chunks);
+  reg.counter("rwal_truncations_total", "Log truncations", l).add(stats_.truncations);
 }
 
 }  // namespace perseas::wal

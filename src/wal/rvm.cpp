@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace perseas::wal {
 
 namespace {
@@ -31,6 +34,7 @@ void Rvm::begin_transaction() {
 }
 
 void Rvm::set_range(std::uint64_t offset, std::uint64_t size) {
+  const sim::StopWatch watch(cluster_->clock());
   cluster_->charge_cpu(node_, cluster_->profile().library.txn_set_range);
   if (!in_txn_) throw std::logic_error("Rvm: set_range outside a transaction");
   if (offset + size > db_.size() || offset + size < offset) {
@@ -42,9 +46,15 @@ void Rvm::set_range(std::uint64_t offset, std::uint64_t size) {
                   db_.begin() + static_cast<std::ptrdiff_t>(offset + size));
   cluster_->charge_local_memcpy(node_, size);  // copy 1 of figure 2
   undo_.push_back(std::move(e));
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "rvm.set_range",
+                     watch.start(), watch.elapsed(),
+                     {{"txn", txn_counter_}, {"offset", offset}, {"bytes", size}});
+  }
 }
 
 void Rvm::commit_transaction() {
+  const sim::StopWatch watch(cluster_->clock());
   cluster_->charge_cpu(node_, cluster_->profile().library.txn_commit);
   if (!in_txn_) throw std::logic_error("Rvm: commit outside a transaction");
 
@@ -69,6 +79,10 @@ void Rvm::commit_transaction() {
   ++stats_.commits;
 
   if (++group_pending_ >= options_.group_commit_size) force_group();
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "rvm.commit",
+                     watch.start(), watch.elapsed(), {{"txn", txn_counter_}, {"bytes", bytes}});
+  }
 }
 
 void Rvm::force_group() {
@@ -107,6 +121,8 @@ void Rvm::mark_dirty(std::uint64_t offset, std::uint64_t size) {
 
 void Rvm::maybe_truncate() {
   if (dirty_pages_.empty() && log_used_ == 0) return;
+  const sim::StopWatch watch(cluster_->clock());
+  const std::uint64_t pages = dirty_pages_.size();
   // Copy 3 of figure 2: propagate committed after-images to the stable
   // database image, coalesced to whole pages (real RVM's truncation applies
   // the log at page granularity).  These writes are not latency critical,
@@ -127,6 +143,10 @@ void Rvm::maybe_truncate() {
   store_->write(options_.db_size, zeros, /*synchronous=*/true);
   log_used_ = 0;
   ++stats_.truncations;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "rvm.truncate",
+                     watch.start(), watch.elapsed(), {{"pages", pages}});
+  }
 }
 
 void Rvm::abort_transaction() {
@@ -174,6 +194,20 @@ std::uint64_t Rvm::recover() {
   // Propagate the replayed state and reset the log.
   maybe_truncate();
   return applied;
+}
+
+void Rvm::set_trace(obs::TraceRecorder* trace, std::uint32_t track) {
+  trace_ = trace;
+  trace_track_ = track;
+}
+
+void Rvm::export_metrics(obs::MetricsRegistry& reg, std::string_view label) const {
+  const std::string l = "engine=\"" + std::string(label) + "\"";
+  reg.counter("wal_commits_total", "WAL-engine commits", l).add(stats_.commits);
+  reg.counter("wal_aborts_total", "WAL-engine aborts", l).add(stats_.aborts);
+  reg.counter("wal_bytes_logged_total", "Redo/undo bytes logged", l).add(stats_.bytes_logged);
+  reg.counter("rvm_log_forces_total", "Synchronous log forces", l).add(stats_.log_forces);
+  reg.counter("rvm_truncations_total", "Log truncations", l).add(stats_.truncations);
 }
 
 }  // namespace perseas::wal

@@ -22,11 +22,17 @@
 #include <set>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "disk/stable_store.hpp"
 #include "netram/cluster.hpp"
 #include "wal/log_format.hpp"
+
+namespace perseas::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace perseas::obs
 
 namespace perseas::wal {
 
@@ -78,6 +84,12 @@ class Rvm {
   [[nodiscard]] const RvmStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const RvmOptions& options() const noexcept { return options_; }
 
+  /// Attaches a trace recorder (nullptr detaches): set_range / commit /
+  /// truncation emit rvm.* spans on `track` (lane = this engine's node).
+  void set_trace(obs::TraceRecorder* trace, std::uint32_t track);
+  /// Folds RvmStats into `reg` as rvm_* metrics, labelled engine=`label`.
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view label) const;
+
  private:
   struct UndoEntry {
     std::uint64_t offset;
@@ -108,6 +120,8 @@ class Rvm {
   std::set<std::uint64_t> dirty_pages_;
 
   RvmStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; null = tracing off
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace perseas::wal

@@ -2,6 +2,10 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace perseas::wal {
 
@@ -35,11 +39,13 @@ void Vista::begin_transaction() {
   cluster_->charge_cpu(node_, cluster_->profile().library.txn_begin);
   if (in_txn_) throw std::logic_error("Vista: transaction already active");
   in_txn_ = true;
+  ++txn_counter_;
   const UndoHeader empty;
   write_undo_header(empty);
 }
 
 void Vista::set_range(std::uint64_t offset, std::uint64_t size) {
+  const sim::StopWatch watch(cluster_->clock());
   cluster_->charge_cpu(node_, options_.op_overhead);
   if (!in_txn_) throw std::logic_error("Vista: set_range outside a transaction");
   if (offset + size > options_.db_size || offset + size < offset) {
@@ -61,9 +67,15 @@ void Vista::set_range(std::uint64_t offset, std::uint64_t size) {
   write_undo_header(hdr);
   stats_.bytes_logged += size;
   ++stats_.set_ranges;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "vista.set_range",
+                     watch.start(), watch.elapsed(),
+                     {{"txn", txn_counter_}, {"offset", offset}, {"bytes", size}});
+  }
 }
 
 void Vista::commit_transaction() {
+  const sim::StopWatch watch(cluster_->clock());
   cluster_->charge_cpu(node_, options_.op_overhead);
   if (!in_txn_) throw std::logic_error("Vista: commit outside a transaction");
   // The essence of Vista: the database is already durable, so committing is
@@ -72,6 +84,10 @@ void Vista::commit_transaction() {
   write_undo_header(empty);
   in_txn_ = false;
   ++stats_.commits;
+  if (trace_ != nullptr) {
+    trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "vista.commit",
+                     watch.start(), watch.elapsed(), {{"txn", txn_counter_}});
+  }
 }
 
 void Vista::abort_transaction() {
@@ -104,6 +120,19 @@ std::uint64_t Vista::recover() {
   write_undo_header(empty);
   in_txn_ = false;
   return hdr.entry_count;
+}
+
+void Vista::set_trace(obs::TraceRecorder* trace, std::uint32_t track) {
+  trace_ = trace;
+  trace_track_ = track;
+}
+
+void Vista::export_metrics(obs::MetricsRegistry& reg, std::string_view label) const {
+  const std::string l = "engine=\"" + std::string(label) + "\"";
+  reg.counter("wal_commits_total", "WAL-engine commits", l).add(stats_.commits);
+  reg.counter("wal_aborts_total", "WAL-engine aborts", l).add(stats_.aborts);
+  reg.counter("wal_bytes_logged_total", "Redo/undo bytes logged", l).add(stats_.bytes_logged);
+  reg.counter("vista_set_ranges_total", "set_range declarations", l).add(stats_.set_ranges);
 }
 
 }  // namespace perseas::wal

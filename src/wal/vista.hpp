@@ -13,10 +13,16 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "netram/cluster.hpp"
 #include "rio/rio_cache.hpp"
+
+namespace perseas::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace perseas::obs
 
 namespace perseas::wal {
 
@@ -58,6 +64,12 @@ class Vista {
 
   [[nodiscard]] const VistaStats& stats() const noexcept { return stats_; }
 
+  /// Attaches a trace recorder (nullptr detaches): set_range / commit emit
+  /// vista.* spans on `track` (lane = this engine's node).
+  void set_trace(obs::TraceRecorder* trace, std::uint32_t track);
+  /// Folds VistaStats into `reg` as wal_* metrics, labelled engine=`label`.
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view label) const;
+
  private:
   struct UndoHeader {
     std::uint64_t entry_count = 0;
@@ -79,6 +91,9 @@ class Vista {
   std::uint32_t undo_region_;
   bool in_txn_ = false;
   VistaStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; null = tracing off
+  std::uint32_t trace_track_ = 0;
+  std::uint64_t txn_counter_ = 0;
 };
 
 }  // namespace perseas::wal

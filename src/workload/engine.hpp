@@ -9,6 +9,11 @@
 
 #include "netram/cluster.hpp"
 
+namespace perseas::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace perseas::obs
+
 namespace perseas::workload {
 
 class TxnEngine {
@@ -31,6 +36,13 @@ class TxnEngine {
   virtual void set_range(std::uint64_t offset, std::uint64_t size) = 0;
   virtual void commit() = 0;
   virtual void abort() = 0;
+
+  /// Attaches a trace recorder to the engine's own span emitters (nullptr
+  /// detaches).  Engines without internal instrumentation ignore the call;
+  /// PERSEAS is instead traced via PerseasConfig::trace at construction.
+  virtual void set_trace(obs::TraceRecorder* /*trace*/, std::uint32_t /*track*/) {}
+  /// Folds the engine's own counters into `reg`.  Default: nothing.
+  virtual void export_metrics(obs::MetricsRegistry& /*reg*/) const {}
 };
 
 }  // namespace perseas::workload

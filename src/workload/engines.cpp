@@ -71,15 +71,26 @@ EngineLab::EngineLab(EngineKind kind, const LabOptions& options) : kind_(kind) {
   cc.seed = options.seed;
   cluster_ = std::make_unique<netram::Cluster>(options.profile, cc);
 
+  if (options.trace != nullptr) {
+    const std::string label =
+        options.trace_label.empty() ? std::string(to_string(kind)) : options.trace_label;
+    trace_track_ = options.trace->register_track(label);
+    cluster_->set_trace(options.trace, trace_track_);
+  }
+
   const netram::NodeId app = 0;
   const netram::NodeId remote = 1;
 
   switch (kind) {
     case EngineKind::kPerseas: {
       server_ = std::make_unique<netram::RemoteMemoryServer>(*cluster_, remote);
+      core::PerseasConfig pc = options.perseas;
+      if (pc.trace == nullptr) pc.trace = options.trace;
+      if (pc.metrics == nullptr) pc.metrics = options.metrics;
+      if (pc.trace_track == 0) pc.trace_track = trace_track_;
       engine_ = std::make_unique<PerseasEngine>(*cluster_, app,
                                                 std::vector{server_.get()}, options.db_size,
-                                                options.perseas);
+                                                std::move(pc));
       break;
     }
     case EngineKind::kVista: {
@@ -138,6 +149,17 @@ EngineLab::EngineLab(EngineKind kind, const LabOptions& options) : kind_(kind) {
     }
   }
   if (!engine_) throw std::logic_error("EngineLab: unknown engine kind");
+
+  if (options.trace != nullptr) {
+    if (disk_) disk_->set_trace(options.trace, trace_track_, app);
+    engine_->set_trace(options.trace, trace_track_);
+  }
+}
+
+void EngineLab::export_metrics(obs::MetricsRegistry& reg) const {
+  cluster_->export_metrics(reg);
+  if (disk_) disk_->export_metrics(reg);
+  engine_->export_metrics(reg);
 }
 
 }  // namespace perseas::workload

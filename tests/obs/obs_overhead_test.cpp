@@ -1,0 +1,97 @@
+// The PR contract, extended from the validator to the whole observability
+// subsystem: recording charges no simulated time and generates no simulated
+// traffic.  Identical workloads with tracing+metrics on and off must leave
+// the simulated clock and the network counters bit-for-bit identical, at
+// every instrumented layer (core, netram, disk, wal engines).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/perseas.hpp"
+#include "netram/cluster.hpp"
+#include "netram/remote_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workload/engines.hpp"
+#include "workload/synthetic.hpp"
+
+namespace perseas::obs {
+namespace {
+
+/// The env vars force observability (or validation) on, so the off-path
+/// cannot be exercised in such a run.
+bool env_forces_observability() {
+  return std::getenv("PERSEAS_TRACE") != nullptr ||
+         std::getenv("PERSEAS_METRICS") != nullptr ||
+         std::getenv("PERSEAS_VALIDATE_WRITES") != nullptr;
+}
+
+TEST(ObsOverhead, PerseasCostIdenticalWithTracingOnAndOff) {
+  if (env_forces_observability()) GTEST_SKIP() << "observability forced on by environment";
+  auto run = [](bool on) {
+    netram::Cluster cluster(sim::HardwareProfile::forth_1997(), 2);
+    netram::RemoteMemoryServer server(cluster, 1);
+    TraceRecorder trace;
+    MetricsRegistry metrics;
+    core::PerseasConfig config;
+    if (on) {
+      config.trace = &trace;
+      config.metrics = &metrics;
+      cluster.set_trace(&trace, trace.register_track("overhead"));
+    }
+    core::Perseas db(cluster, 0, {&server}, config);
+    auto rec = db.persistent_malloc(1024);
+    db.init_remote_db();
+    for (int t = 0; t < 20; ++t) {
+      auto txn = db.begin_transaction();
+      txn.set_range(rec, static_cast<std::uint64_t>(t % 4) * 256, 256);
+      std::memset(rec.bytes().data() + (t % 4) * 256, t, 256);
+      if (t % 5 == 0) {
+        txn.abort();
+      } else {
+        txn.commit();
+      }
+    }
+    if (on) {
+      EXPECT_GT(trace.event_count(), 0u);
+      EXPECT_GT(metrics.size(), 0u);
+    } else {
+      EXPECT_EQ(db.txn_observer(), nullptr);
+    }
+    return std::pair{cluster.clock().now(), cluster.stats().remote_write_bytes};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+/// Every EngineLab-assembled engine (exercising netram, disk, rio, and the
+/// WAL engines' instrumentation points) must satisfy the same contract.
+TEST(ObsOverhead, EveryEngineCostIdenticalWithTracingOnAndOff) {
+  if (env_forces_observability()) GTEST_SKIP() << "observability forced on by environment";
+  for (const auto kind :
+       {workload::EngineKind::kPerseas, workload::EngineKind::kVista,
+        workload::EngineKind::kRvmRio, workload::EngineKind::kRvmDisk,
+        workload::EngineKind::kRvmNvram, workload::EngineKind::kRemoteWal,
+        workload::EngineKind::kFsMirror}) {
+    auto run = [kind](bool on) {
+      TraceRecorder trace;
+      MetricsRegistry metrics;
+      workload::LabOptions lo;
+      lo.db_size = 1 << 16;
+      if (on) {
+        lo.trace = &trace;
+        lo.metrics = &metrics;
+      }
+      workload::EngineLab lab(kind, lo);
+      workload::SyntheticWorkload w(lab.engine(), 128);
+      w.run(50);
+      return std::pair{lab.cluster().clock().now(),
+                       lab.cluster().stats().remote_write_bytes};
+    };
+    EXPECT_EQ(run(true), run(false)) << workload::to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace perseas::obs

@@ -1,0 +1,145 @@
+// Validator + tracer co-installation through core::TxnObserverMux: with
+// both PerseasConfig::validate_writes and trace/metrics set, the validator
+// keeps its veto power (CoverageError still aborts the commit, and the
+// throw stops the fan-out before the tracer sees the vetoed hook), while
+// validator_stats() keeps reporting only the validator's counters.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "check/txn_validator.hpp"
+#include "core/observer_mux.hpp"
+#include "core/perseas.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/txn_tracer.hpp"
+
+namespace perseas::core {
+namespace {
+
+class ObserverMuxTest : public ::testing::Test {
+ protected:
+  ObserverMuxTest() : cluster_(sim::HardwareProfile::forth_1997(), 2), server_(cluster_, 1) {}
+
+  core::Perseas make_db() {
+    PerseasConfig config;
+    config.name = "mux";
+    config.validate_writes = true;
+    config.trace = &trace_;
+    config.metrics = &metrics_;
+    return core::Perseas(cluster_, 0, {&server_}, config);
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+  obs::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
+};
+
+TEST_F(ObserverMuxTest, ValidatorAndTracerCoInstallValidatorFirst) {
+  auto db = make_db();
+  auto* mux = dynamic_cast<TxnObserverMux*>(db.txn_observer());
+  ASSERT_NE(mux, nullptr) << "both observers requested: expected a mux";
+  ASSERT_EQ(mux->size(), 2u);
+  EXPECT_NE(dynamic_cast<check::TxnValidator*>(mux->child(0)), nullptr)
+      << "the validator must run first so its veto can skip the tracer";
+  EXPECT_NE(dynamic_cast<obs::TxnTracer*>(mux->child(1)), nullptr);
+}
+
+TEST_F(ObserverMuxTest, BothObserversSeeACleanCommit) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+
+  auto txn = db.begin_transaction();
+  txn.set_range(rec, 0, 16);
+  std::memset(rec.bytes().data(), 0x5A, 16);
+  txn.commit();
+
+  EXPECT_EQ(db.validator_stats().commits_checked, 1u);
+  auto* tracer = dynamic_cast<obs::TxnTracer*>(
+      dynamic_cast<TxnObserverMux*>(db.txn_observer())->child(1));
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_EQ(tracer->txns_traced(), 1u);
+  EXPECT_EQ(metrics_.histogram("perseas_txn_us").count(), 1u);
+  EXPECT_GT(trace_.event_count(), 0u);
+}
+
+TEST_F(ObserverMuxTest, ValidatorVetoStillFiresAndSkipsTheTracer) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+
+  auto txn = db.begin_transaction();
+  txn.set_range(rec, 0, 8);
+  std::memset(rec.bytes().data(), 0x11, 8);
+  rec.bytes()[40] = std::byte{0x22};  // uncovered
+  EXPECT_THROW(txn.commit(), check::CoverageError);
+  EXPECT_TRUE(txn.active()) << "veto fired before the commit point";
+  EXPECT_EQ(db.validator_stats().uncovered_writes, 1u);
+
+  // The vetoed on_commit never reached the tracer: no commit span, no
+  // closed whole-txn span.
+  auto* tracer = dynamic_cast<obs::TxnTracer*>(
+      dynamic_cast<TxnObserverMux*>(db.txn_observer())->child(1));
+  ASSERT_NE(tracer, nullptr);
+  EXPECT_EQ(tracer->txns_traced(), 0u);
+  for (const auto& e : trace_.events()) EXPECT_NE(e.name, "txn.commit");
+
+  rec.bytes()[40] = std::byte{0};
+  txn.abort();
+  EXPECT_EQ(tracer->txns_traced(), 1u);  // the abort closed the span
+}
+
+TEST_F(ObserverMuxTest, ValidatorStatsStayValidatorOnlyThroughTheMux) {
+  auto db = make_db();
+  auto rec = db.persistent_malloc(64);
+  db.init_remote_db();
+
+  for (int t = 0; t < 3; ++t) {
+    auto txn = db.begin_transaction();
+    txn.set_range(rec, 0, 32);
+    std::memset(rec.bytes().data(), t + 1, 32);
+    txn.commit();
+  }
+  // The mux sums children's stats; the tracer's are all-zero by design, so
+  // the totals are exactly what a lone validator would report.
+  const auto stats = db.validator_stats();
+  EXPECT_EQ(stats.txns_observed, 3u);
+  EXPECT_EQ(stats.commits_checked, 3u);
+  EXPECT_EQ(stats.snapshots_taken, 3u);
+  EXPECT_EQ(stats.uncovered_writes, 0u);
+}
+
+TEST(ObserverMuxUnitTest, ForwardsInInsertionOrderAndMergesStats) {
+  // A stub pair proving insertion-order fan-out at the unit level.
+  struct Recorder final : TxnObserver {
+    std::vector<int>* order;
+    int id;
+    TxnObserverStats stats_;
+    Recorder(std::vector<int>* o, int i, std::uint64_t observed) : order(o), id(i) {
+      stats_.txns_observed = observed;
+    }
+    void on_begin(std::uint64_t, std::span<const TxnRecordView>) override {
+      order->push_back(id);
+    }
+    void on_set_range(std::uint64_t, std::uint32_t, std::uint64_t, std::uint64_t) override {}
+    void on_undo_push(std::uint64_t, std::span<const std::byte>,
+                      std::span<const std::byte>) override {}
+    void on_commit(std::uint64_t, std::span<const TxnRecordView>) override {}
+    void on_abort(std::uint64_t, std::span<const TxnRecordView>) override {}
+    [[nodiscard]] const TxnObserverStats& stats() const noexcept override { return stats_; }
+  };
+
+  std::vector<int> order;
+  TxnObserverMux mux;
+  mux.add(std::make_unique<Recorder>(&order, 1, 10));
+  mux.add(std::make_unique<Recorder>(&order, 2, 5));
+  mux.on_begin(1, {});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(mux.stats().txns_observed, 15u);
+}
+
+}  // namespace
+}  // namespace perseas::core

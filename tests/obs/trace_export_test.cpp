@@ -1,0 +1,202 @@
+// Golden-file test for the tracing/metrics exporters: a fixed 3-transaction
+// workload (two commits, one abort) must emit exactly the expected Perfetto
+// event sequence, and the exported metrics must equal the authoritative
+// stats structs (PerseasStats, NetworkStats) byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/perseas.hpp"
+#include "netram/cluster.hpp"
+#include "netram/remote_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace perseas::obs {
+namespace {
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  TraceExportTest() : cluster_(sim::HardwareProfile::forth_1997(), 2), server_(cluster_, 1) {}
+
+  /// The fixed workload: txn 1 commits one 16-byte range, txn 2 commits two
+  /// ranges, txn 3 dirties one range and aborts.
+  void run_workload(core::Perseas& db, core::RecordHandle& rec) {
+    {
+      auto txn = db.begin_transaction();
+      txn.set_range(rec, 0, 16);
+      std::memset(rec.bytes().data(), 0x11, 16);
+      txn.commit();
+    }
+    {
+      auto txn = db.begin_transaction();
+      txn.set_range(rec, 0, 16);
+      txn.set_range(rec, 64, 32);
+      std::memset(rec.bytes().data(), 0x22, 16);
+      std::memset(rec.bytes().data() + 64, 0x22, 32);
+      txn.commit();
+    }
+    {
+      auto txn = db.begin_transaction();
+      txn.set_range(rec, 32, 8);
+      std::memset(rec.bytes().data() + 32, 0x33, 8);
+      txn.abort();
+    }
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+};
+
+TEST_F(TraceExportTest, ThreeTxnWorkloadEmitsGoldenEventSequence) {
+  TraceRecorder trace;
+  core::PerseasConfig config;
+  config.name = "golden";
+  config.trace = &trace;
+  core::Perseas db(cluster_, 0, {&server_}, config);
+  auto rec = db.persistent_malloc(128);
+  db.init_remote_db();
+  run_workload(db, rec);
+
+  // The golden sequence, embedded: per set_range an instant marker, the
+  // local-undo span, the eager undo push, and the remote-undo span; per
+  // commit the three per-mirror phase spans, the commit span, and the
+  // whole-txn span; per abort an instant marker and the whole-txn span.
+  const std::vector<std::pair<char, std::string>> kGolden = {
+      // txn 1: one range, committed
+      {'i', "txn.begin"},
+      {'i', "txn.set_range"},
+      {'X', "txn.local_undo"},
+      {'i', "txn.undo_push"},
+      {'X', "txn.remote_undo"},
+      {'X', "txn.flag_set"},
+      {'X', "txn.propagate"},
+      {'X', "txn.flag_clear"},
+      {'X', "txn.commit"},
+      {'X', "txn"},
+      // txn 2: two ranges, committed
+      {'i', "txn.begin"},
+      {'i', "txn.set_range"},
+      {'X', "txn.local_undo"},
+      {'i', "txn.undo_push"},
+      {'X', "txn.remote_undo"},
+      {'i', "txn.set_range"},
+      {'X', "txn.local_undo"},
+      {'i', "txn.undo_push"},
+      {'X', "txn.remote_undo"},
+      {'X', "txn.flag_set"},
+      {'X', "txn.propagate"},
+      {'X', "txn.flag_clear"},
+      {'X', "txn.commit"},
+      {'X', "txn"},
+      // txn 3: one range, aborted
+      {'i', "txn.begin"},
+      {'i', "txn.set_range"},
+      {'X', "txn.local_undo"},
+      {'i', "txn.undo_push"},
+      {'X', "txn.remote_undo"},
+      {'i', "txn.abort"},
+      {'X', "txn"},
+  };
+
+  const auto& events = trace.events();
+  ASSERT_EQ(events.size(), kGolden.size());
+  for (std::size_t i = 0; i < kGolden.size(); ++i) {
+    EXPECT_EQ(events[i].ph, kGolden[i].first) << "event " << i;
+    EXPECT_EQ(events[i].name, kGolden[i].second) << "event " << i;
+    EXPECT_EQ(events[i].cat, "txn") << "event " << i;
+    EXPECT_EQ(events[i].tid, 0u) << "event " << i;  // app node
+  }
+
+  // Timestamps never decrease, and spans never extend past the next
+  // same-or-outer event's view of time (monotone simulated clock).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts, events[i].ts + events[i].dur) << "event " << i;
+  }
+
+  // The whole-txn spans carry the outcome.
+  std::vector<std::uint64_t> outcomes;
+  for (const auto& e : events) {
+    if (e.name != "txn") continue;
+    for (const auto& a : e.args) {
+      if (a.key == "committed") outcomes.push_back(a.value);
+    }
+  }
+  EXPECT_EQ(outcomes, (std::vector<std::uint64_t>{1, 1, 0}));
+
+  // The serialized form is Chrome/Perfetto trace-event JSON.
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json.substr(0, 80);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"txn.commit\""), std::string::npos);
+  // The instance registered its own track, named after the database.
+  EXPECT_NE(json.find("golden"), std::string::npos);
+  EXPECT_EQ(trace.track_count(), 1u);
+}
+
+TEST_F(TraceExportTest, ExportedMetricsEqualAuthoritativeStatsExactly) {
+  MetricsRegistry reg;
+  core::PerseasConfig config;
+  config.name = "golden";
+  config.metrics = &reg;
+  core::Perseas db(cluster_, 0, {&server_}, config);
+  auto rec = db.persistent_malloc(128);
+  db.init_remote_db();
+  run_workload(db, rec);
+
+  db.export_metrics(reg);
+  cluster_.export_metrics(reg);
+
+  const core::PerseasStats& s = db.stats();
+  const std::string db_label = "db=\"golden\"";
+  const auto counter = [&reg](const std::string& name, const std::string& labels) {
+    return reg.counter(name, "", labels).value();
+  };
+
+  // Cost-model ground truth for this workload: 16 + (16 + 32) + 8 bytes of
+  // declared ranges, each copied once locally and once per mirror.
+  EXPECT_EQ(s.bytes_undo_local, 72u);
+  EXPECT_EQ(s.bytes_propagated, 64u);  // the abort propagates nothing
+
+  EXPECT_EQ(counter("perseas_txns_total", db_label + ",outcome=\"committed\""),
+            s.txns_committed);
+  EXPECT_EQ(counter("perseas_txns_total", db_label + ",outcome=\"aborted\""), s.txns_aborted);
+  EXPECT_EQ(s.txns_committed, 2u);
+  EXPECT_EQ(s.txns_aborted, 1u);
+  EXPECT_EQ(counter("perseas_set_ranges_total", db_label), s.set_ranges);
+  EXPECT_EQ(counter("perseas_bytes_total", db_label + ",channel=\"undo_local\""),
+            s.bytes_undo_local);
+  EXPECT_EQ(counter("perseas_bytes_total", db_label + ",channel=\"undo_remote\""),
+            s.bytes_undo_remote);
+  EXPECT_EQ(counter("perseas_bytes_total", db_label + ",channel=\"propagate\""),
+            s.bytes_propagated);
+  EXPECT_EQ(counter("perseas_phase_ns_total", db_label + ",phase=\"local_undo\""),
+            static_cast<std::uint64_t>(s.time_local_undo));
+  EXPECT_EQ(counter("perseas_phase_ns_total", db_label + ",phase=\"remote_undo\""),
+            static_cast<std::uint64_t>(s.time_remote_undo));
+  EXPECT_EQ(counter("perseas_phase_ns_total", db_label + ",phase=\"propagate\""),
+            static_cast<std::uint64_t>(s.time_propagation));
+  EXPECT_EQ(counter("perseas_phase_ns_total", db_label + ",phase=\"commit_flags\""),
+            static_cast<std::uint64_t>(s.time_commit_flags));
+
+  const netram::NetworkStats& n = cluster_.stats();
+  EXPECT_EQ(counter("netram_remote_writes_total", ""), n.remote_writes);
+  EXPECT_EQ(counter("netram_bytes_total", "channel=\"remote_write\""), n.remote_write_bytes);
+  EXPECT_EQ(counter("netram_bytes_total", "channel=\"local_memcpy\""), n.local_memcpy_bytes);
+  EXPECT_EQ(counter("netram_sci_packets_total", "kind=\"full\""), n.full_packets);
+  EXPECT_EQ(counter("netram_sci_packets_total", "kind=\"partial\""), n.partial_packets);
+
+  // The tracer's live histograms observed every transaction and every undo
+  // push, and the undo-push histogram's byte sum is exactly the remote undo
+  // traffic the stats recorded.
+  EXPECT_EQ(reg.histogram("perseas_txn_us").count(), 3u);
+  const Histogram& undo = reg.histogram("perseas_undo_entry_bytes");
+  EXPECT_EQ(undo.count(), 4u);  // one push per set_range per mirror
+  EXPECT_EQ(static_cast<std::uint64_t>(undo.summary().total()), s.bytes_undo_remote);
+}
+
+}  // namespace
+}  // namespace perseas::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace perseas::sim {
@@ -36,9 +38,26 @@ TEST(Summary, PercentileInterleavedWithAdds) {
   EXPECT_DOUBLE_EQ(s.median(), 20.0);
 }
 
-TEST(Summary, EmptyPercentileThrows) {
+TEST(Summary, EmptyPercentileIsNaN) {
   Summary s;
-  EXPECT_THROW((void)s.percentile(0.5), std::out_of_range);
+  EXPECT_TRUE(std::isnan(s.percentile(0.0)));
+  EXPECT_TRUE(std::isnan(s.percentile(0.5)));
+  EXPECT_TRUE(std::isnan(s.percentile(1.0)));
+  // Out-of-range q still throws, even on an empty summary.
+  EXPECT_THROW((void)s.percentile(-0.1), std::invalid_argument);
+}
+
+TEST(Summary, EndpointQuantilesAreMinAndMax) {
+  Summary s;
+  for (const double x : {7.0, -3.0, 12.5, 0.25}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 12.5);
+  // Single sample: every quantile is that sample.
+  Summary one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 42.0);
 }
 
 TEST(Summary, BadQuantileThrows) {
@@ -104,6 +123,38 @@ TEST(Log2Histogram, RenderMentionsOnlyNonEmptyBuckets) {
   const std::string out = h.render();
   EXPECT_NE(out.find("1"), std::string::npos);
   EXPECT_EQ(h.bucket_count(63), 0u);
+}
+
+TEST(Log2Histogram, BucketRangeHelpers) {
+  EXPECT_EQ(Log2Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(3), 4u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(3), 7u);
+  // The clamp bucket absorbs every larger value.
+  EXPECT_EQ(Log2Histogram::bucket_hi(Log2Histogram::kBuckets - 1), UINT64_MAX);
+}
+
+TEST(Log2Histogram, RenderHasLabelledAxis) {
+  Log2Histogram h;
+  h.add(5);   // bucket [4, 7]
+  h.add(6);
+  h.add(100); // bucket [64, 127]
+  const std::string out = h.render();
+  EXPECT_NE(out.find("value range"), std::string::npos) << out;
+  EXPECT_NE(out.find("count"), std::string::npos) << out;
+  EXPECT_NE(out.find("4"), std::string::npos) << out;
+  EXPECT_NE(out.find("7"), std::string::npos) << out;
+  EXPECT_NE(out.find("*"), std::string::npos) << out;  // proportional bar
+
+  // The overflow bucket renders "+inf", not a misleading finite bound.
+  Log2Histogram clamp;
+  clamp.add(UINT64_MAX);
+  EXPECT_NE(clamp.render().find("+inf"), std::string::npos) << clamp.render();
+}
+
+TEST(Log2Histogram, EmptyRenderSaysSo) {
+  const Log2Histogram h;
+  EXPECT_NE(h.render().find("(no samples)"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a perseas-bench/1 result document.
+
+Usage:
+    check-bench-json.py <file.json>      validate a --metrics=<file> dump
+    <bench> --metrics=- | check-bench-json.py -
+                                         scan stdout for the BENCH_JSON line
+
+Checks the stable schema the bench harness (bench/bench_util.hpp) emits:
+
+    { "schema": "perseas-bench/1", "bench": <name>,
+      "rows": [...], "metrics": {"counters": {...}, "gauges": {...},
+                                 "histograms": {...}} }
+
+Exits 0 when the document is valid, 1 with a diagnostic otherwise.
+Stdlib only: runs on any CI python3 without installs.
+"""
+
+import json
+import sys
+
+SCHEMA = "perseas-bench/1"
+
+
+def fail(msg):
+    print(f"check-bench-json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(arg):
+    if arg == "-":
+        text = sys.stdin.read()
+    else:
+        with open(arg, encoding="utf-8") as f:
+            text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return json.loads(stripped)
+    # Mixed output (tables + one "BENCH_JSON {...}" line from --metrics=-).
+    docs = [line[len("BENCH_JSON "):] for line in text.splitlines()
+            if line.startswith("BENCH_JSON ")]
+    if not docs:
+        fail("no JSON document and no BENCH_JSON line found in input")
+    if len(docs) > 1:
+        fail(f"expected exactly one BENCH_JSON line, found {len(docs)}")
+    return json.loads(docs[0])
+
+
+def check(doc):
+    if not isinstance(doc, dict):
+        fail("document is not a JSON object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail("'bench' must be a non-empty string")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail("'rows' must be a non-empty array")
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not row:
+            fail(f"rows[{i}] must be a non-empty object")
+        for k, v in row.items():
+            if not isinstance(v, (int, float, str)) or isinstance(v, bool):
+                fail(f"rows[{i}].{k} has non-scalar value {v!r}")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("'metrics' must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"metrics.{section} must be an object")
+    for name, v in metrics["counters"].items():
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(f"counter {name} must be a non-negative integer, got {v!r}")
+    for name, h in metrics["histograms"].items():
+        if not isinstance(h, dict):
+            fail(f"histogram {name} must be an object")
+        for field in ("count", "sum", "mean", "p50", "p90", "p99", "max"):
+            if field not in h:
+                fail(f"histogram {name} is missing '{field}'")
+        if not isinstance(h["count"], int) or h["count"] < 0:
+            fail(f"histogram {name}.count must be a non-negative integer")
+        # Quantiles of an empty histogram serialize as null, never NaN/Inf.
+        if h["count"] == 0 and any(h[f] is not None for f in ("mean", "p50", "max")):
+            fail(f"empty histogram {name} must have null quantiles")
+
+    return doc
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    doc = check(load(sys.argv[1]))
+    print(f"check-bench-json: OK: bench={doc['bench']} "
+          f"rows={len(doc['rows'])} "
+          f"counters={len(doc['metrics']['counters'])} "
+          f"histograms={len(doc['metrics']['histograms'])}")
+
+
+if __name__ == "__main__":
+    main()
