@@ -48,42 +48,6 @@ void TxnValidator::reset_txn() noexcept {
   active_ = false;
 }
 
-void TxnValidator::merge_range(std::vector<ByteRange>& ranges, std::uint64_t offset,
-                               std::uint64_t size) {
-  const auto at = std::lower_bound(
-      ranges.begin(), ranges.end(), offset,
-      [](const ByteRange& r, std::uint64_t o) { return r.offset < o; });
-  auto it = ranges.insert(at, ByteRange{offset, size});
-  // Coalesce with the predecessor, then swallow successors while they
-  // overlap or touch.  set_range may be called with duplicates and
-  // overlaps; the union is what coverage is judged against.
-  if (it != ranges.begin()) {
-    auto prev = std::prev(it);
-    if (prev->offset + prev->size >= it->offset) {
-      prev->size = std::max(prev->offset + prev->size, it->offset + it->size) - prev->offset;
-      it = ranges.erase(it);
-      it = std::prev(it);
-    }
-  }
-  auto next = std::next(it);
-  while (next != ranges.end() && it->offset + it->size >= next->offset) {
-    it->size = std::max(it->offset + it->size, next->offset + next->size) - it->offset;
-    next = ranges.erase(next);
-  }
-}
-
-bool TxnValidator::covered(const std::vector<ByteRange>& ranges, std::uint64_t offset,
-                          std::uint64_t size) {
-  // Ranges are coalesced, so a contiguous run is covered iff one merged
-  // interval contains it entirely.
-  const auto it = std::upper_bound(
-      ranges.begin(), ranges.end(), offset,
-      [](std::uint64_t o, const ByteRange& r) { return o < r.offset; });
-  if (it == ranges.begin()) return false;
-  const auto& r = *std::prev(it);
-  return offset >= r.offset && offset + size <= r.offset + r.size;
-}
-
 void TxnValidator::on_begin(std::uint64_t txn_id, std::span<const core::TxnRecordView> records) {
   reset_txn();
   txn_id_ = txn_id;
@@ -105,7 +69,7 @@ void TxnValidator::on_set_range(std::uint64_t txn_id, std::uint32_t record, std:
   if (!active_ || txn_id != txn_id_) return;
   for (auto& tr : tracked_) {
     if (tr.index == record) {
-      merge_range(tr.ranges, offset, size);
+      core::merge_range(tr.ranges, offset, size);
       ++stats_.ranges_tracked;
       return;
     }

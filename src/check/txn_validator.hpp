@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/errors.hpp"
+#include "core/range_set.hpp"
 #include "core/txn_hooks.hpp"
 
 namespace perseas::check {
@@ -77,12 +78,10 @@ class SnapshotMismatchError : public ValidationError {
 };
 
 /// Half-open byte interval [offset, offset + size) within one record.
-struct ByteRange {
-  std::uint64_t offset = 0;
-  std::uint64_t size = 0;
-
-  friend bool operator==(const ByteRange&, const ByteRange&) = default;
-};
+/// The interval-merge machinery lives in core::range_set.hpp, where the
+/// commit hot path's coalescing layer shares it; the alias keeps this
+/// module's historical spelling working.
+using ByteRange = core::ByteRange;
 
 class TxnValidator final : public core::TxnObserver {
  public:
@@ -116,15 +115,6 @@ class TxnValidator final : public core::TxnObserver {
     std::vector<std::byte> snapshot;
     std::vector<ByteRange> ranges;  // sorted by offset, coalesced
   };
-
-  /// Inserts [offset, offset+size) into `ranges`, merging overlapping and
-  /// adjacent intervals.
-  static void merge_range(std::vector<ByteRange>& ranges, std::uint64_t offset,
-                          std::uint64_t size);
-
-  /// True when [offset, offset+size) lies inside the union of `ranges`.
-  static bool covered(const std::vector<ByteRange>& ranges, std::uint64_t offset,
-                      std::uint64_t size);
 
   void reset_txn() noexcept;
 

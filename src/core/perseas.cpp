@@ -4,7 +4,9 @@
 #include <array>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <new>
+#include <tuple>
 
 #include "check/txn_validator.hpp"
 #include "core/observer_mux.hpp"
@@ -113,6 +115,16 @@ const char* env_path(const char* name) {
   return (v != nullptr && *v != '\0') ? v : nullptr;
 }
 
+/// PERSEAS_COALESCE=0 forces coalescing off, any other value forces it on.
+/// Unlike the observability variables this one overrides the config — a
+/// caller-set `true` is indistinguishable from the default, so the CI
+/// ablation legs could not switch it otherwise.
+void apply_coalesce_env(PerseasConfig& config) {
+  if (const char* v = std::getenv("PERSEAS_COALESCE")) {
+    config.coalesce_ranges = std::strcmp(v, "0") != 0;
+  }
+}
+
 }  // namespace
 
 void Perseas::maybe_install_observers() {
@@ -205,6 +217,22 @@ void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
   count("perseas_bytes_total", bytes_help, stats_.bytes_propagated,
         db + ",channel=\"propagate\"");
 
+  // Write-set coalescing: savings and burst counts.  Always exported (all
+  // zero when coalesce_ranges is off) so tools/check-bench-json.py can
+  // require the series in both ablation legs.
+  count("perseas_ranges_coalesced_total",
+        "set_range declarations that overlapped the transaction's declared union",
+        stats_.ranges_coalesced, db);
+  const char* dedup_help = "Bytes write-set coalescing avoided moving, per channel";
+  count("perseas_bytes_dedup_total", dedup_help, stats_.bytes_dedup_undo,
+        db + ",channel=\"undo\"");
+  count("perseas_bytes_dedup_total", dedup_help, stats_.bytes_dedup_propagated,
+        db + ",channel=\"propagate\"");
+  const char* writes_help = "Gathered SCI store operations, per channel";
+  count("perseas_sci_writes_total", writes_help, stats_.undo_writes, db + ",channel=\"undo\"");
+  count("perseas_sci_writes_total", writes_help, stats_.propagate_writes,
+        db + ",channel=\"propagate\"");
+
   // Simulated nanoseconds per protocol phase (exact integers; figure 3's
   // cost decomposition).
   const char* phase_help = "Simulated nanoseconds spent per protocol phase";
@@ -253,6 +281,7 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
       config_(std::move(config)),
       client_(cluster, local),
       undo_capacity_(config_.undo_capacity) {
+  apply_coalesce_env(config_);
   maybe_install_observers();
   if (mirrors.empty()) throw UsageError("Perseas: at least one mirror is required");
   for (auto* server : mirrors) {
@@ -269,6 +298,7 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
 
 Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config)
     : cluster_(&cluster), local_(local), config_(std::move(config)), client_(cluster, local) {
+  apply_coalesce_env(config_);
   maybe_install_observers();
 }
 
@@ -400,6 +430,8 @@ Transaction Perseas::begin_transaction() {
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_begin);
   in_txn_ = true;
   undo_.clear();
+  write_set_.clear();
+  txn_declared_bytes_ = 0;
   undo_used_ = 0;
   ++txn_counter_;
   if (observer_) {
@@ -450,12 +482,13 @@ std::vector<std::byte> Perseas::serialize_undo(const LocalUndo& u, std::uint64_t
   return buf;
 }
 
-void Perseas::push_undo_entry(const LocalUndo& u, std::uint64_t txn_id) {
+void Perseas::push_undo_entry(const LocalUndo& u, std::uint64_t txn_id,
+                              netram::StreamHint hint) {
   const auto buf = serialize_undo(u, txn_id);
   for (auto& m : mirrors_) {
-    client_.sci_memcpy_write(m.undo, undo_used_, buf, netram::StreamHint::kNewBurst,
-                             config_.optimized_sci_memcpy);
+    client_.sci_memcpy_write(m.undo, undo_used_, buf, hint, config_.optimized_sci_memcpy);
     stats_.bytes_undo_remote += buf.size();
+    ++stats_.undo_writes;
     if (observer_) {
       // Peek at the mirror's memory directly (no simulated traffic): the
       // serialized entry just written must byte-match the local log.
@@ -466,15 +499,35 @@ void Perseas::push_undo_entry(const LocalUndo& u, std::uint64_t txn_id) {
   }
 }
 
-void Perseas::grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id) {
-  // Re-log every entry of the running transaction into a larger segment.
+std::uint64_t next_undo_capacity(std::uint64_t current, std::uint64_t required) {
+  std::uint64_t capacity = std::max<std::uint64_t>(current, 64);
+  while (capacity < required) {
+    if (capacity > std::numeric_limits<std::uint64_t>::max() / 2) {
+      // One more doubling would wrap to zero and the loop would spin
+      // forever; no mirror can hold this transaction's undo images.
+      throw OutOfRemoteMemory("grow_undo: undo-log capacity overflow (transaction needs " +
+                              std::to_string(required) + " bytes)");
+    }
+    capacity *= 2;
+  }
+  return capacity;
+}
+
+void Perseas::grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id,
+                        std::size_t preserve_entries) {
+  // Re-log the already-pushed entries of the running transaction into a
+  // larger segment; entries not yet pushed follow through push_undo_entry.
   std::vector<std::byte> all;
-  for (const auto& u : undo_) {
-    const auto buf = serialize_undo(u, txn_id);
+  for (std::size_t i = 0; i < preserve_entries; ++i) {
+    const auto buf = serialize_undo(undo_[i], txn_id);
     all.insert(all.end(), buf.begin(), buf.end());
   }
-  std::uint64_t new_capacity = std::max<std::uint64_t>(undo_capacity_, 64);
-  while (new_capacity < all.size() + needed_bytes) new_capacity *= 2;
+  if (needed_bytes > std::numeric_limits<std::uint64_t>::max() - all.size()) {
+    throw OutOfRemoteMemory("grow_undo: undo-log capacity overflow (transaction needs more "
+                            "bytes than a 64-bit log can address)");
+  }
+  const std::uint64_t new_capacity =
+      next_undo_capacity(undo_capacity_, all.size() + needed_bytes);
 
   const std::uint64_t new_gen = undo_gen_ + 1;
   for (auto& m : mirrors_) {
@@ -517,37 +570,80 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
     throw UsageError("set_range: range exceeds record");
   }
   if (observer_) observer_->on_set_range(txn_id, record, offset, size);
-
-  LocalUndo u;
-  u.record = record;
-  u.offset = offset;
-  const sim::StopWatch local_watch(cluster_->clock());
-  const auto src = record_bytes(record).subspan(offset, size);
-  u.before.assign(src.begin(), src.end());
-  cluster_->charge_local_memcpy(local_, size);  // figure 3, step 1
-  stats_.time_local_undo += local_watch.elapsed();
-  stats_.bytes_undo_local += size;
   ++stats_.set_ranges;
-  if (observer_) {
-    observer_->on_phase(txn_id, TxnPhase::kLocalUndo, local_watch.start(),
-                        local_watch.elapsed(), size, 0);
+  txn_declared_bytes_ += size;
+
+  // Merge the declaration into the per-record union.  Only the sub-ranges
+  // not already declared ("fresh") need before-images: the covered bytes
+  // were logged by an earlier set_range while still pristine (writes must
+  // follow their covering declaration), so a second copy would duplicate
+  // the first byte-for-byte.
+  std::vector<ByteRange>* ranges = nullptr;
+  for (auto& [rec, rs] : write_set_) {
+    if (rec == record) {
+      ranges = &rs;
+      break;
+    }
   }
+  if (ranges == nullptr) {
+    write_set_.emplace_back(record, std::vector<ByteRange>{});
+    ranges = &write_set_.back().second;
+  }
+  std::vector<ByteRange> fresh = merge_range(*ranges, offset, size);
+  if (!config_.coalesce_ranges) {
+    // Historical behaviour: one full-width entry per declaration.  The
+    // union is still maintained so both modes expose the same write set.
+    fresh.assign(1, ByteRange{offset, size});
+  } else if (fresh.size() != 1 || fresh.front().offset != offset ||
+             fresh.front().size != size) {
+    ++stats_.ranges_coalesced;
+  }
+
+  const sim::StopWatch local_watch(cluster_->clock());
+  std::vector<LocalUndo> entries;
+  entries.reserve(fresh.size());
+  std::uint64_t fresh_bytes = 0;
+  for (const auto& r : fresh) {  // figure 3, step 1
+    LocalUndo u;
+    u.record = record;
+    u.offset = r.offset;
+    const auto src = record_bytes(record).subspan(r.offset, r.size);
+    u.before.assign(src.begin(), src.end());
+    fresh_bytes += r.size;
+    entries.push_back(std::move(u));
+  }
+  if (fresh_bytes > 0) cluster_->charge_local_memcpy(local_, fresh_bytes);
+  stats_.time_local_undo += local_watch.elapsed();
+  stats_.bytes_undo_local += fresh_bytes;
+  stats_.bytes_dedup_undo += size - fresh_bytes;
+  if (observer_ && fresh_bytes > 0) {
+    observer_->on_phase(txn_id, TxnPhase::kLocalUndo, local_watch.start(),
+                        local_watch.elapsed(), fresh_bytes, 0);
+  }
+  // Notified even when fully covered (nothing copied): crash tests rely on
+  // every set_range reaching the same protocol points.
   cluster_->failures().notify(kAfterLocalUndo);
 
-  if (config_.eager_remote_undo) {
+  if (config_.eager_remote_undo && !entries.empty()) {
     const sim::StopWatch remote_watch(cluster_->clock());
-    const std::uint64_t needed = undo_entry_bytes(size);
-    if (undo_used_ + needed > undo_capacity_) grow_undo(needed, txn_id);
-    push_undo_entry(u, txn_id);  // figure 3, step 2
-    undo_used_ += needed;
+    std::uint64_t pushed = 0;
+    for (auto& u : entries) {
+      const std::uint64_t needed = undo_entry_bytes(u.before.size());
+      if (undo_used_ + needed > undo_capacity_) grow_undo(needed, txn_id, undo_.size());
+      push_undo_entry(u, txn_id);  // figure 3, step 2
+      undo_used_ += needed;
+      pushed += needed;
+      cluster_->failures().notify(kAfterRemoteUndo);
+      undo_.push_back(std::move(u));
+    }
     stats_.time_remote_undo += remote_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kRemoteUndo, remote_watch.start(),
-                          remote_watch.elapsed(), needed * mirrors_.size(), 0);
+                          remote_watch.elapsed(), pushed * mirrors_.size(), 0);
     }
-    cluster_->failures().notify(kAfterRemoteUndo);
+  } else {
+    for (auto& u : entries) undo_.push_back(std::move(u));
   }
-  undo_.push_back(std::move(u));
 }
 
 void Perseas::txn_commit(std::uint64_t txn_id) {
@@ -568,16 +664,26 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     undo_used_ = 0;
     const sim::StopWatch remote_watch(cluster_->clock());
     std::uint64_t total = 0;
-    for (const auto& u : undo_) total += undo_entry_bytes(u.before.size());
-    if (total > undo_capacity_) {
-      grow_undo(0, txn_id);  // grow_undo re-logs every entry of this txn
-      cluster_->failures().notify(kAfterRemoteUndo);
-    } else {
-      for (const auto& u : undo_) {
-        push_undo_entry(u, txn_id);
-        undo_used_ += undo_entry_bytes(u.before.size());
-        cluster_->failures().notify(kAfterRemoteUndo);
+    for (const auto& u : undo_) {
+      const std::uint64_t needed = undo_entry_bytes(u.before.size());
+      if (needed > std::numeric_limits<std::uint64_t>::max() - total) {
+        throw OutOfRemoteMemory("commit: transaction's undo images overflow a 64-bit log");
       }
+      total += needed;
+    }
+    // Growth moves to an empty segment first (preserving nothing); every
+    // entry then flows through the same per-entry push below, so the
+    // protocol points and observer cross-checks are identical whether or
+    // not the log had to grow.  The entries continue one SCI stream: only
+    // the first pays the burst launch latency.
+    if (total > undo_capacity_) grow_undo(total, txn_id, 0);
+    bool first = true;
+    for (const auto& u : undo_) {
+      push_undo_entry(u, txn_id,
+                      first ? netram::StreamHint::kNewBurst : netram::StreamHint::kContinuation);
+      first = false;
+      undo_used_ += undo_entry_bytes(u.before.size());
+      cluster_->failures().notify(kAfterRemoteUndo);
     }
     stats_.time_remote_undo += remote_watch.elapsed();
     if (observer_) {
@@ -587,6 +693,8 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
   }
 
   if (undo_.empty()) {  // read-only transaction: nothing to propagate
+    write_set_.clear();
+    txn_declared_bytes_ = 0;
     in_txn_ = false;
     ++stats_.txns_committed;
     if (observer_) observer_->on_commit_complete(txn_id);
@@ -613,14 +721,36 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
 
     const sim::StopWatch propagate_watch(cluster_->clock());
     std::uint64_t mirror_bytes = 0;
-    for (const auto& u : undo_) {  // figure 3, step 3
-      const auto data = record_bytes(u.record).subspan(u.offset, u.before.size());
-      client_.sci_memcpy_write(m.db[u.record], u.offset, data,
-                               netram::StreamHint::kContinuation,
-                               config_.optimized_sci_memcpy);
-      stats_.bytes_propagated += data.size();
-      mirror_bytes += data.size();
-      cluster_->failures().notify(kAfterRangeCopy);
+    if (config_.coalesce_ranges) {
+      // figure 3, step 3 — each record's merged dirty union exactly once,
+      // gathered into shared SCI bursts (adjacent ranges share packets,
+      // later bursts skip the launch latency).
+      for (const auto& [rec, ranges] : write_set_) {
+        const auto bytes = record_bytes(rec);
+        std::vector<netram::RemoteMemoryClient::GatherSlice> slices;
+        slices.reserve(ranges.size());
+        for (const auto& r : ranges) {
+          slices.push_back({r.offset, bytes.subspan(r.offset, r.size)});
+          mirror_bytes += r.size;
+        }
+        client_.sci_memcpy_writev(
+            m.db[rec], slices, netram::StreamHint::kContinuation, config_.optimized_sci_memcpy,
+            [this](std::size_t) { cluster_->failures().notify(kAfterRangeCopy); });
+        ++stats_.propagate_writes;
+      }
+      stats_.bytes_propagated += mirror_bytes;
+      stats_.bytes_dedup_propagated += txn_declared_bytes_ - mirror_bytes;
+    } else {
+      for (const auto& u : undo_) {  // figure 3, step 3
+        const auto data = record_bytes(u.record).subspan(u.offset, u.before.size());
+        client_.sci_memcpy_write(m.db[u.record], u.offset, data,
+                                 netram::StreamHint::kContinuation,
+                                 config_.optimized_sci_memcpy);
+        stats_.bytes_propagated += data.size();
+        ++stats_.propagate_writes;
+        mirror_bytes += data.size();
+        cluster_->failures().notify(kAfterRangeCopy);
+      }
     }
     stats_.time_propagation += propagate_watch.elapsed();
     if (observer_) {
@@ -642,6 +772,8 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
   }
 
   undo_.clear();
+  write_set_.clear();
+  txn_declared_bytes_ = 0;
   in_txn_ = false;
   ++stats_.txns_committed;
   if (observer_) observer_->on_commit_complete(txn_id);
@@ -653,7 +785,9 @@ void Perseas::txn_abort() {
   if (!in_txn_) throw UsageError("abort: no active transaction");
   // Purely local: the remote database was never touched (propagation only
   // happens inside commit), and stale remote undo entries are harmless
-  // because propagating_txn is zero.
+  // because propagating_txn is zero.  Newest-first restores legacy
+  // (coalesce_ranges=false) overlapping entries correctly; coalesced
+  // entries are disjoint, for which any order works.
   std::uint64_t bytes = 0;
   for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
     auto dst = record_bytes(it->record).subspan(it->offset, it->before.size());
@@ -662,6 +796,8 @@ void Perseas::txn_abort() {
   }
   cluster_->charge_local_memcpy(local_, bytes);
   undo_.clear();
+  write_set_.clear();
+  txn_declared_bytes_ = 0;
   in_txn_ = false;
   ++stats_.txns_aborted;
   if (observer_) {
@@ -836,14 +972,44 @@ Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
     if (pos < must_parse) {
       throw RecoveryError("recover: undo log ends before the announced length");
     }
-    // Discard the illegal (partially propagated) update on the mirror by
-    // applying the before-images newest-first: set_range may log
-    // overlapping ranges, and a later range's before-image contains the
-    // earlier range's writes, so forward application would resurrect them.
-    for (auto it = rollbacks.rbegin(); it != rollbacks.rend(); ++it) {
-      const std::span<const std::byte> image{undo_bytes.data() + it->body_pos, it->size};
-      p.client_.sci_memcpy_write(m.db[it->record], it->offset, image,
-                                 netram::StreamHint::kNewBurst, config.optimized_sci_memcpy);
+    // Discard the illegal (partially propagated) update on the mirror.
+    // Coalesced logs (the default format) hold disjoint before-images, so
+    // rollback is order-independent: apply them forward, gathered per
+    // record into shared SCI bursts.  Legacy-format logs
+    // (coalesce_ranges=false) may hold overlapping entries — a later
+    // range's before-image contains the earlier range's writes, so forward
+    // application would resurrect them — and must be applied newest-first,
+    // one store each.
+    std::vector<std::size_t> order(rollbacks.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return std::tie(rollbacks[a].record, rollbacks[a].offset) <
+             std::tie(rollbacks[b].record, rollbacks[b].offset);
+    });
+    bool overlapping = false;
+    for (std::size_t i = 1; i < order.size() && !overlapping; ++i) {
+      const Rollback& prev = rollbacks[order[i - 1]];
+      const Rollback& next = rollbacks[order[i]];
+      overlapping = prev.record == next.record && prev.offset + prev.size > next.offset;
+    }
+    if (overlapping) {
+      for (auto it = rollbacks.rbegin(); it != rollbacks.rend(); ++it) {
+        const std::span<const std::byte> image{undo_bytes.data() + it->body_pos, it->size};
+        p.client_.sci_memcpy_write(m.db[it->record], it->offset, image,
+                                   netram::StreamHint::kNewBurst, config.optimized_sci_memcpy);
+      }
+    } else {
+      std::size_t i = 0;
+      while (i < order.size()) {
+        const std::uint32_t rec = rollbacks[order[i]].record;
+        std::vector<netram::RemoteMemoryClient::GatherSlice> slices;
+        for (; i < order.size() && rollbacks[order[i]].record == rec; ++i) {
+          const Rollback& rb = rollbacks[order[i]];
+          slices.push_back({rb.offset, {undo_bytes.data() + rb.body_pos, rb.size}});
+        }
+        p.client_.sci_memcpy_writev(m.db[rec], slices, netram::StreamHint::kNewBurst,
+                                    config.optimized_sci_memcpy);
+      }
     }
     cluster.failures().notify(kRecoverAfterRollback);
     if (hdr.propagating_txn != 0) {

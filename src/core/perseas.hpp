@@ -37,6 +37,7 @@
 
 #include "core/errors.hpp"
 #include "core/layout.hpp"
+#include "core/range_set.hpp"
 #include "core/txn_hooks.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
@@ -51,6 +52,11 @@ namespace perseas::core {
 [[nodiscard]] inline bool is_aligned_for(const void* p, std::size_t align) noexcept {
   return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
 }
+
+/// The undo-log capacity after doubling `current` until it holds
+/// `required` bytes.  Throws OutOfRemoteMemory instead of wrapping when the
+/// doubling would overflow (a request no mirror could ever satisfy).
+[[nodiscard]] std::uint64_t next_undo_capacity(std::uint64_t current, std::uint64_t required);
 
 struct PerseasConfig {
   /// Name of this database: namespaces its segment keys on the mirrors, so
@@ -69,6 +75,16 @@ struct PerseasConfig {
   bool eager_remote_undo = true;
   /// Use the aligned-64-byte sci_memcpy optimization (paper section 4).
   bool optimized_sci_memcpy = true;
+  /// Coalesce the write set (default on): set_range calls that overlap or
+  /// duplicate earlier declarations log a before-image only for the bytes
+  /// not already covered, and commit propagates each record's merged,
+  /// sorted dirty ranges exactly once, gathered into shared SCI bursts.
+  /// Keeps figure 3's three-copies promise per *byte* instead of per
+  /// declaration.  false restores the historical one-entry-per-set_range
+  /// behaviour (the fig6 ablation baseline); recovery handles both log
+  /// formats.  The environment variable PERSEAS_COALESCE=0/1 overrides the
+  /// config (CI runs both legs of the bench-obs job with it).
+  bool coalesce_ranges = true;
   /// Install check::TxnValidator as this instance's transaction observer:
   /// every record is snapshotted at begin_transaction and commit verifies
   /// that all modified bytes were covered by set_range (raising
@@ -102,6 +118,17 @@ struct PerseasStats {
   std::uint64_t bytes_propagated = 0;   // summed over mirrors
   std::uint64_t undo_growths = 0;
   std::uint64_t mirror_rebuilds = 0;
+
+  // Write-set coalescing (PerseasConfig::coalesce_ranges).  The byte
+  // counters above always equal the traffic actually charged to the
+  // cluster; these record what coalescing saved relative to the historical
+  // one-entry-per-set_range behaviour, plus how the commit traffic was
+  // bursted.
+  std::uint64_t ranges_coalesced = 0;       ///< set_range calls overlapping the declared union
+  std::uint64_t bytes_dedup_undo = 0;       ///< before-image bytes skipped (already covered)
+  std::uint64_t bytes_dedup_propagated = 0; ///< propagation bytes saved (summed over mirrors)
+  std::uint64_t undo_writes = 0;            ///< SCI store ops pushing undo entries (all mirrors)
+  std::uint64_t propagate_writes = 0;       ///< SCI store ops issued by propagation (all mirrors)
 
   // Simulated time spent per protocol phase (figure 3's three copies plus
   // the commit-point stores): lets benches print where a transaction's
@@ -322,8 +349,12 @@ class Perseas {
   /// Serializes one undo entry (header + padded image) for txn `txn_id`.
   [[nodiscard]] std::vector<std::byte> serialize_undo(const LocalUndo& u,
                                                       std::uint64_t txn_id) const;
-  void push_undo_entry(const LocalUndo& u, std::uint64_t txn_id);
-  void grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id);
+  void push_undo_entry(const LocalUndo& u, std::uint64_t txn_id,
+                       netram::StreamHint hint = netram::StreamHint::kNewBurst);
+  /// Moves the undo log to a doubled segment, re-logging only the first
+  /// `preserve_entries` entries of undo_ (the ones already pushed).
+  void grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id,
+                 std::size_t preserve_entries);
 
   // Transaction backends.
   void txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
@@ -345,6 +376,15 @@ class Perseas {
   std::uint64_t undo_capacity_ = 0;
   std::uint64_t undo_used_ = 0;
   std::vector<LocalUndo> undo_;
+
+  /// The open transaction's write set: per touched record (first-touch
+  /// order), the merged, sorted union of its declared set_range intervals.
+  /// Commit propagates these — not the raw undo entries — when
+  /// config_.coalesce_ranges is on.
+  std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>> write_set_;
+  /// Raw (pre-merge) declared bytes of the open transaction; the difference
+  /// from the union is what coalescing saves per mirror at propagation.
+  std::uint64_t txn_declared_bytes_ = 0;
 
   /// Installed by maybe_install_observers; hooks fire only when non-null.
   std::unique_ptr<TxnObserver> observer_;

@@ -80,13 +80,19 @@ class TxnObserver {
   virtual void on_begin(std::uint64_t txn_id, std::span<const TxnRecordView> records) = 0;
 
   /// set_range declared [offset, offset+size) of `record`, after argument
-  /// validation and before the before-image is logged.
+  /// validation and before any before-image is logged.  The hook always
+  /// sees the raw declaration; with write-set coalescing on (the default)
+  /// the library then logs before-images only for the sub-ranges not
+  /// already covered by this transaction's earlier declarations.
   virtual void on_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) = 0;
 
   /// One undo entry was pushed to one mirror: `serialized` is the local
   /// serialization (header + padded image), `remote` the bytes now present
-  /// at the same position of that mirror's undo segment.
+  /// at the same position of that mirror's undo segment.  Under coalescing
+  /// a declaration may push zero entries (fully covered) or several (one
+  /// per uncovered sub-range); the hook fires once per entry per mirror,
+  /// on the lazy commit path too.
   virtual void on_undo_push(std::uint64_t txn_id, std::span<const std::byte> serialized,
                             std::span<const std::byte> remote) = 0;
 

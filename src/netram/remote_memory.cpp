@@ -109,6 +109,55 @@ sim::SimDuration RemoteMemoryClient::sci_memcpy_write(const RemoteSegment& segme
                                 optimized);
 }
 
+sim::SimDuration RemoteMemoryClient::sci_memcpy_writev(
+    const RemoteSegment& segment, std::span<const GatherSlice> slices, StreamHint hint,
+    bool optimized, const std::function<void(std::size_t)>& on_slice) {
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    check_range(segment, slices[i].offset, slices[i].data.size());
+    if (i > 0 && slices[i].offset < prev_end) {
+      throw std::invalid_argument(
+          "sci_memcpy_writev: slices must be sorted and non-overlapping");
+    }
+    prev_end = slices[i].offset + slices[i].data.size();
+  }
+
+  sim::SimDuration total = 0;
+  std::vector<std::byte> scratch;  // backing for merged contiguous slices
+  std::size_t i = 0;
+  bool first_burst = true;
+  while (i < slices.size()) {
+    // Extend the burst over every following slice that starts exactly where
+    // the previous one ended: the host issues those stores back-to-back, so
+    // the gather buffers treat them as one contiguous burst.
+    std::size_t j = i + 1;
+    std::uint64_t run_bytes = slices[i].data.size();
+    while (j < slices.size() &&
+           slices[j].offset == slices[j - 1].offset + slices[j - 1].data.size()) {
+      run_bytes += slices[j].data.size();
+      ++j;
+    }
+    std::span<const std::byte> burst = slices[i].data;
+    if (j - i > 1) {
+      scratch.clear();
+      scratch.reserve(run_bytes);
+      for (std::size_t k = i; k < j; ++k) {
+        scratch.insert(scratch.end(), slices[k].data.begin(), slices[k].data.end());
+      }
+      burst = scratch;  // simulation plumbing only: charges no local memcpy
+    }
+    const StreamHint h = first_burst ? hint : StreamHint::kContinuation;
+    total += cluster_->remote_write(local_, segment.server_node,
+                                    segment.offset + slices[i].offset, burst, h, optimized);
+    first_burst = false;
+    for (std::size_t k = i; k < j; ++k) {
+      if (on_slice) on_slice(k);
+    }
+    i = j;
+  }
+  return total;
+}
+
 sim::SimDuration RemoteMemoryClient::sci_memcpy_read(const RemoteSegment& segment,
                                                      std::uint64_t offset,
                                                      std::span<std::byte> out) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -102,6 +103,31 @@ class RemoteMemoryClient {
   /// remote memory copy, remote -> local.
   sim::SimDuration sci_memcpy_read(const RemoteSegment& segment, std::uint64_t offset,
                                    std::span<std::byte> out);
+
+  /// One slice of a gathered multi-range write: `data` lands at `offset`
+  /// within the target segment.
+  struct GatherSlice {
+    std::uint64_t offset = 0;
+    std::span<const std::byte> data;
+  };
+
+  /// Gathered multi-range write: issues `slices` (which must be sorted by
+  /// offset and non-overlapping) back-to-back, as the SCI store-gathering
+  /// hardware sees host stores.  The first burst takes `hint`; every later
+  /// one continues the stream (StreamHint::kContinuation), so the
+  /// first-packet launch latency is paid at most once per gathered
+  /// operation.  Slices contiguous in remote address space coalesce into a
+  /// single store burst — back-to-back stores fill the NIC's 64-byte gather
+  /// buffers seamlessly, so the junction transmits full packets instead of
+  /// two partial trains.  `on_slice(i)` fires after the burst carrying
+  /// slice i has landed (failure-injection hook for callers that
+  /// instrument per-range protocol points).  Returns the summed simulated
+  /// latency.
+  sim::SimDuration sci_memcpy_writev(const RemoteSegment& segment,
+                                     std::span<const GatherSlice> slices,
+                                     StreamHint hint = StreamHint::kNewBurst,
+                                     bool optimized = true,
+                                     const std::function<void(std::size_t)>& on_slice = {});
 
  private:
   void check_range(const RemoteSegment& segment, std::uint64_t offset, std::uint64_t size) const;

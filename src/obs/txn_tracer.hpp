@@ -15,8 +15,12 @@
 //   txn.begin/.set_range/.undo_push/.abort   instant markers
 //
 // and observes perseas_txn_us plus perseas_txn_phase_us{phase=...}
-// histograms.  Like the validator, it performs plain local computation
-// only: no simulated time, no simulated traffic.
+// histograms.  With write-set coalescing on (the default), undo spans and
+// the perseas_undo_entry_bytes histogram see one sample per *fresh*
+// (uncovered) sub-range — a fully-covered set_range logs nothing, so it
+// emits a .set_range marker but no undo phase span.  Like the validator,
+// the tracer performs plain local computation only: no simulated time, no
+// simulated traffic.
 #pragma once
 
 #include <cstdint>

@@ -45,7 +45,10 @@ struct RvmOptions {
   /// this fraction of its capacity.
   double truncate_fraction = 0.5;
   /// Truncation coalesces committed ranges into whole dirty pages of this
-  /// size before writing them to the stable image.
+  /// size before writing them to the stable image.  (PERSEAS likewise
+  /// deduplicates overlapping declarations via PerseasConfig::
+  /// coalesce_ranges, so the table-1 comparison does not penalize either
+  /// system for redundant propagation.)
   std::uint64_t truncate_page_bytes = 4096;
 };
 

@@ -63,6 +63,10 @@ def check(doc):
         for k, v in row.items():
             if not isinstance(v, (int, float, str)) or isinstance(v, bool):
                 fail(f"rows[{i}].{k} has non-scalar value {v!r}")
+        # Ablation rows label the coalescing leg with the effective config
+        # value (PERSEAS_COALESCE may override what the bench requested).
+        if "coalesce" in row and row["coalesce"] not in ("on", "off"):
+            fail(f'rows[{i}].coalesce must be "on" or "off", got {row["coalesce"]!r}')
 
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -70,9 +74,25 @@ def check(doc):
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(metrics.get(section), dict):
             fail(f"metrics.{section} must be an object")
-    for name, v in metrics["counters"].items():
+    counters = metrics["counters"]
+    for name, v in counters.items():
         if not isinstance(v, int) or isinstance(v, bool) or v < 0:
             fail(f"counter {name} must be a non-negative integer, got {v!r}")
+
+    # Every PERSEAS instance exports the write-set coalescing series even
+    # with coalescing off (all-zero), so for each db label that exported any
+    # perseas_* counter the full set must be present.
+    perseas_dbs = {name.split('db="', 1)[1].split('"', 1)[0]
+                   for name in counters
+                   if name.startswith("perseas_") and 'db="' in name}
+    for db in sorted(perseas_dbs):
+        required = [f'perseas_ranges_coalesced_total{{db="{db}"}}']
+        for channel in ("undo", "propagate"):
+            required.append(f'perseas_bytes_dedup_total{{db="{db}",channel="{channel}"}}')
+            required.append(f'perseas_sci_writes_total{{db="{db}",channel="{channel}"}}')
+        for series in required:
+            if series not in counters:
+                fail(f"db {db!r} is missing coalescing counter {series}")
     for name, h in metrics["histograms"].items():
         if not isinstance(h, dict):
             fail(f"histogram {name} must be an object")
