@@ -25,10 +25,17 @@ constexpr const char* kAfterRemoteUndo = "perseas.set_range.after_remote_undo";
 constexpr const char* kAfterFlagSet = "perseas.commit.after_flag_set";
 constexpr const char* kAfterRangeCopy = "perseas.commit.after_range_copy";
 constexpr const char* kBeforeFlagClear = "perseas.commit.before_flag_clear";
+constexpr const char* kAfterFlagClear = "perseas.commit.after_flag_clear";
 constexpr const char* kCommitDone = "perseas.commit.done";
 constexpr const char* kAbortDone = "perseas.abort.done";
+constexpr const char* kRecoverAfterMeta = "perseas.recover.after_meta";
 constexpr const char* kRecoverConnected = "perseas.recover.connected";
+constexpr const char* kRecoverAfterUndoScan = "perseas.recover.after_undo_scan";
 constexpr const char* kRecoverAfterRollback = "perseas.recover.after_rollback";
+constexpr const char* kRecoverAfterFlagClear = "perseas.recover.after_flag_clear";
+constexpr const char* kRecoverAfterPull = "perseas.recover.after_pull";
+constexpr const char* kRebuildSegments = "perseas.rebuild.segments";
+constexpr const char* kRebuildDone = "perseas.rebuild.done";
 constexpr const char* kRecoverDone = "perseas.recover.done";
 
 std::span<const std::byte> as_bytes_of(const std::uint64_t& v) {
@@ -123,6 +130,15 @@ void apply_coalesce_env(PerseasConfig& config) {
   if (const char* v = std::getenv("PERSEAS_COALESCE")) {
     config.coalesce_ranges = std::strcmp(v, "0") != 0;
   }
+}
+
+/// PERSEAS_MC_SEED_BUG=skip-flag-clear plants a deliberate protocol bug —
+/// the commit-point store clearing propagating_txn is skipped — so the
+/// model checker's self-test can prove it detects and minimizes real
+/// violations.  Never set outside `perseas-mc --selftest`.
+bool seeded_bug_skip_flag_clear() {
+  const char* v = std::getenv("PERSEAS_MC_SEED_BUG");
+  return v != nullptr && std::strcmp(v, "skip-flag-clear") == 0;
 }
 
 }  // namespace
@@ -282,6 +298,7 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
       client_(cluster, local),
       undo_capacity_(config_.undo_capacity) {
   apply_coalesce_env(config_);
+  mc_skip_flag_clear_ = seeded_bug_skip_flag_clear();
   maybe_install_observers();
   if (mirrors.empty()) throw UsageError("Perseas: at least one mirror is required");
   for (auto* server : mirrors) {
@@ -299,6 +316,7 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
 Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config)
     : cluster_(&cluster), local_(local), config_(std::move(config)), client_(cluster, local) {
   apply_coalesce_env(config_);
+  mc_skip_flag_clear_ = seeded_bug_skip_flag_clear();
   maybe_install_observers();
 }
 
@@ -762,13 +780,16 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     // THE commit point (for this mirror): the store clearing the flag.
     const sim::StopWatch clear_watch(cluster_->clock());
     const std::uint64_t clear[2] = {0, 0};
-    client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
-                             netram::StreamHint::kContinuation, false);
+    if (!mc_skip_flag_clear_) {
+      client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
+                               netram::StreamHint::kContinuation, false);
+    }
     stats_.time_commit_flags += clear_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kFlagClear, clear_watch.start(),
                           clear_watch.elapsed(), sizeof clear, mi);
     }
+    cluster_->failures().notify(kAfterFlagClear);
   }
 
   undo_.clear();
@@ -839,6 +860,7 @@ void Perseas::rebuild_mirror(std::uint32_t index) {
 
   m.db.clear();
   create_mirror_segments(m);
+  cluster_->failures().notify(kRebuildSegments);
   for (std::uint32_t i = 0; i < records_.size(); ++i) {
     try {
       m.db.push_back(client_.sci_get_new_segment(*m.server, records_[i].size, db_key(i, config_.name)));
@@ -850,6 +872,7 @@ void Perseas::rebuild_mirror(std::uint32_t index) {
   }
   push_meta(m);
   ++stats_.mirror_rebuilds;
+  cluster_->failures().notify(kRebuildDone);
 }
 
 Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
@@ -895,6 +918,7 @@ Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
     p.client_.sci_memcpy_read(meta_seg, sizeof(MetaHeader), buf);
     std::memcpy(sizes.data(), buf.data(), buf.size());
   }
+  cluster.failures().notify(kRecoverAfterMeta);
 
   Mirror m;
   m.server = primary;
@@ -972,6 +996,7 @@ Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
     if (pos < must_parse) {
       throw RecoveryError("recover: undo log ends before the announced length");
     }
+    cluster.failures().notify(kRecoverAfterUndoScan);
     // Discard the illegal (partially propagated) update on the mirror.
     // Coalesced logs (the default format) hold disjoint before-images, so
     // rollback is order-independent: apply them forward, gathered per
@@ -1017,6 +1042,7 @@ Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
       p.client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
                                  netram::StreamHint::kNewBurst, false);
     }
+    cluster.failures().notify(kRecoverAfterFlagClear);
   }
 
   p.undo_gen_ = hdr.undo_gen;
@@ -1032,6 +1058,7 @@ Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
     auto span = cluster.node(new_local).mem(*local_offset, sizes[i]);
     p.client_.sci_memcpy_read(p.mirrors_[0].db[i], 0, span);
   }
+  cluster.failures().notify(kRecoverAfterPull);
 
   // Re-synchronize every other reachable mirror from the recovered image so
   // the configured replication degree is restored.

@@ -371,6 +371,10 @@ class Perseas {
 
   bool in_txn_ = false;
   bool shut_down_ = false;
+  /// PERSEAS_MC_SEED_BUG=skip-flag-clear (model-checker self-test only):
+  /// deliberately skip the commit-point store so perseas-mc can prove it
+  /// catches real protocol violations.
+  bool mc_skip_flag_clear_ = false;
   std::uint64_t txn_counter_ = 0;
   std::uint64_t undo_gen_ = 0;
   std::uint64_t undo_capacity_ = 0;

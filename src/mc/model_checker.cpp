@@ -1,0 +1,436 @@
+#include "mc/model_checker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "mc/reference_model.hpp"
+#include "sim/random.hpp"
+
+namespace perseas::mc {
+
+namespace {
+
+using PointHits = sim::FailureInjector::PointHits;
+
+/// Scopes the PERSEAS_MC_SEED_BUG knob to one checker run (self-test mode),
+/// restoring whatever the process had before.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value, bool active) : name_(name), active_(active) {
+    if (!active_) return;
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (!active_) return;
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+/// Hits `after` gained over `before`, per point (points sorted in both).
+std::vector<PointHits> window_delta(const std::vector<PointHits>& before,
+                                    const std::vector<PointHits>& after) {
+  std::vector<PointHits> delta;
+  for (const PointHits& row : after) {
+    std::uint64_t base = 0;
+    for (const PointHits& old : before) {
+      if (old.point == row.point) {
+        base = old.hits;
+        break;
+      }
+    }
+    if (row.hits > base) delta.push_back({row.point, row.hits - base});
+  }
+  return delta;
+}
+
+/// Folds `window` into `acc` keeping the max hit count per point.
+void merge_window(std::vector<PointHits>& acc, const std::vector<PointHits>& window) {
+  for (const PointHits& row : window) {
+    auto it = std::find_if(acc.begin(), acc.end(),
+                           [&](const PointHits& a) { return a.point == row.point; });
+    if (it == acc.end()) {
+      acc.push_back(row);
+    } else {
+      it->hits = std::max(it->hits, row.hits);
+    }
+  }
+  std::sort(acc.begin(), acc.end(),
+            [](const PointHits& a, const PointHits& b) { return a.point < b.point; });
+}
+
+template <typename T>
+void seeded_shuffle(std::vector<T>& items, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::swap(items[i - 1], items[rng.below(i)]);
+  }
+}
+
+std::string hex_byte(std::uint8_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  return std::string{'0', 'x', kDigits[v >> 4], kDigits[v & 0xf]};
+}
+
+std::string describe_mismatch(const McMismatch& mm) {
+  return "offset " + std::to_string(mm.offset) + ": expected " + hex_byte(mm.expected) +
+         ", got " + hex_byte(mm.actual);
+}
+
+bool contains(const std::vector<std::string>& haystack, const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+}  // namespace
+
+/// The name used for the after-the-whole-workload durability sweep in
+/// reports and --point reproduction filters.
+static constexpr const char* kPostWorkload = "post-workload";
+
+struct ModelChecker::Combo {
+  std::string point;  // empty for post_workload
+  std::uint64_t hit = 0;
+  sim::FailureKind kind = sim::FailureKind::kSoftwareCrash;
+  bool post_workload = false;
+};
+
+struct ModelChecker::Outcome {
+  bool fired = false;
+  std::uint64_t crash_txn = 0;
+  std::optional<McViolation> violation;
+  std::vector<PointHits> recovery_window;
+};
+
+ModelChecker::ModelChecker(McOptions options) : options_(std::move(options)) {}
+
+void ModelChecker::run_txn(McFixture& fixture, std::uint64_t txn_index) {
+  const McTxn& txn = spec_.txns[txn_index];
+  fixture.begin();
+  for (std::size_t j = 0; j < txn.ops.size(); ++j) {
+    const McOp& op = txn.ops[j];
+    fixture.set_range(op.offset, op.size);
+    fill_op(fixture.db().subspan(op.offset, op.size), txn_index, j);
+  }
+  fixture.commit();
+}
+
+void ModelChecker::discover(McResult& result) {
+  auto fixture = make_fixture(options_.engine, options_.fixture);
+  auto& injector = fixture->cluster().failures();
+  const auto baseline = injector.snapshot();
+
+  ReferenceModel ref(options_.db_size);
+  states_.clear();
+  states_.push_back(ref.copy());  // states_[0]: all zeroes
+  for (std::uint64_t t = 0; t < options_.txns; ++t) {
+    run_txn(*fixture, t);
+    ref.apply(spec_.txns[t], t);
+    states_.push_back(ref.copy());
+  }
+
+  result.points = window_delta(baseline, injector.snapshot());
+  const auto db = fixture->db();
+  if (const auto mm = first_mismatch(states_.back(), db)) {
+    McViolation v;
+    v.invariant = "model";
+    v.txn = options_.txns;
+    v.detail = "crash-free run diverges from the reference model at " + describe_mismatch(*mm);
+    result.violations.push_back(std::move(v));
+  }
+}
+
+ModelChecker::Outcome ModelChecker::explore(const Combo& combo, std::uint64_t txn_limit,
+                                            const std::string* nested_point,
+                                            std::uint64_t nested_hit,
+                                            bool want_recovery_window) {
+  Outcome out;
+  auto fixture = make_fixture(options_.engine, options_.fixture);
+  McFixture* fx = fixture.get();
+  auto& injector = fixture->cluster().failures();
+  const sim::FailureKind kind = combo.kind;
+
+  if (!combo.post_workload) {
+    // arm() counts relative to the current hit count, so construction-time
+    // hits cancel out and `combo.hit` indexes the discovery window directly.
+    const std::string point = combo.point;
+    injector.arm(combo.point, combo.hit,
+                 [fx, kind, point] { fx->crash(kind); throw sim::NodeCrashed(0, kind, point); });
+  }
+
+  std::uint64_t crash_txn = txn_limit;
+  bool fired = false;
+  try {
+    for (std::uint64_t t = 0; t < txn_limit; ++t) {
+      crash_txn = t;
+      run_txn(*fixture, t);
+    }
+    crash_txn = txn_limit;
+  } catch (const sim::NodeCrashed&) {
+    fired = true;
+  }
+  if (combo.post_workload) {
+    fixture->crash(kind);
+    fired = true;
+    crash_txn = txn_limit;
+  }
+  if (!fired) {
+    // Point/hit lies beyond this prefix of the workload.  Disarm before the
+    // fixture is destroyed so the pending crash cannot fire mid-destructor.
+    injector.clear();
+    return out;
+  }
+  out.fired = true;
+  out.crash_txn = crash_txn;
+
+  const auto before_recover = injector.snapshot();
+  if (nested_point != nullptr) {
+    const std::string np = *nested_point;
+    injector.arm(np, nested_hit,
+                 [fx, kind, np] { fx->crash(kind); throw sim::NodeCrashed(0, kind, np); });
+  }
+  try {
+    try {
+      fixture->recover();
+    } catch (const sim::NodeCrashed&) {
+      // Nested crash inside recovery: the second recovery attempt must
+      // succeed and still satisfy every invariant below.
+      fixture->recover();
+    }
+  } catch (const std::exception& e) {
+    injector.clear();
+    McViolation v;
+    v.invariant = "recovery";
+    v.txn = crash_txn;
+    v.detail = std::string("recovery failed: ") + e.what();
+    out.violation = std::move(v);
+    return out;
+  }
+  injector.clear();
+  if (want_recovery_window) {
+    out.recovery_window = window_delta(before_recover, injector.snapshot());
+  }
+
+  const auto db = fixture->db();
+  const bool committed = combo.post_workload || contains(committed_points_, combo.point);
+  if (combo.post_workload || crash_txn == txn_limit) {
+    // Every transaction was acknowledged before the crash.
+    if (const auto mm = first_mismatch(states_[txn_limit], db)) {
+      McViolation v;
+      v.invariant = "durability";
+      v.txn = crash_txn;
+      v.detail = "acknowledged transaction lost: recovered image diverges from the final "
+                 "committed state at " +
+                 describe_mismatch(*mm);
+      out.violation = std::move(v);
+    }
+  } else {
+    const auto& pre = states_[crash_txn];
+    const auto& post = states_[crash_txn + 1];
+    const auto post_mm = first_mismatch(post, db);
+    if (committed) {
+      if (post_mm) {
+        McViolation v;
+        v.invariant = "durability";
+        v.txn = crash_txn;
+        v.detail = "crash at/after the commit point rolled back transaction " +
+                   std::to_string(crash_txn) + ": " + describe_mismatch(*post_mm);
+        out.violation = std::move(v);
+      }
+    } else if (post_mm && first_mismatch(pre, db)) {
+      McViolation v;
+      v.invariant = "atomicity";
+      v.txn = crash_txn;
+      v.detail = "recovered image is neither the pre- nor the post-state of transaction " +
+                 std::to_string(crash_txn) + "; vs post: " + describe_mismatch(*post_mm);
+      out.violation = std::move(v);
+    }
+  }
+  if (out.violation) return out;
+
+  try {
+    fixture->check_hygiene();
+  } catch (const std::exception& e) {
+    McViolation v;
+    v.invariant = "hygiene";
+    v.txn = crash_txn;
+    v.detail = e.what();
+    out.violation = std::move(v);
+  }
+  injector.clear();
+  return out;
+}
+
+void ModelChecker::record_violation(McResult& result, const Combo& combo,
+                                    const std::string* nested_point, std::uint64_t nested_hit,
+                                    McViolation violation) {
+  violation.point = combo.post_workload ? kPostWorkload : combo.point;
+  violation.hit = combo.hit;
+  violation.kind = combo.kind;
+  if (nested_point != nullptr) {
+    violation.nested = true;
+    violation.nested_point = *nested_point;
+    violation.nested_hit = nested_hit;
+  }
+  if (options_.minimize && options_.txns > 1) {
+    violation.minimized_txns = minimize(combo, nested_point, nested_hit, result);
+  }
+  result.violations.push_back(std::move(violation));
+}
+
+std::uint64_t ModelChecker::minimize(const Combo& combo, const std::string* nested_point,
+                                     std::uint64_t nested_hit, McResult& result) {
+  // The workload is deterministic, so any prefix of it is itself a valid
+  // workload and states_ already holds its boundary images.
+  for (std::uint64_t prefix = 1; prefix < options_.txns; ++prefix) {
+    ++result.minimization_runs;
+    if (explore(combo, prefix, nested_point, nested_hit, false).violation) return prefix;
+  }
+  return options_.txns;
+}
+
+McResult ModelChecker::run() {
+  const EnvGuard env("PERSEAS_MC_SEED_BUG", "skip-flag-clear", options_.seed_bug);
+
+  if (options_.txns == 0) throw std::invalid_argument("ModelChecker: txns must be >= 1");
+  options_.fixture.db_size = options_.db_size;
+  options_.fixture.seed = options_.seed;
+  spec_ = make_workload(options_.workload, options_.txns, options_.db_size, options_.seed,
+                        options_.script);
+
+  McResult result;
+  result.engine = options_.engine;
+  result.workload = spec_.name;
+  result.mode = options_.budget == 0 ? "exhaustive" : "sampled";
+  result.txns = options_.txns;
+  result.seed = options_.seed;
+  result.nested = options_.nested;
+
+  // Engine capabilities (constant per engine; probed once).
+  {
+    const auto probe = make_fixture(options_.engine, options_.fixture);
+    committed_points_ = probe->committed_points();
+    std::vector<sim::FailureKind> supported = probe->supported_kinds();
+    if (options_.kinds.empty()) {
+      kinds_ = supported;
+    } else {
+      kinds_.clear();
+      for (const sim::FailureKind k : options_.kinds) {
+        if (std::find(supported.begin(), supported.end(), k) != supported.end()) {
+          kinds_.push_back(k);
+        }
+      }
+      if (kinds_.empty()) {
+        throw std::invalid_argument("ModelChecker: none of the requested failure kinds is "
+                                    "recoverable on engine '" + options_.engine + "'");
+      }
+    }
+  }
+
+  discover(result);
+  if (!result.violations.empty()) return result;  // engine broken with no failures: stop
+  if (options_.discover_only) return result;
+
+  // Base state space: every (point, hit, kind) the clean run executes, plus
+  // one post-workload durability sweep per kind.
+  std::vector<Combo> base;
+  for (const sim::FailureKind kind : kinds_) {
+    for (const PointHits& row : result.points) {
+      if (!options_.only_point.empty() && options_.only_point != row.point) continue;
+      for (std::uint64_t hit = 0; hit < row.hits; ++hit) {
+        if (options_.only_hit && *options_.only_hit != hit) continue;
+        base.push_back({row.point, hit, kind, false});
+      }
+    }
+    if (options_.only_point.empty() || options_.only_point == kPostWorkload) {
+      base.push_back({"", 0, kind, true});
+    }
+  }
+
+  if (options_.budget != 0 && base.size() > options_.budget) {
+    seeded_shuffle(base, options_.seed);
+    result.skipped_budget += base.size() - options_.budget;
+    base.resize(options_.budget);
+  }
+
+  struct NestedJob {
+    Combo combo;
+    std::string point;
+    std::uint64_t hit = 0;
+  };
+  std::vector<NestedJob> nested_jobs;
+  const bool want_windows = options_.nested > 0;
+
+  for (const Combo& combo : base) {
+    ++result.explorations;
+    Outcome out = explore(combo, options_.txns, nullptr, 0, want_windows);
+    if (!out.fired) {
+      ++result.not_reached;
+      continue;
+    }
+    ++result.crashed;
+    if (out.violation) {
+      record_violation(result, combo, nullptr, 0, std::move(*out.violation));
+      continue;
+    }
+    if (want_windows) {
+      merge_window(result.recovery_points, out.recovery_window);
+      for (const PointHits& row : out.recovery_window) {
+        for (std::uint64_t hit = 0; hit < row.hits; ++hit) {
+          nested_jobs.push_back({combo, row.point, hit});
+        }
+      }
+    }
+  }
+
+  if (options_.budget != 0) {
+    const std::uint64_t remaining =
+        options_.budget > result.explorations ? options_.budget - result.explorations : 0;
+    if (nested_jobs.size() > remaining) {
+      seeded_shuffle(nested_jobs, options_.seed + 1);
+      result.skipped_budget += nested_jobs.size() - remaining;
+      nested_jobs.resize(remaining);
+    }
+  }
+
+  for (const NestedJob& job : nested_jobs) {
+    ++result.explorations;
+    ++result.nested_explorations;
+    Outcome out = explore(job.combo, options_.txns, &job.point, job.hit, false);
+    if (!out.fired) {
+      ++result.not_reached;
+      continue;
+    }
+    ++result.crashed;
+    if (out.violation) {
+      record_violation(result, job.combo, &job.point, job.hit, std::move(*out.violation));
+    }
+  }
+
+  return result;
+}
+
+std::optional<sim::FailureKind> failure_kind_from_name(std::string_view name) {
+  if (name == "software-crash" || name == "software") return sim::FailureKind::kSoftwareCrash;
+  if (name == "power-outage" || name == "power") return sim::FailureKind::kPowerOutage;
+  if (name == "hardware-fault" || name == "hardware") return sim::FailureKind::kHardwareFault;
+  return std::nullopt;
+}
+
+}  // namespace perseas::mc

@@ -1,0 +1,138 @@
+// Exhaustive crash-consistency model checker (perseas::mc).
+//
+// The checker first runs the workload once with no failures armed
+// (*discovery*), recording the FailureInjector hit counts that one clean
+// execution produces.  That snapshot delta — every (point, hit-index) pair
+// the engine actually executes — IS the explored state space: no hard-coded
+// point lists, so new instrumentation is picked up automatically.  It then
+// replays the identical workload once per (point, hit, failure kind)
+// combination, crashes the application node at exactly that store, runs the
+// engine's recovery path, and diffs the recovered database against an
+// executable reference model:
+//
+//   atomicity   recovered image is states[t] or states[t+1], never a blend
+//   durability  a crash at/after the commit point (or after the whole
+//               workload) must preserve every acknowledged transaction
+//   recovery    the recovery path itself completes without error, even when
+//               a nested crash interrupts it (--nested)
+//   hygiene     recovery leaves no armed propagation flag / replayable log
+//
+// Counterexamples are minimized to the shortest workload prefix that still
+// reproduces them, so a report names the smallest failing schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/fixture.hpp"
+#include "mc/workload.hpp"
+#include "sim/failure.hpp"
+
+namespace perseas::mc {
+
+struct McOptions {
+  std::string engine = "perseas";
+  std::string workload = "debit-credit";
+  /// Workload body when workload == "scripted".
+  std::string script;
+  std::uint64_t txns = 4;
+  std::uint64_t db_size = 1024;
+  std::uint64_t seed = 0x1998;
+  /// 1 = additionally crash once inside every recovery-path point reached
+  /// by each base exploration (crash during recovery of a crash).
+  unsigned nested = 0;
+  /// 0 = exhaustive; otherwise at most this many explorations, chosen by a
+  /// seeded deterministic shuffle (base combinations take priority).
+  std::uint64_t budget = 0;
+  /// Failure kinds to inject; empty = everything the engine's substrate can
+  /// recover from (kinds it cannot are silently dropped).
+  std::vector<sim::FailureKind> kinds;
+  /// Self-test: seed the deliberate skip-flag-clear bug (PERSEAS_MC_SEED_BUG)
+  /// for the duration of the run; the checker must then find violations.
+  bool seed_bug = false;
+  bool minimize = true;
+  /// Stop after discovery: report the reachable failure points, explore
+  /// nothing (tools/perseas-mc --list-points).
+  bool discover_only = false;
+  McFixtureOptions fixture;
+  /// Reproduction filters: restrict exploration to one point (and
+  /// optionally one hit index) from a previous report.
+  std::string only_point;
+  std::optional<std::uint64_t> only_hit;
+};
+
+struct McViolation {
+  std::string point;  // "" for the post-workload durability sweep
+  std::uint64_t hit = 0;
+  sim::FailureKind kind = sim::FailureKind::kSoftwareCrash;
+  bool nested = false;
+  std::string nested_point;
+  std::uint64_t nested_hit = 0;
+  /// Transaction in flight when the crash fired (== txns for post-workload).
+  std::uint64_t txn = 0;
+  /// "atomicity" | "durability" | "recovery" | "hygiene" | "model"
+  std::string invariant;
+  std::string detail;
+  /// Shortest workload prefix reproducing this violation (0 = not minimized).
+  std::uint64_t minimized_txns = 0;
+};
+
+struct McResult {
+  std::string engine;
+  std::string workload;
+  std::string mode;  // "exhaustive" | "sampled"
+  std::uint64_t txns = 0;
+  std::uint64_t seed = 0;
+  unsigned nested = 0;
+  /// Discovery snapshot: every failure point the clean workload hits.
+  std::vector<sim::FailureInjector::PointHits> points;
+  /// Union of recovery-path points reached across base explorations.
+  std::vector<sim::FailureInjector::PointHits> recovery_points;
+  std::uint64_t explorations = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t not_reached = 0;
+  std::uint64_t nested_explorations = 0;
+  std::uint64_t skipped_budget = 0;
+  std::uint64_t minimization_runs = 0;
+  std::vector<McViolation> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+class ModelChecker {
+ public:
+  explicit ModelChecker(McOptions options);
+
+  /// Runs discovery + exploration and returns the full result.  Throws
+  /// std::invalid_argument for unusable options (unknown engine/workload).
+  McResult run();
+
+ private:
+  struct Combo;
+  struct Outcome;
+
+  void run_txn(McFixture& fixture, std::uint64_t txn_index);
+  void discover(McResult& result);
+  Outcome explore(const Combo& combo, std::uint64_t txn_limit, const std::string* nested_point,
+                  std::uint64_t nested_hit, bool want_recovery_window);
+  void record_violation(McResult& result, const Combo& combo, const std::string* nested_point,
+                        std::uint64_t nested_hit, McViolation violation);
+  std::uint64_t minimize(const Combo& combo, const std::string* nested_point,
+                         std::uint64_t nested_hit, McResult& result);
+
+  McOptions options_;
+  McWorkloadSpec spec_;
+  /// states_[t] = reference image after the first t transactions.
+  std::vector<std::vector<std::byte>> states_;
+  /// Engine capabilities, probed once per run.
+  std::vector<std::string> committed_points_;
+  std::vector<sim::FailureKind> kinds_;
+};
+
+/// Parses "software-crash" / "power-outage" / "hardware-fault" (also the
+/// shorthands "software" / "power" / "hardware").
+[[nodiscard]] std::optional<sim::FailureKind> failure_kind_from_name(std::string_view name);
+
+}  // namespace perseas::mc

@@ -1,0 +1,28 @@
+#include "mc/reference_model.hpp"
+
+#include <algorithm>
+
+namespace perseas::mc {
+
+std::optional<McMismatch> first_mismatch(std::span<const std::byte> expected,
+                                         std::span<const std::byte> actual) {
+  if (expected.size() != actual.size()) {
+    return McMismatch{std::min(expected.size(), actual.size()), 0, 0};
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (expected[i] != actual[i]) {
+      return McMismatch{i, static_cast<std::uint8_t>(expected[i]),
+                        static_cast<std::uint8_t>(actual[i])};
+    }
+  }
+  return std::nullopt;
+}
+
+void ReferenceModel::apply(const McTxn& txn, std::uint64_t txn_index) {
+  for (std::size_t j = 0; j < txn.ops.size(); ++j) {
+    const McOp& op = txn.ops[j];
+    fill_op(std::span<std::byte>{shadow_.data() + op.offset, op.size}, txn_index, j);
+  }
+}
+
+}  // namespace perseas::mc

@@ -1,0 +1,43 @@
+// Executable reference model for the crash-consistency checker: a plain
+// in-memory shadow database that applies each committed transaction's write
+// set with the same deterministic fill as the engine executor.  After a
+// crash at any point, the engine's recovered database must equal one of the
+// shadow's transaction-boundary states.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mc/workload.hpp"
+
+namespace perseas::mc {
+
+/// First byte where two images disagree (for counterexample reports).
+struct McMismatch {
+  std::uint64_t offset = 0;
+  std::uint8_t expected = 0;
+  std::uint8_t actual = 0;
+};
+
+[[nodiscard]] std::optional<McMismatch> first_mismatch(std::span<const std::byte> expected,
+                                                       std::span<const std::byte> actual);
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(std::uint64_t db_size) : shadow_(db_size, std::byte{0}) {}
+
+  /// Applies txn `txn_index` of the workload (every op, in order).
+  void apply(const McTxn& txn, std::uint64_t txn_index);
+
+  [[nodiscard]] std::span<const std::byte> state() const noexcept {
+    return {shadow_.data(), shadow_.size()};
+  }
+  [[nodiscard]] std::vector<std::byte> copy() const { return shadow_; }
+
+ private:
+  std::vector<std::byte> shadow_;
+};
+
+}  // namespace perseas::mc

@@ -1,0 +1,72 @@
+#include "mc/report.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+namespace perseas::mc {
+
+namespace {
+
+obs::Json points_json(const std::vector<sim::FailureInjector::PointHits>& points) {
+  obs::Json arr = obs::Json::array();
+  for (const auto& row : points) {
+    arr.push(obs::Json::object().set("point", row.point).set("hits", row.hits));
+  }
+  return arr;
+}
+
+}  // namespace
+
+obs::Json mc_report_json(const McResult& result) {
+  obs::Json doc = obs::Json::object();
+  doc.set("schema", kMcReportSchema)
+      .set("engine", result.engine)
+      .set("workload", result.workload)
+      .set("mode", result.mode)
+      .set("nested", static_cast<std::uint64_t>(result.nested))
+      .set("seed", result.seed)
+      .set("txns", result.txns)
+      .set("points", points_json(result.points))
+      .set("recovery_points", points_json(result.recovery_points));
+
+  doc.set("exploration", obs::Json::object()
+                             .set("total", result.explorations)
+                             .set("crashed", result.crashed)
+                             .set("not_reached", result.not_reached)
+                             .set("nested", result.nested_explorations)
+                             .set("skipped_budget", result.skipped_budget)
+                             .set("minimization_runs", result.minimization_runs));
+
+  obs::Json violations = obs::Json::array();
+  for (const McViolation& v : result.violations) {
+    obs::Json row = obs::Json::object();
+    row.set("invariant", v.invariant)
+        .set("point", v.point)
+        .set("hit", v.hit)
+        .set("kind", sim::to_string(v.kind))
+        .set("nested", v.nested);
+    if (v.nested) {
+      row.set("nested_point", v.nested_point).set("nested_hit", v.nested_hit);
+    }
+    row.set("txn", v.txn).set("detail", v.detail).set("minimized_txns", v.minimized_txns);
+    violations.push(std::move(row));
+  }
+  doc.set("violations", std::move(violations));
+  doc.set("ok", result.ok());
+  return doc;
+}
+
+void save_mc_report(const McResult& result, const std::string& path) {
+  const std::string text = mc_report_json(result).dump(2) + "\n";
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_mc_report: cannot open '" + path + "'");
+  out << text;
+  if (!out.good()) throw std::runtime_error("save_mc_report: write to '" + path + "' failed");
+}
+
+}  // namespace perseas::mc

@@ -1,0 +1,22 @@
+// Machine-readable model-checker reports (schema "perseas-mc/1"), consumed
+// by tools/check-mc-report.py in CI and by humans reproducing a
+// counterexample with tools/perseas-mc --point/--hit/--kind.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mc/model_checker.hpp"
+#include "obs/json.hpp"
+
+namespace perseas::mc {
+
+inline constexpr std::string_view kMcReportSchema = "perseas-mc/1";
+
+[[nodiscard]] obs::Json mc_report_json(const McResult& result);
+
+/// Writes the pretty-printed report to `path` ("-" = stdout).  Throws
+/// std::runtime_error if the file cannot be written.
+void save_mc_report(const McResult& result, const std::string& path);
+
+}  // namespace perseas::mc

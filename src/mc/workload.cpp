@@ -1,0 +1,132 @@
+#include "mc/workload.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace perseas::mc {
+
+void fill_op(std::span<std::byte> dst, std::uint64_t txn_index, std::uint64_t op_index) {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::byte>((0x11 * (txn_index + 1) + 0x07 * (op_index + 1) +
+                                     0x0D * static_cast<std::uint64_t>(i)) &
+                                    0xff);
+  }
+}
+
+namespace {
+
+/// TPC-B shape scaled to a model-checking database: a handful of hot rows
+/// (branch, teller, account) every transaction collides on, plus a cursor
+/// and an append-only history tail.
+McWorkloadSpec make_debit_credit(std::uint64_t txns, std::uint64_t db_size,
+                                 std::uint64_t seed) {
+  constexpr std::uint64_t kRow = 8;
+  constexpr std::uint64_t kBranches = 4;
+  constexpr std::uint64_t kTellers = 8;
+  constexpr std::uint64_t kAccounts = 64;
+  constexpr std::uint64_t kHistoryEntry = 16;
+  const std::uint64_t branches_at = 0;
+  const std::uint64_t tellers_at = branches_at + kBranches * kRow;
+  const std::uint64_t accounts_at = tellers_at + kTellers * kRow;
+  const std::uint64_t cursor_at = accounts_at + kAccounts * kRow;
+  const std::uint64_t history_at = cursor_at + kRow;
+  if (db_size < history_at + kHistoryEntry) {
+    throw std::invalid_argument("debit-credit: db_size " + std::to_string(db_size) +
+                                " too small (need >= " +
+                                std::to_string(history_at + kHistoryEntry) + ")");
+  }
+  const std::uint64_t history_cap = (db_size - history_at) / kHistoryEntry;
+
+  sim::Rng rng(seed);
+  McWorkloadSpec spec;
+  spec.name = "debit-credit";
+  spec.db_size = db_size;
+  for (std::uint64_t i = 0; i < txns; ++i) {
+    McTxn txn;
+    txn.ops.push_back({accounts_at + rng.below(kAccounts) * kRow, kRow});
+    txn.ops.push_back({tellers_at + rng.below(kTellers) * kRow, kRow});
+    txn.ops.push_back({branches_at + rng.below(kBranches) * kRow, kRow});
+    txn.ops.push_back({cursor_at, kRow});
+    txn.ops.push_back({history_at + (i % history_cap) * kHistoryEntry, kHistoryEntry});
+    spec.txns.push_back(std::move(txn));
+  }
+  return spec;
+}
+
+McWorkloadSpec make_synthetic(std::uint64_t txns, std::uint64_t db_size, std::uint64_t seed) {
+  if (db_size < 64) throw std::invalid_argument("synthetic: db_size must be >= 64");
+  sim::Rng rng(seed);
+  McWorkloadSpec spec;
+  spec.name = "synthetic";
+  spec.db_size = db_size;
+  for (std::uint64_t i = 0; i < txns; ++i) {
+    McTxn txn;
+    const std::uint64_t ops = 1 + rng.below(3);
+    for (std::uint64_t j = 0; j < ops; ++j) {
+      const std::uint64_t size = 1 + rng.below(48);
+      const std::uint64_t offset = rng.below(db_size - size + 1);
+      txn.ops.push_back({offset, size});
+    }
+    spec.txns.push_back(std::move(txn));
+  }
+  return spec;
+}
+
+McWorkloadSpec make_scripted(std::uint64_t db_size, const std::string& script) {
+  McWorkloadSpec spec;
+  spec.name = "scripted";
+  spec.db_size = db_size;
+  std::istringstream lines(script);
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string token;
+    McTxn txn;
+    while (tokens >> token) {
+      const auto colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("scripted: line " + std::to_string(line_no) +
+                                    ": expected offset:size, got '" + token + "'");
+      }
+      McOp op;
+      try {
+        op.offset = std::stoull(token.substr(0, colon));
+        op.size = std::stoull(token.substr(colon + 1));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("scripted: line " + std::to_string(line_no) +
+                                    ": malformed offset:size '" + token + "'");
+      }
+      if (op.size == 0 || op.offset + op.size > db_size || op.offset + op.size < op.offset) {
+        throw std::invalid_argument("scripted: line " + std::to_string(line_no) +
+                                    ": range " + token + " outside the database");
+      }
+      txn.ops.push_back(op);
+    }
+    if (!txn.ops.empty()) spec.txns.push_back(std::move(txn));
+  }
+  if (spec.txns.empty()) {
+    throw std::invalid_argument("scripted: script contains no transactions");
+  }
+  return spec;
+}
+
+}  // namespace
+
+McWorkloadSpec make_workload(const std::string& kind, std::uint64_t txns,
+                             std::uint64_t db_size, std::uint64_t seed,
+                             const std::string& script) {
+  if (txns == 0) throw std::invalid_argument("make_workload: txns must be >= 1");
+  if (kind == "debit-credit") return make_debit_credit(txns, db_size, seed);
+  if (kind == "synthetic") return make_synthetic(txns, db_size, seed);
+  if (kind == "scripted") return make_scripted(db_size, script);
+  throw std::invalid_argument("make_workload: unknown workload '" + kind + "'");
+}
+
+std::vector<std::string> known_workloads() { return {"debit-credit", "synthetic", "scripted"}; }
+
+}  // namespace perseas::mc

@@ -147,6 +147,11 @@ sim::SimDuration RemoteMemoryClient::sci_memcpy_writev(
       burst = scratch;  // simulation plumbing only: charges no local memcpy
     }
     const StreamHint h = first_burst ? hint : StreamHint::kContinuation;
+    // Failure point between bursts: earlier bursts have landed on the
+    // remote, this one has not — the finest-grained torn state a gathered
+    // store sequence can leave behind (slices merged into one burst are a
+    // single simulated store and cannot tear further).
+    cluster_->failures().notify("netram.sci_writev.before_burst");
     total += cluster_->remote_write(local_, segment.server_node,
                                     segment.offset + slices[i].offset, burst, h, optimized);
     first_burst = false;

@@ -61,6 +61,15 @@ std::vector<std::string> FailureInjector::seen_points() const {
   return out;
 }
 
+std::vector<FailureInjector::PointHits> FailureInjector::snapshot() const {
+  std::vector<PointHits> out;
+  out.reserve(counts_.size());
+  for (const auto& pc : counts_) out.push_back(PointHits{pc.point, pc.hits});
+  std::sort(out.begin(), out.end(),
+            [](const PointHits& a, const PointHits& b) { return a.point < b.point; });
+  return out;
+}
+
 FailureInjector::PointCount& FailureInjector::count_for(std::string_view point) {
   const auto it = std::find_if(counts_.begin(), counts_.end(),
                                [&](const PointCount& pc) { return pc.point == point; });

@@ -74,8 +74,19 @@ class FailureInjector {
   /// Convenience: arms on the next hit.
   void arm(std::string point, Action action) { arm(std::move(point), 0, std::move(action)); }
 
-  /// Disarms everything.
+  /// Disarms everything.  Hit counts are deliberately kept: coverage
+  /// assertions (hits() / seen_points()) keep working after a scenario
+  /// disarms its pending actions.  Use reset() for a pristine injector.
   void clear() noexcept { armed_.clear(); }
+
+  /// Disarms everything *and* forgets all hit counts, as if freshly
+  /// constructed.  Scenarios that reuse one injector across independent
+  /// runs must call this, or arm(point, after_hits, ...) countdowns will
+  /// be offset by the previous run's hits.
+  void reset() noexcept {
+    armed_.clear();
+    counts_.clear();
+  }
 
   /// Called by instrumented library code.  Runs (and removes) every armed
   /// action whose countdown expires at this hit.  Cheap when nothing is
@@ -88,6 +99,21 @@ class FailureInjector {
   /// All distinct points seen so far; lets exhaustive crash tests iterate
   /// every commit stage without hard-coding the list.
   [[nodiscard]] std::vector<std::string> seen_points() const;
+
+  /// One (point, hits) row per distinct point seen so far.
+  struct PointHits {
+    std::string point;
+    std::uint64_t hits = 0;
+  };
+
+  /// Sorted snapshot of every point and its hit count.  Model checkers diff
+  /// two snapshots to get the exact set of stores executed by one window of
+  /// work (a transaction, a recovery pass) without hard-coded point lists.
+  [[nodiscard]] std::vector<PointHits> snapshot() const;
+
+  /// Number of actions still armed (fired actions remove themselves); lets
+  /// explorers detect an armed crash whose point was never reached.
+  [[nodiscard]] std::size_t armed_count() const noexcept { return armed_.size(); }
 
  private:
   struct Armed {

@@ -12,6 +12,19 @@ namespace perseas::wal {
 namespace {
 /// Size of the commit mark forced after the record body (second force).
 constexpr std::uint64_t kCommitMarkBytes = 64;
+
+/// Failure points instrumented through the WAL protocol; the model checker
+/// (perseas::mc) discovers these mechanically and crashes the host at each.
+constexpr const char* kAfterUndo = "rvm.set_range.after_undo";
+constexpr const char* kAfterBuffer = "rvm.commit.after_buffer";
+constexpr const char* kCommitDone = "rvm.commit.done";
+constexpr const char* kForceAfterBody = "rvm.force.after_body";
+constexpr const char* kForceAfterMark = "rvm.force.after_mark";
+constexpr const char* kTruncateAfterPages = "rvm.truncate.after_pages";
+constexpr const char* kTruncateDone = "rvm.truncate.done";
+constexpr const char* kRecoverAfterImage = "rvm.recover.after_image";
+constexpr const char* kRecoverAfterReplay = "rvm.recover.after_replay";
+constexpr const char* kRecoverDone = "rvm.recover.done";
 }  // namespace
 
 Rvm::Rvm(netram::Cluster& cluster, netram::NodeId node, disk::StableStore& store,
@@ -46,6 +59,7 @@ void Rvm::set_range(std::uint64_t offset, std::uint64_t size) {
                   db_.begin() + static_cast<std::ptrdiff_t>(offset + size));
   cluster_->charge_local_memcpy(node_, size);  // copy 1 of figure 2
   undo_.push_back(std::move(e));
+  cluster_->failures().notify(kAfterUndo);
   if (trace_ != nullptr) {
     trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "rvm.set_range",
                      watch.start(), watch.elapsed(),
@@ -73,12 +87,14 @@ void Rvm::commit_transaction() {
   cluster_->charge_local_memcpy(node_, bytes);  // copy 2 of figure 2
   stats_.bytes_logged += append_record(group_buffer_, txn_counter_, ranges);
   for (const auto& r : ranges) mark_dirty(r.offset, r.data.size());
+  cluster_->failures().notify(kAfterBuffer);
 
   undo_.clear();
   in_txn_ = false;
   ++stats_.commits;
 
   if (++group_pending_ >= options_.group_commit_size) force_group();
+  cluster_->failures().notify(kCommitDone);
   if (trace_ != nullptr) {
     trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "rvm.commit",
                      watch.start(), watch.elapsed(), {{"txn", txn_counter_}, {"bytes", bytes}});
@@ -98,10 +114,12 @@ void Rvm::force_group() {
   // Force 1: the record bodies.
   store_->write(options_.db_size + log_used_, group_buffer_, /*synchronous=*/true);
   log_used_ += group_buffer_.size();
+  cluster_->failures().notify(kForceAfterBody);
   // Force 2: the commit mark that makes the group durable.
   const std::byte mark[kCommitMarkBytes] = {};
   store_->write(options_.db_size + log_used_, mark, /*synchronous=*/true);
   stats_.log_forces += 2;
+  cluster_->failures().notify(kForceAfterMark);
 
   group_buffer_.clear();
   group_pending_ = 0;
@@ -137,12 +155,23 @@ void Rvm::maybe_truncate() {
   }
   store_->flush();
   dirty_pages_.clear();
-  // Invalidate the old log contents so recovery stops at the log head: zero
-  // the first record header.
+  cluster_->failures().notify(kTruncateAfterPages);
+  // Invalidate the old log contents so recovery stops at the log head.
+  // The whole used region is zeroed, not just the first header: otherwise a
+  // crash between a later body force and its commit mark would leave the
+  // scan free to run off the fresh record into stale pre-truncation records
+  // and resurrect their after-images.  The wipe rides the same flush as the
+  // page writes; only the head header is forced synchronously.
+  if (log_used_ > sizeof(RecordHeader)) {
+    const std::vector<std::byte> wipe(log_used_ - sizeof(RecordHeader));
+    store_->write(options_.db_size + sizeof(RecordHeader), wipe, /*synchronous=*/false);
+    store_->flush();
+  }
   const std::byte zeros[sizeof(RecordHeader)] = {};
   store_->write(options_.db_size, zeros, /*synchronous=*/true);
   log_used_ = 0;
   ++stats_.truncations;
+  cluster_->failures().notify(kTruncateDone);
   if (trace_ != nullptr) {
     trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "rvm.truncate",
                      watch.start(), watch.elapsed(), {{"pages", pages}});
@@ -174,13 +203,27 @@ std::uint64_t Rvm::recover() {
 
   // Reload the stable database image.
   store_->read(0, db());
+  cluster_->failures().notify(kRecoverAfterImage);
 
-  // Scan the durable log prefix and replay committed records.
+  // Scan the durable log prefix and replay committed records.  Truncation
+  // only invalidates the log *head*, so stale records from before the last
+  // truncation can survive past the durable tail; a crash between the body
+  // force and the mark force would otherwise let the scan run straight from
+  // the fresh record into those stale ones and resurrect old after-images.
+  // Transaction ids are strictly increasing within and across incarnations
+  // (txn_counter_ is restored below), so replay stops at the first
+  // non-increasing id.
   std::vector<std::byte> log(options_.log_capacity);
   store_->read(options_.db_size, log);
   std::uint64_t pos = 0;
   std::uint64_t applied = 0;
-  while (auto ranges = read_record(log, pos)) {
+  std::uint64_t last_id = 0;
+  while (pos + sizeof(RecordHeader) <= log.size()) {
+    RecordHeader hdr;
+    std::memcpy(&hdr, log.data() + pos, sizeof hdr);
+    if (hdr.magic != RecordHeader::kMagic || hdr.txn_id <= last_id) break;
+    auto ranges = read_record(log, pos);
+    if (!ranges) break;
     std::uint64_t bytes = 0;
     for (const auto& r : *ranges) {
       std::memcpy(db_.data() + r.offset, r.data.data(), r.data.size());
@@ -188,11 +231,27 @@ std::uint64_t Rvm::recover() {
       mark_dirty(r.offset, r.data.size());
     }
     cluster_->charge_local_memcpy(node_, bytes);
+    last_id = hdr.txn_id;
     ++applied;
   }
   log_used_ = pos;
+  // Keep ids monotonic across incarnations: resume the counter above every
+  // id still physically present in the log — including stale records past
+  // the durable tail, which are parsed here but never applied — so future
+  // appends can never collide with a stale id the guard above depends on.
+  std::uint64_t max_seen = last_id;
+  std::uint64_t scan_pos = pos;
+  while (scan_pos + sizeof(RecordHeader) <= log.size()) {
+    RecordHeader hdr;
+    std::memcpy(&hdr, log.data() + scan_pos, sizeof hdr);
+    if (hdr.magic != RecordHeader::kMagic || !read_record(log, scan_pos)) break;
+    max_seen = std::max(max_seen, hdr.txn_id);
+  }
+  txn_counter_ = std::max(txn_counter_, max_seen);
+  cluster_->failures().notify(kRecoverAfterReplay);
   // Propagate the replayed state and reset the log.
   maybe_truncate();
+  cluster_->failures().notify(kRecoverDone);
   return applied;
 }
 

@@ -9,6 +9,17 @@
 
 namespace perseas::wal {
 
+namespace {
+/// Failure points instrumented through the Vista protocol; the model
+/// checker (perseas::mc) discovers these mechanically.
+constexpr const char* kAfterEntry = "vista.set_range.after_entry";
+constexpr const char* kAfterHeader = "vista.set_range.after_header";
+constexpr const char* kCommitDone = "vista.commit.done";
+constexpr const char* kRecoverAfterScan = "vista.recover.after_scan";
+constexpr const char* kRecoverAfterApply = "vista.recover.after_apply";
+constexpr const char* kRecoverDone = "vista.recover.done";
+}  // namespace
+
 Vista::Vista(netram::Cluster& cluster, netram::NodeId node, rio::RioCache& rio,
              const VistaOptions& options)
     : cluster_(&cluster), node_(node), rio_(&rio), options_(options) {
@@ -62,9 +73,11 @@ void Vista::set_range(std::uint64_t offset, std::uint64_t size) {
   // The before-image, copied within reliable memory at memcpy speed.
   auto src = rio_->mapped(db_region_, offset, size);
   rio_->mapped_write(undo_region_, base + sizeof e, src);
+  cluster_->failures().notify(kAfterEntry);
   hdr.bytes_used += need;
   hdr.entry_count += 1;
   write_undo_header(hdr);
+  cluster_->failures().notify(kAfterHeader);
   stats_.bytes_logged += size;
   ++stats_.set_ranges;
   if (trace_ != nullptr) {
@@ -84,6 +97,7 @@ void Vista::commit_transaction() {
   write_undo_header(empty);
   in_txn_ = false;
   ++stats_.commits;
+  cluster_->failures().notify(kCommitDone);
   if (trace_ != nullptr) {
     trace_->complete(trace_track_, static_cast<std::uint32_t>(node_), "txn", "vista.commit",
                      watch.start(), watch.elapsed(), {{"txn", txn_counter_}});
@@ -112,13 +126,16 @@ std::uint64_t Vista::recover() {
     entries.emplace_back(sizeof(UndoHeader) + pos + sizeof e, e);
     pos += sizeof e + e.size;
   }
+  cluster_->failures().notify(kRecoverAfterScan);
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
     auto image = rio_->mapped(undo_region_, it->first, it->second.size);
     rio_->mapped_write(db_region_, it->second.offset, image);
   }
+  cluster_->failures().notify(kRecoverAfterApply);
   const UndoHeader empty;
   write_undo_header(empty);
   in_txn_ = false;
+  cluster_->failures().notify(kRecoverDone);
   return hdr.entry_count;
 }
 

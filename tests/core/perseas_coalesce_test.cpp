@@ -273,8 +273,11 @@ TEST_F(PerseasCoalesceTest, CrashMatrixOverCoalescedCommitIsAtomic) {
           << point << " hit " << k;
       cluster.restart_node(0);
       auto recovered = Perseas::recover(cluster, 0, {&server});
-      // Only a crash after the final commit point may expose the new image.
-      const auto& expect = point == "perseas.commit.done" ? post : pre;
+      // Only a crash at/after the flag-clear commit point may expose the
+      // new image (single mirror: its clear IS the commit point).
+      const bool committed =
+          point == "perseas.commit.after_flag_clear" || point == "perseas.commit.done";
+      const auto& expect = committed ? post : pre;
       for (std::uint32_t r = 0; r < 2; ++r) {
         const auto b = recovered.record(r).bytes();
         EXPECT_TRUE(std::memcmp(b.data(), expect[r].data(), b.size()) == 0)

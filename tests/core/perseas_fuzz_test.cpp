@@ -76,6 +76,8 @@ TEST_P(PerseasFuzz, CrashAnywhereRecoverAnywhere) {
         crashed = true;
       }
     }
+    // clear() keeps hit counts; safe here because arm() countdowns are
+    // relative to the count at arming time (reset() would also work).
     cluster.failures().clear();
 
     if (crashed) {

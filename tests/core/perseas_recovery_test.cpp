@@ -109,6 +109,52 @@ INSTANTIATE_TEST_SUITE_P(AllProtocolPoints, CrashPointSweep,
                                            "perseas.commit.before_flag_clear",
                                            "perseas.commit.done"));
 
+// Double crash: the replacement primary dies *inside recovery itself*, at
+// every instrumented recovery point.  Recovery only reads the mirror until
+// its single flag-clear store, so a half-finished recovery must leave the
+// mirror exactly as recoverable as before — the second attempt yields the
+// same atomic state and a fully operational database.
+class DoubleCrashSweep : public PerseasRecoveryTest,
+                         public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(DoubleCrashSweep, SecondRecoveryCompletes) {
+  const std::string point = GetParam();
+  auto db = make_committed_db();
+  run_doomed_txn(db, "perseas.commit.after_flag_set");  // die mid-propagation
+  cluster_.restart_node(0);
+  cluster_.failures().arm(point, [this] {
+    cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+    throw sim::NodeCrashed(0, sim::FailureKind::kSoftwareCrash, "armed");
+  });
+  EXPECT_THROW(Perseas::recover(cluster_, 0, {&server_}), sim::NodeCrashed);
+
+  cluster_.restart_node(0);
+  auto recovered = Perseas::recover(cluster_, 0, {&server_});
+  EXPECT_EQ(recovered_prefix(recovered), "COMMITTED");
+  EXPECT_EQ(recovered.record(0).bytes()[100], std::byte{0});
+
+  auto rec = recovered.record(0);
+  auto txn = recovered.begin_transaction();
+  txn.set_range(rec, 0, 16);
+  std::memcpy(rec.bytes().data(), "AFTERDOUBLE.....", 16);
+  txn.commit();
+  EXPECT_EQ(recovered_prefix(recovered), "AFTERDOUB");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRecoveryPoints, DoubleCrashSweep,
+    ::testing::Values("perseas.recover.connected", "perseas.recover.after_meta",
+                      "perseas.recover.after_undo_scan", "perseas.recover.after_rollback",
+                      "perseas.recover.after_flag_clear", "perseas.recover.after_pull",
+                      "perseas.recover.done"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
 TEST_F(PerseasRecoveryTest, CrashBetweenRangeCopiesRollsBackPartialPropagation) {
   auto db = make_committed_db();
   // Fire on the SECOND range copy of the commit: the first range has

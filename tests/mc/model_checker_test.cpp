@@ -1,0 +1,168 @@
+// Tests for the crash-consistency model checker itself (perseas::mc).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mc/fixture.hpp"
+#include "mc/model_checker.hpp"
+#include "mc/reference_model.hpp"
+#include "mc/report.hpp"
+#include "mc/workload.hpp"
+
+namespace perseas::mc {
+namespace {
+
+bool has_point(const std::vector<sim::FailureInjector::PointHits>& points,
+               std::string_view name) {
+  return std::any_of(points.begin(), points.end(),
+                     [&](const auto& row) { return row.point == name; });
+}
+
+TEST(McWorkload, DebitCreditIsDeterministic) {
+  const auto a = make_workload("debit-credit", 6, 1024, 7);
+  const auto b = make_workload("debit-credit", 6, 1024, 7);
+  ASSERT_EQ(a.txns.size(), 6u);
+  for (std::size_t t = 0; t < a.txns.size(); ++t) {
+    ASSERT_EQ(a.txns[t].ops.size(), b.txns[t].ops.size());
+    for (std::size_t j = 0; j < a.txns[t].ops.size(); ++j) {
+      EXPECT_EQ(a.txns[t].ops[j].offset, b.txns[t].ops[j].offset);
+      EXPECT_EQ(a.txns[t].ops[j].size, b.txns[t].ops[j].size);
+    }
+  }
+}
+
+TEST(McWorkload, ScriptedParsesAndValidates) {
+  const auto spec = make_workload("scripted", 1, 256, 0, "0:8 16:4  # txn 0\n\n32:1\n");
+  ASSERT_EQ(spec.txns.size(), 2u);
+  EXPECT_EQ(spec.txns[0].ops.size(), 2u);
+  EXPECT_EQ(spec.txns[1].ops[0].offset, 32u);
+  EXPECT_THROW(make_workload("scripted", 1, 256, 0, "250:16\n"), std::invalid_argument);
+  EXPECT_THROW(make_workload("scripted", 1, 256, 0, "# only comments\n"),
+               std::invalid_argument);
+  EXPECT_THROW(make_workload("no-such-workload", 1, 256, 0), std::invalid_argument);
+}
+
+TEST(McReferenceModel, FirstMismatchFindsDivergence) {
+  std::vector<std::byte> a(16, std::byte{0});
+  std::vector<std::byte> b(16, std::byte{0});
+  EXPECT_FALSE(first_mismatch(a, b).has_value());
+  b[9] = std::byte{0x5a};
+  const auto mm = first_mismatch(a, b);
+  ASSERT_TRUE(mm.has_value());
+  EXPECT_EQ(mm->offset, 9u);
+  EXPECT_EQ(mm->actual, 0x5a);
+}
+
+// Discovery must pick up the commit and recovery instrumentation without any
+// hard-coded point list.
+TEST(McDiscovery, FindsCommitPointsOnPerseas) {
+  McOptions options;
+  options.engine = "perseas";
+  options.txns = 3;
+  options.discover_only = true;
+  const McResult result = ModelChecker(options).run();
+  ASSERT_TRUE(result.ok()) << result.violations.front().detail;
+  EXPECT_TRUE(has_point(result.points, "perseas.commit.after_flag_set"));
+  EXPECT_TRUE(has_point(result.points, "perseas.commit.before_flag_clear"));
+  EXPECT_TRUE(has_point(result.points, "perseas.commit.after_flag_clear"));
+  EXPECT_TRUE(has_point(result.points, "perseas.commit.done"));
+}
+
+// The tentpole guarantee: exhaustively crashing PERSEAS at every discovered
+// (point, hit, kind) — including once inside every recovery point reached
+// (nested) — finds no violation.
+// (One kind and a small scripted workload keep this test fast; CI runs the
+// full debit-credit sweep over every kind via tools/perseas-mc.)
+TEST(McExplore, PerseasExhaustiveNestedIsClean) {
+  McOptions options;
+  options.engine = "perseas";
+  options.workload = "scripted";
+  options.script = "0:16 64:16\n128:32\n";
+  options.txns = 2;
+  options.nested = 1;
+  options.kinds = {sim::FailureKind::kSoftwareCrash};
+  const McResult result = ModelChecker(options).run();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? std::string("?")
+                                   : result.violations.front().invariant + ": " +
+                                         result.violations.front().detail);
+  EXPECT_GT(result.crashed, 0u);
+  EXPECT_GT(result.nested_explorations, 0u);
+  EXPECT_TRUE(has_point(result.recovery_points, "perseas.recover.after_rollback"));
+}
+
+// Every comparison engine must also survive its sampled sweep.
+TEST(McExplore, ComparisonEnginesSampledAreClean) {
+  for (const std::string engine : {"rvm-disk", "rvm-rio", "rvm-nvram", "vista"}) {
+    McOptions options;
+    options.engine = engine;
+    options.workload = "synthetic";
+    options.txns = 2;
+    options.budget = 40;
+    const McResult result = ModelChecker(options).run();
+    EXPECT_TRUE(result.ok()) << engine << ": "
+                             << (result.violations.empty()
+                                     ? std::string("?")
+                                     : result.violations.front().invariant + ": " +
+                                           result.violations.front().detail);
+    EXPECT_GT(result.crashed, 0u) << engine;
+    EXPECT_EQ(result.mode, "sampled");
+  }
+}
+
+// Self-test: seeding the deliberate skip-flag-clear bug must produce a
+// minimized counterexample (this is what proves the checker can actually
+// see violations, not just report green).
+TEST(McSelfTest, SeededBugYieldsMinimizedCounterexample) {
+  McOptions options;
+  options.engine = "perseas";
+  options.workload = "debit-credit";
+  options.txns = 3;
+  options.kinds = {sim::FailureKind::kSoftwareCrash};
+  options.seed_bug = true;
+  const McResult result = ModelChecker(options).run();
+  ASSERT_FALSE(result.ok());
+  bool minimized = false;
+  for (const auto& v : result.violations) {
+    EXPECT_FALSE(v.invariant.empty());
+    minimized |= v.minimized_txns != 0 && v.minimized_txns < options.txns;
+  }
+  EXPECT_TRUE(minimized) << "expected at least one counterexample smaller than the workload";
+}
+
+// Reproduction filters restrict exploration to one schedule from a report.
+TEST(McExplore, PointFilterReproducesOneSchedule) {
+  McOptions options;
+  options.engine = "perseas";
+  options.txns = 2;
+  options.only_point = "perseas.commit.after_flag_set";
+  options.only_hit = 0;
+  options.kinds = {sim::FailureKind::kSoftwareCrash};
+  const McResult result = ModelChecker(options).run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.explorations, 1u);
+  EXPECT_EQ(result.crashed, 1u);
+}
+
+TEST(McReport, SchemaShape) {
+  McOptions options;
+  options.engine = "perseas";
+  options.txns = 2;
+  options.only_point = "perseas.commit.done";
+  options.kinds = {sim::FailureKind::kPowerOutage};
+  const McResult result = ModelChecker(options).run();
+  const std::string text = mc_report_json(result).dump();
+  EXPECT_NE(text.find("\"schema\":\"perseas-mc/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"exploration\":"), std::string::npos);
+  EXPECT_NE(text.find("\"violations\":"), std::string::npos);
+  EXPECT_NE(text.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(McFixtureTest, KnownEnginesAndWorkloadsAreExposed) {
+  EXPECT_EQ(known_engines().size(), 5u);
+  EXPECT_EQ(known_workloads().size(), 3u);
+  EXPECT_THROW(make_fixture("no-such-engine", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perseas::mc

@@ -89,6 +89,57 @@ TEST(FailureInjector, ClearDisarms) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(FailureInjector, ClearKeepsHitCounts) {
+  FailureInjector fi;
+  fi.notify("x");
+  fi.notify("x");
+  fi.arm("x", [] {});
+  fi.clear();
+  EXPECT_EQ(fi.hits("x"), 2u);  // documented: clear() disarms only
+  EXPECT_EQ(fi.armed_count(), 0u);
+}
+
+TEST(FailureInjector, ResetForgetsCountsAndRebasesCountdowns) {
+  FailureInjector fi;
+  fi.notify("x");
+  fi.notify("x");
+  fi.arm("x", [] {});
+  fi.reset();
+  EXPECT_EQ(fi.hits("x"), 0u);
+  EXPECT_EQ(fi.armed_count(), 0u);
+  EXPECT_TRUE(fi.seen_points().empty());
+  // A fresh countdown indexes from zero again, as on a new injector.
+  int fired = 0;
+  fi.arm("x", 1, [&] { ++fired; });
+  fi.notify("x");
+  EXPECT_EQ(fired, 0);
+  fi.notify("x");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FailureInjector, SnapshotIsSortedPerPointCounts) {
+  FailureInjector fi;
+  EXPECT_TRUE(fi.snapshot().empty());
+  fi.notify("b");
+  fi.notify("a");
+  fi.notify("b");
+  const auto snap = fi.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].point, "a");
+  EXPECT_EQ(snap[0].hits, 1u);
+  EXPECT_EQ(snap[1].point, "b");
+  EXPECT_EQ(snap[1].hits, 2u);
+}
+
+TEST(FailureInjector, ArmedCountTracksFiredActions) {
+  FailureInjector fi;
+  fi.arm("x", [] {});
+  fi.arm("y", 3, [] {});
+  EXPECT_EQ(fi.armed_count(), 2u);
+  fi.notify("x");  // fires and removes itself
+  EXPECT_EQ(fi.armed_count(), 1u);
+}
+
 TEST(FailureInjector, SeenPointsAreSortedAndUnique) {
   FailureInjector fi;
   fi.notify("b");

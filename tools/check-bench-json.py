@@ -19,20 +19,17 @@ Stdlib only: runs on any CI python3 without installs.
 import json
 import sys
 
+import ci_json
+
 SCHEMA = "perseas-bench/1"
 
 
 def fail(msg):
-    print(f"check-bench-json: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    ci_json.fail("check-bench-json", msg)
 
 
 def load(arg):
-    if arg == "-":
-        text = sys.stdin.read()
-    else:
-        with open(arg, encoding="utf-8") as f:
-            text = f.read()
+    text = ci_json.read_text("check-bench-json", arg)
     stripped = text.lstrip()
     if stripped.startswith("{"):
         return json.loads(stripped)

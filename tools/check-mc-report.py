@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate a perseas-mc/1 model-checker report (tools/perseas-mc --report).
+
+Usage:
+    check-mc-report.py <report.json>
+    check-mc-report.py --expect-violations <report.json>
+
+Checks the stable schema perseas::mc::mc_report_json emits and fails (exit
+1) when the report records any violation.  With --expect-violations the
+polarity flips: the report must contain at least one *minimized* violation —
+this is how CI validates the --selftest artifact, proving the checker can
+actually see bugs rather than just printing green.
+
+Exits 0 on success, 1 with a diagnostic otherwise, 2 on usage errors.
+Stdlib only: runs on any CI python3 without installs.
+"""
+
+import json
+import sys
+
+import ci_json
+
+SCHEMA = "perseas-mc/1"
+INVARIANTS = {"atomicity", "durability", "recovery", "hygiene", "model"}
+KINDS = {"software-crash", "power-outage", "hardware-fault"}
+
+
+def fail(msg):
+    ci_json.fail("check-mc-report", msg)
+
+
+def require_uint(obj, key, where):
+    v = obj.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"{where}.{key} must be a non-negative integer, got {v!r}")
+    return v
+
+
+def check_points(doc, key):
+    points = doc.get(key)
+    if not isinstance(points, list):
+        fail(f"'{key}' must be an array")
+    for i, row in enumerate(points):
+        if not isinstance(row, dict):
+            fail(f"{key}[{i}] must be an object")
+        if not isinstance(row.get("point"), str) or not row["point"]:
+            fail(f"{key}[{i}].point must be a non-empty string")
+        if require_uint(row, "hits", f"{key}[{i}]") < 1:
+            fail(f"{key}[{i}].hits must be >= 1")
+    return points
+
+
+def check(doc):
+    if not isinstance(doc, dict):
+        fail("document is not a JSON object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("engine", "workload", "mode"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail(f"'{key}' must be a non-empty string")
+    if doc["mode"] not in ("exhaustive", "sampled"):
+        fail(f"mode must be 'exhaustive' or 'sampled', got {doc['mode']!r}")
+    require_uint(doc, "nested", "doc")
+    require_uint(doc, "seed", "doc")
+    if require_uint(doc, "txns", "doc") < 1:
+        fail("txns must be >= 1")
+
+    points = check_points(doc, "points")
+    if not points:
+        fail("'points' is empty: discovery saw no failure points at all")
+    check_points(doc, "recovery_points")
+
+    exp = doc.get("exploration")
+    if not isinstance(exp, dict):
+        fail("'exploration' must be an object")
+    for key in ("total", "crashed", "not_reached", "nested",
+                "skipped_budget", "minimization_runs"):
+        require_uint(exp, key, "exploration")
+    if exp["total"] != exp["crashed"] + exp["not_reached"]:
+        fail(f"exploration.total ({exp['total']}) != crashed + not_reached "
+             f"({exp['crashed']} + {exp['not_reached']})")
+    if doc["mode"] == "exhaustive" and exp["skipped_budget"] != 0:
+        fail("exhaustive report claims skipped_budget != 0")
+
+    violations = doc.get("violations")
+    if not isinstance(violations, list):
+        fail("'violations' must be an array")
+    for i, v in enumerate(violations):
+        where = f"violations[{i}]"
+        if not isinstance(v, dict):
+            fail(f"{where} must be an object")
+        if v.get("invariant") not in INVARIANTS:
+            fail(f"{where}.invariant {v.get('invariant')!r} not in {sorted(INVARIANTS)}")
+        if not isinstance(v.get("point"), str):
+            fail(f"{where}.point must be a string")
+        require_uint(v, "hit", where)
+        if v.get("kind") not in KINDS:
+            fail(f"{where}.kind {v.get('kind')!r} not in {sorted(KINDS)}")
+        if not isinstance(v.get("nested"), bool):
+            fail(f"{where}.nested must be a boolean")
+        if v["nested"] and not (isinstance(v.get("nested_point"), str) and v["nested_point"]):
+            fail(f"{where}.nested_point must name the recovery point")
+        require_uint(v, "txn", where)
+        if not isinstance(v.get("detail"), str) or not v["detail"]:
+            fail(f"{where}.detail must be a non-empty string")
+        require_uint(v, "minimized_txns", where)
+
+    if doc.get("ok") is not (len(violations) == 0):
+        fail(f"'ok' is {doc.get('ok')!r} but the report lists "
+             f"{len(violations)} violation(s)")
+    return doc
+
+
+def main():
+    args = sys.argv[1:]
+    expect_violations = False
+    if args and args[0] == "--expect-violations":
+        expect_violations = True
+        args = args[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    text = ci_json.read_text("check-mc-report", args[0])
+    try:
+        doc = check(json.loads(text))
+    except json.JSONDecodeError as e:
+        fail(f"invalid JSON: {e}")
+
+    nviol = len(doc["violations"])
+    if expect_violations:
+        if nviol == 0:
+            fail("expected violations (self-test artifact) but the report is clean")
+        if not any(v["minimized_txns"] >= 1 for v in doc["violations"]):
+            fail("violations found but none carries a minimized counterexample")
+        print(f"check-mc-report: OK: engine={doc['engine']} seeded bug caught "
+              f"({nviol} violation(s), minimized)")
+        return
+    if nviol != 0:
+        worst = doc["violations"][0]
+        fail(f"{nviol} violation(s); first: [{worst['invariant']}] "
+             f"point={worst['point']} hit={worst['hit']} kind={worst['kind']} "
+             f"— {worst['detail']}")
+    print(f"check-mc-report: OK: engine={doc['engine']} mode={doc['mode']} "
+          f"points={len(doc['points'])} explorations={doc['exploration']['total']} "
+          f"(nested {doc['exploration']['nested']})")
+
+
+if __name__ == "__main__":
+    main()

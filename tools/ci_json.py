@@ -1,0 +1,25 @@
+"""Shared I/O helpers for the CI JSON checker scripts (stdlib only).
+
+Every checker loads its input the same way: a file path or "-" for stdin,
+with a clean one-line diagnostic and exit code 1 on a missing/unreadable
+file instead of a Python traceback.
+"""
+
+import sys
+
+
+def fail(tool, msg):
+    print(f"{tool}: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def read_text(tool, arg):
+    """Returns the contents of `arg` ("-" = stdin); exits via fail() when the
+    file is missing or unreadable."""
+    if arg == "-":
+        return sys.stdin.read()
+    try:
+        with open(arg, encoding="utf-8") as f:
+            return f.read()
+    except OSError as e:
+        fail(tool, f"cannot read {arg!r}: {e.strerror or e}")

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Runs clang-tidy with the repo's .clang-tidy over every first-party source
-# file (src/, bench/, examples/; tests are covered when TIDY_TESTS=1).
+# file (src/, bench/, examples/, tools/; tests are covered when
+# TIDY_TESTS=1).
 #
 #   tools/run-tidy.sh [build-dir]
 #
@@ -35,7 +36,7 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   cmake -B "$BUILD_DIR" -S . > /dev/null
 fi
 
-FILES=$(find src bench examples -name '*.cpp' | sort)
+FILES=$(find src bench examples tools -name '*.cpp' | sort)
 if [ "${TIDY_TESTS:-0}" = "1" ]; then
   FILES="$FILES $(find tests -name '*.cpp' | sort)"
 fi
