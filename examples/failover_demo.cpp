@@ -63,7 +63,7 @@ int main() {
                 std::string(sim::to_string(kind)).c_str(), db->local_node());
     cluster.crash_node(db->local_node(), kind);
 
-    db = std::make_unique<core::Perseas>(manager.fail_over());
+    db = manager.fail_over();
     std::printf("        failed over to workstation %u in %s (simulated)\n",
                 manager.stats().last_target,
                 sim::format_duration(manager.stats().last_duration).c_str());

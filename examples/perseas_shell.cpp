@@ -138,7 +138,8 @@ int main() {
         in >> node;
         txn.reset();
         db = std::make_unique<core::Perseas>(
-            core::Perseas::recover(cluster, node, {&server}));
+            core::Perseas::RecoverTag{}, cluster, node,
+            std::vector<netram::RemoteMemoryServer*>{&server});
         std::printf("database recovered on node %u (%u records)\n", node,
                     db->record_count());
       } else if (cmd == "stats") {

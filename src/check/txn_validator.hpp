@@ -25,6 +25,19 @@
 //   * verifies after abort that every record is byte-identical to its
 //     begin snapshot.
 //
+// Transactions may be open concurrently; the validator keeps one session
+// per open transaction, keyed by txn id.  A session's snapshot is taken
+// while *neighbour* transactions may already have written their declared
+// ranges (and may write, commit, or roll them back later), so each session
+// also accumulates the "foreign" ranges its open neighbours declared —
+// copied at begin and extended on every later neighbour declare.  The
+// commit diff tolerates modifications inside own-union-foreign (the
+// conflict table guarantees the two are disjoint); the abort diff
+// tolerates foreign only, keeping the rollback check for the
+// transaction's own ranges exactly as strict as before.  With at most one
+// transaction open the foreign sets stay empty and every check reduces to
+// the historical single-transaction behaviour.
+//
 // The validator performs plain local computation only: it never touches
 // the cluster, charges no simulated time, and adds no network traffic.
 #pragma once
@@ -97,12 +110,13 @@ class TxnValidator final : public core::TxnObserver {
 
   [[nodiscard]] const core::TxnObserverStats& stats() const noexcept override { return stats_; }
 
-  /// True between on_begin and the matching on_commit / on_abort (or until
-  /// a validation error disarmed the transaction's tracking).
-  [[nodiscard]] bool tracking() const noexcept { return active_; }
+  /// True while at least one transaction's session is armed (between its
+  /// on_begin and the matching on_commit / on_abort; a validation error
+  /// disarms every session).
+  [[nodiscard]] bool tracking() const noexcept { return !sessions_.empty(); }
 
-  /// The merged, sorted declared ranges of `record` for the open
-  /// transaction (empty when none / not tracking).  Exposed for tests.
+  /// The merged, sorted declared ranges of `record`, unioned across every
+  /// open transaction (empty when none / not tracking).  Exposed for tests.
   [[nodiscard]] std::vector<ByteRange> declared_ranges(std::uint32_t record) const;
 
   /// Human-readable warnings accumulated across transactions (one per
@@ -113,16 +127,23 @@ class TxnValidator final : public core::TxnObserver {
   struct TrackedRecord {
     std::uint32_t index = 0;
     std::vector<std::byte> snapshot;
-    std::vector<ByteRange> ranges;  // sorted by offset, coalesced
+    std::vector<ByteRange> ranges;          // own declares, sorted + coalesced
+    std::vector<ByteRange> foreign_ranges;  // open neighbours' declares
   };
 
-  void reset_txn() noexcept;
+  /// One open transaction's tracking state.
+  struct Session {
+    std::uint64_t txn_id = 0;
+    std::vector<TrackedRecord> tracked;
+  };
+
+  [[nodiscard]] Session* find(std::uint64_t txn_id) noexcept;
+  void close(std::uint64_t txn_id) noexcept;
+  void disarm() noexcept;
 
   core::TxnObserverStats stats_;
-  std::vector<TrackedRecord> tracked_;
+  std::vector<Session> sessions_;
   std::vector<std::string> warnings_;
-  std::uint64_t txn_id_ = 0;
-  bool active_ = false;
 };
 
 }  // namespace perseas::check

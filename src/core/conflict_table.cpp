@@ -1,0 +1,63 @@
+#include "core/conflict_table.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace perseas::core {
+
+TxnConflict::TxnConflict(std::uint64_t txn, std::uint64_t holder, std::uint32_t record,
+                         std::uint64_t offset, std::uint64_t size)
+    : PerseasError("set_range: txn " + std::to_string(txn) + " conflicts with open txn " +
+                   std::to_string(holder) + " on record " + std::to_string(record) +
+                   " range [" + std::to_string(offset) + ", " + std::to_string(offset + size) +
+                   ") — abort and retry"),
+      txn_(txn),
+      holder_(holder),
+      record_(record),
+      offset_(offset),
+      size_(size) {}
+
+void ConflictTable::acquire(std::uint64_t txn, std::uint32_t record, std::uint64_t offset,
+                            std::uint64_t size) {
+  std::vector<Claim>* claims = nullptr;
+  for (auto& [rec, cs] : records_) {
+    if (rec == record) {
+      claims = &cs;
+      break;
+    }
+  }
+  if (claims == nullptr) {
+    records_.emplace_back(record, std::vector<Claim>{});
+    claims = &records_.back().second;
+  }
+  const std::uint64_t end = offset + size;
+  for (const Claim& c : *claims) {
+    if (c.owner != txn && c.offset < end && offset < c.offset + c.size) {
+      throw TxnConflict(txn, c.owner, record, offset, size);
+    }
+  }
+  claims->push_back(Claim{offset, size, txn});
+}
+
+void ConflictTable::release(std::uint64_t txn) noexcept {
+  for (auto& [rec, claims] : records_) {
+    claims.erase(std::remove_if(claims.begin(), claims.end(),
+                                [txn](const Claim& c) { return c.owner == txn; }),
+                 claims.end());
+  }
+  records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                [](const auto& entry) { return entry.second.empty(); }),
+                 records_.end());
+}
+
+bool ConflictTable::empty() const noexcept { return records_.empty(); }
+
+std::size_t ConflictTable::claims_of(std::uint64_t txn) const noexcept {
+  std::size_t n = 0;
+  for (const auto& [rec, claims] : records_) {
+    for (const Claim& c : claims) n += c.owner == txn ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace perseas::core

@@ -13,7 +13,7 @@ FailoverManager::FailoverManager(netram::Cluster& cluster, std::vector<netram::N
   if (servers_.empty()) throw UsageError("FailoverManager: no mirror servers");
 }
 
-Perseas FailoverManager::fail_over() {
+std::unique_ptr<Perseas> FailoverManager::fail_over() {
   const sim::SimTime start = cluster_->clock().now();
   for (const netram::NodeId standby : standbys_) {
     if (cluster_->node(standby).crashed()) {
@@ -21,7 +21,8 @@ Perseas FailoverManager::fail_over() {
       continue;
     }
     try {
-      Perseas db = Perseas::recover(*cluster_, standby, servers_, config_);
+      auto db = std::make_unique<Perseas>(Perseas::RecoverTag{}, *cluster_, standby, servers_,
+                                          config_);
       ++stats_.failovers;
       stats_.last_duration = cluster_->clock().now() - start;
       stats_.last_target = standby;

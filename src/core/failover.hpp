@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/perseas.hpp"
@@ -37,8 +38,11 @@ class FailoverManager {
 
   /// Recovers the database onto the first standby that is alive and does
   /// not host the only reachable mirror.  Throws RecoveryError when no
-  /// viable standby remains or no mirror survives.
-  Perseas fail_over();
+  /// viable standby remains or no mirror survives.  The instance comes
+  /// back heap-pinned: Perseas is immovable (live RecordHandle /
+  /// Transaction handles hold raw back pointers), so ownership transfers
+  /// as a unique_ptr with a stable address.
+  std::unique_ptr<Perseas> fail_over();
 
   [[nodiscard]] const FailoverStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::vector<netram::NodeId>& standbys() const noexcept {

@@ -8,14 +8,19 @@
 //   "p.db.<i>"     the mirrored image of database record <i>
 //
 // The undo log is a sequence of self-delimiting entries
-// [UndoEntryHeader][before-image], each padded to 8 bytes.  Entries carry
-// the id of the transaction that wrote them, and the commit protocol stores
-// that id in MetaHeader::propagating_txn for the duration of the remote
+// [UndoEntryHeader][before-image], each padded to 8 bytes.  One log is
+// shared by every concurrently open transaction: entries carry the id of
+// the transaction that wrote them and interleave at the shared tail.  The
+// commit protocol stores the committing id in MetaHeader::propagating_txn
+// (and the tail in propagating_undo_bytes) for the duration of the remote
 // database update.  Recovery therefore needs no durable entry count: it
-// scans entries (stopping at the first invalid magic) and applies exactly
-// those whose txn_id matches propagating_txn.  Entries from older
-// transactions that happen to survive beyond the current write position are
-// filtered out by that id match.
+// scans entries (stopping at the first invalid magic beyond the announced
+// prefix) and rolls back exactly those whose txn_id matches
+// propagating_txn, newest transaction first.  Entries of other in-flight
+// transactions — and of older transactions surviving beyond the current
+// write position — are filtered out by that id match: they never touched
+// the mirror's database image, so discarding them aborts their
+// transactions atomically.
 #pragma once
 
 #include <cstddef>
@@ -35,9 +40,10 @@ struct MetaHeader {
   /// the id of that transaction.  THE commit point of the protocol is the
   /// remote store clearing this back to zero.
   std::uint64_t propagating_txn = 0;
-  /// Bytes of undo-log entries belonging to propagating_txn, written in the
-  /// same store: recovery knows exactly how much undo it must parse, so a
-  /// corrupted entry can never masquerade as the clean end of the log.
+  /// The undo-log tail at announcement time — all pushed entries, the
+  /// propagating transaction's and its open neighbours' alike — written in
+  /// the same store: recovery knows exactly how much undo it must parse, so
+  /// a corrupted entry can never masquerade as the clean end of the log.
   std::uint64_t propagating_undo_bytes = 0;
   /// Generation of the live undo segment ("p.undo.<gen>").
   std::uint64_t undo_gen = 0;

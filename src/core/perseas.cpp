@@ -1,126 +1,20 @@
 #include "core/perseas.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
-#include <new>
-#include <tuple>
+#include <string>
 
-#include "check/txn_validator.hpp"
-#include "core/observer_mux.hpp"
-#include "obs/txn_tracer.hpp"
+#include "core/protocol_points.hpp"
 #include "sim/clock.hpp"
-#include "sim/crc32.hpp"
 
 namespace perseas::core {
 
 namespace {
 
-/// Failure-point names instrumented throughout the protocol; tests use
-/// these to crash the primary at every intermediate commit state.
-constexpr const char* kAfterLocalUndo = "perseas.set_range.after_local_undo";
-constexpr const char* kAfterRemoteUndo = "perseas.set_range.after_remote_undo";
-constexpr const char* kAfterFlagSet = "perseas.commit.after_flag_set";
-constexpr const char* kAfterRangeCopy = "perseas.commit.after_range_copy";
-constexpr const char* kBeforeFlagClear = "perseas.commit.before_flag_clear";
-constexpr const char* kAfterFlagClear = "perseas.commit.after_flag_clear";
-constexpr const char* kCommitDone = "perseas.commit.done";
-constexpr const char* kAbortDone = "perseas.abort.done";
-constexpr const char* kRecoverAfterMeta = "perseas.recover.after_meta";
-constexpr const char* kRecoverConnected = "perseas.recover.connected";
-constexpr const char* kRecoverAfterUndoScan = "perseas.recover.after_undo_scan";
-constexpr const char* kRecoverAfterRollback = "perseas.recover.after_rollback";
-constexpr const char* kRecoverAfterFlagClear = "perseas.recover.after_flag_clear";
-constexpr const char* kRecoverAfterPull = "perseas.recover.after_pull";
-constexpr const char* kRebuildSegments = "perseas.rebuild.segments";
-constexpr const char* kRebuildDone = "perseas.rebuild.done";
-constexpr const char* kRecoverDone = "perseas.recover.done";
-
-std::span<const std::byte> as_bytes_of(const std::uint64_t& v) {
-  return {reinterpret_cast<const std::byte*>(&v), sizeof v};
-}
-
-std::span<const std::byte> as_flag_bytes(const std::uint64_t (&v)[2]) {
-  return {reinterpret_cast<const std::byte*>(v), sizeof v};
-}
-
-}  // namespace
-
-// --- RecordHandle / Transaction -------------------------------------------
-
-std::span<std::byte> RecordHandle::bytes() const {
-  if (!valid()) throw UsageError("RecordHandle: default-constructed handle");
-  return owner_->record_bytes(index_);
-}
-
-Transaction::Transaction(Transaction&& other) noexcept : owner_(other.owner_), id_(other.id_) {
-  other.owner_ = nullptr;
-}
-
-Transaction& Transaction::operator=(Transaction&& other) noexcept {
-  if (this != &other) {
-    if (owner_ != nullptr) {
-      try {
-        owner_->txn_abort();
-      } catch (...) {  // NOLINT(bugprone-empty-catch)
-        // A crashed node during cleanup leaves recovery to the caller.
-      }
-    }
-    owner_ = other.owner_;
-    id_ = other.id_;
-    other.owner_ = nullptr;
-  }
-  return *this;
-}
-
-Transaction::~Transaction() {
-  if (owner_ != nullptr) {
-    try {
-      owner_->txn_abort();
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
-      // Destructors must not throw; a node crash here surfaces at the next
-      // library call or through recovery.
-    }
-  }
-}
-
-void Transaction::set_range(const RecordHandle& record, std::uint64_t offset,
-                            std::uint64_t size) {
-  set_range(record.index(), offset, size);
-}
-
-void Transaction::set_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size) {
-  if (!active()) throw UsageError("Transaction::set_range: transaction not active");
-  owner_->txn_set_range(id_, record, offset, size);
-}
-
-void Transaction::commit() {
-  if (!active()) throw UsageError("Transaction::commit: transaction not active");
-  // On failure (e.g. a mirror crashed mid-propagation) the transaction
-  // stays active so the caller can abort() locally — abort needs no remote
-  // traffic — and then rebuild_mirror() to restore replication.
-  owner_->txn_commit(id_);
-  owner_ = nullptr;
-}
-
-void Transaction::abort() {
-  if (!active()) throw UsageError("Transaction::abort: transaction not active");
-  Perseas* owner = owner_;
-  owner_ = nullptr;
-  owner->txn_abort();
-}
-
-// --- construction -----------------------------------------------------------
-
-namespace {
-
-/// Non-empty value of environment variable `name`, or nullptr.
-const char* env_path(const char* name) {
-  const char* v = std::getenv(name);
-  return (v != nullptr && *v != '\0') ? v : nullptr;
-}
+/// Size of the 16-byte propagation flag {txn_id, undo_bytes}.
+constexpr std::uint64_t kFlagBytes = 2 * sizeof(std::uint64_t);
 
 /// PERSEAS_COALESCE=0 forces coalescing off, any other value forces it on.
 /// Unlike the observability variables this one overrides the config — a
@@ -143,143 +37,7 @@ bool seeded_bug_skip_flag_clear() {
 
 }  // namespace
 
-void Perseas::maybe_install_observers() {
-  std::unique_ptr<TxnObserver> validator;
-  if (config_.validate_writes || std::getenv("PERSEAS_VALIDATE_WRITES") != nullptr) {
-    validator = std::make_unique<check::TxnValidator>();
-  }
-
-  // Config pointers win; the environment variables only kick in when the
-  // caller wired nothing, and then the instance owns the sinks and dumps
-  // them at destruction.
-  obs::TraceRecorder* trace = config_.trace;
-  obs::MetricsRegistry* metrics = config_.metrics;
-  if (trace == nullptr && metrics == nullptr) {
-    if (const char* path = env_path("PERSEAS_TRACE")) {
-      owned_trace_ = std::make_unique<obs::TraceRecorder>();
-      owned_trace_path_ = path;
-      trace = owned_trace_.get();
-    }
-    if (const char* path = env_path("PERSEAS_METRICS")) {
-      owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
-      owned_metrics_path_ = path;
-      metrics = owned_metrics_.get();
-    }
-  }
-
-  std::unique_ptr<TxnObserver> tracer;
-  if (trace != nullptr || metrics != nullptr) {
-    std::uint32_t track = config_.trace_track;
-    if (trace != nullptr && track == 0) {
-      track = trace->register_track("perseas:" + config_.name);
-      trace->set_thread_name(track, static_cast<std::uint32_t>(local_),
-                             "node-" + std::to_string(local_));
-    }
-    tracer = std::make_unique<obs::TxnTracer>(cluster_->clock(), trace, track, metrics,
-                                              static_cast<std::uint32_t>(local_));
-  }
-
-  if (validator != nullptr && tracer != nullptr) {
-    auto mux = std::make_unique<TxnObserverMux>();
-    mux->add(std::move(validator));  // first: a veto throw skips the tracer
-    mux->add(std::move(tracer));
-    observer_ = std::move(mux);
-  } else if (validator != nullptr) {
-    observer_ = std::move(validator);
-  } else {
-    observer_ = std::move(tracer);
-  }
-}
-
-void Perseas::flush_owned_observability() noexcept {
-  try {
-    if (owned_metrics_ != nullptr) {
-      export_metrics(*owned_metrics_);
-      owned_metrics_->save(owned_metrics_path_);
-      owned_metrics_.reset();
-    }
-    if (owned_trace_ != nullptr) {
-      owned_trace_->save(owned_trace_path_);
-      owned_trace_.reset();
-    }
-  } catch (...) {  // NOLINT(bugprone-empty-catch)
-    // Destructor path: a failed dump must not terminate the program.
-  }
-}
-
 Perseas::~Perseas() { flush_owned_observability(); }
-
-void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
-  const std::string db = "db=\"" + config_.name + "\"";
-  const auto count = [&](std::string_view name, std::string_view help, std::uint64_t v,
-                         const std::string& labels) { reg.counter(name, help, labels).add(v); };
-
-  count("perseas_txns_total", "Transactions finished, by outcome", stats_.txns_committed,
-        db + ",outcome=\"committed\"");
-  count("perseas_txns_total", "Transactions finished, by outcome", stats_.txns_aborted,
-        db + ",outcome=\"aborted\"");
-  count("perseas_set_ranges_total", "set_range declarations", stats_.set_ranges, db);
-  count("perseas_undo_growths_total", "Undo-log doubling events", stats_.undo_growths, db);
-  count("perseas_mirror_rebuilds_total", "rebuild_mirror invocations", stats_.mirror_rebuilds,
-        db);
-
-  // The per-channel byte counters the acceptance check compares against
-  // PerseasStats: undo (local memcpy / remote push) and propagation.
-  const char* bytes_help = "Bytes moved per PERSEAS channel";
-  count("perseas_bytes_total", bytes_help, stats_.bytes_undo_local,
-        db + ",channel=\"undo_local\"");
-  count("perseas_bytes_total", bytes_help, stats_.bytes_undo_remote,
-        db + ",channel=\"undo_remote\"");
-  count("perseas_bytes_total", bytes_help, stats_.bytes_propagated,
-        db + ",channel=\"propagate\"");
-
-  // Write-set coalescing: savings and burst counts.  Always exported (all
-  // zero when coalesce_ranges is off) so tools/check-bench-json.py can
-  // require the series in both ablation legs.
-  count("perseas_ranges_coalesced_total",
-        "set_range declarations that overlapped the transaction's declared union",
-        stats_.ranges_coalesced, db);
-  const char* dedup_help = "Bytes write-set coalescing avoided moving, per channel";
-  count("perseas_bytes_dedup_total", dedup_help, stats_.bytes_dedup_undo,
-        db + ",channel=\"undo\"");
-  count("perseas_bytes_dedup_total", dedup_help, stats_.bytes_dedup_propagated,
-        db + ",channel=\"propagate\"");
-  const char* writes_help = "Gathered SCI store operations, per channel";
-  count("perseas_sci_writes_total", writes_help, stats_.undo_writes, db + ",channel=\"undo\"");
-  count("perseas_sci_writes_total", writes_help, stats_.propagate_writes,
-        db + ",channel=\"propagate\"");
-
-  // Simulated nanoseconds per protocol phase (exact integers; figure 3's
-  // cost decomposition).
-  const char* phase_help = "Simulated nanoseconds spent per protocol phase";
-  count("perseas_phase_ns_total", phase_help, static_cast<std::uint64_t>(stats_.time_local_undo),
-        db + ",phase=\"local_undo\"");
-  count("perseas_phase_ns_total", phase_help,
-        static_cast<std::uint64_t>(stats_.time_remote_undo), db + ",phase=\"remote_undo\"");
-  count("perseas_phase_ns_total", phase_help,
-        static_cast<std::uint64_t>(stats_.time_propagation), db + ",phase=\"propagate\"");
-  count("perseas_phase_ns_total", phase_help,
-        static_cast<std::uint64_t>(stats_.time_commit_flags), db + ",phase=\"commit_flags\"");
-
-  reg.gauge("perseas_undo_capacity_bytes", "Current undo-log capacity", db)
-      .set(static_cast<double>(undo_capacity_));
-  reg.gauge("perseas_undo_used_bytes", "Undo-log bytes occupied by the open transaction", db)
-      .set(static_cast<double>(undo_used_));
-  reg.gauge("perseas_mirrors", "Configured replication degree", db)
-      .set(static_cast<double>(mirrors_.size()));
-  reg.gauge("perseas_records", "Persistent records allocated", db)
-      .set(static_cast<double>(records_.size()));
-
-  if (observer_) {
-    const TxnObserverStats v = validator_stats();
-    count("perseas_validator_commits_checked_total", "Commits diffed by check::TxnValidator",
-          v.commits_checked, db);
-    count("perseas_validator_uncovered_writes_total", "CoverageErrors raised",
-          v.uncovered_writes, db);
-    count("perseas_validator_snapshot_bytes_total", "Bytes snapshotted by the validator",
-          v.snapshot_bytes, db);
-  }
-}
 
 std::vector<TxnRecordView> Perseas::observer_views() {
   std::vector<TxnRecordView> views;
@@ -296,7 +54,8 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
       local_(local),
       config_(std::move(config)),
       client_(cluster, local),
-      undo_capacity_(config_.undo_capacity) {
+      mirror_set_(cluster, client_, local, config_, stats_),
+      undo_log_(cluster, client_, config_, stats_) {
   apply_coalesce_env(config_);
   mc_skip_flag_clear_ = seeded_bug_skip_flag_clear();
   maybe_install_observers();
@@ -306,37 +65,31 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
     if (server->host() == local) {
       throw UsageError("Perseas: a mirror on the local node provides no reliability");
     }
-    Mirror m;
-    m.server = server;
-    create_mirror_segments(m);
-    mirrors_.push_back(std::move(m));
+    mirror_set_.add(server, undo_log_.capacity(), undo_log_.gen());
   }
 }
 
 Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config)
-    : cluster_(&cluster), local_(local), config_(std::move(config)), client_(cluster, local) {
+    : cluster_(&cluster),
+      local_(local),
+      config_(std::move(config)),
+      client_(cluster, local),
+      mirror_set_(cluster, client_, local, config_, stats_),
+      undo_log_(cluster, client_, config_, stats_) {
   apply_coalesce_env(config_);
   mc_skip_flag_clear_ = seeded_bug_skip_flag_clear();
   maybe_install_observers();
 }
 
-void Perseas::create_mirror_segments(Mirror& m) {
-  try {
-    m.meta = client_.sci_get_new_segment(*m.server, meta_segment_size(config_.max_records),
-                                         meta_key(config_.name));
-    m.undo = client_.sci_get_new_segment(*m.server, undo_capacity_, undo_key(undo_gen_, config_.name));
-  } catch (const std::invalid_argument&) {
-    throw UsageError(
-        "Perseas: server on node " + std::to_string(m.server->host()) +
-        " already hosts a PERSEAS database; use Perseas::recover() to attach to it");
-  } catch (const std::bad_alloc&) {
-    throw OutOfRemoteMemory("Perseas: mirror node " + std::to_string(m.server->host()) +
-                            " cannot hold the metadata segments");
-  }
+Perseas::Perseas(RecoverTag, netram::Cluster& cluster, netram::NodeId new_local,
+                 const std::vector<netram::RemoteMemoryServer*>& servers, PerseasConfig config)
+    : Perseas(AttachTag{}, cluster, new_local, std::move(config)) {
+  attach_recover(servers);
 }
 
 RecordHandle Perseas::persistent_malloc(std::uint64_t size) {
-  if (in_txn_) throw UsageError("persistent_malloc: not allowed inside a transaction");
+  if (shut_down_) throw UsageError("persistent_malloc: instance was shut down");
+  if (in_transaction()) throw UsageError("persistent_malloc: not allowed inside a transaction");
   if (size == 0) throw UsageError("persistent_malloc: zero-sized record");
   if (records_.size() >= config_.max_records) {
     throw UsageError("persistent_malloc: metadata directory full (max_records=" +
@@ -355,13 +108,12 @@ RecordHandle Perseas::persistent_malloc(std::uint64_t size) {
 
   // Reserve the mirror image on every mirror now, so init_remote_db cannot
   // fail for lack of memory after the application populated its records.
-  for (auto& m : mirrors_) {
+  for (auto& m : mirror_set_.mirrors()) {
     try {
-      m.db.push_back(client_.sci_get_new_segment(*m.server, size, db_key(index, config_.name)));
-    } catch (const std::bad_alloc&) {
+      mirror_set_.reserve_record(m, index, size, "persistent_malloc");
+    } catch (const OutOfRemoteMemory&) {
       cluster_->node(local_).allocator().free(*local_offset);
-      throw OutOfRemoteMemory("persistent_malloc: mirror node " +
-                              std::to_string(m.server->host()) + " is out of memory");
+      throw;
     }
   }
   records_.push_back(LocalRecord{*local_offset, size, false});
@@ -379,79 +131,57 @@ RecordHandle Perseas::record(std::uint32_t index) {
   return RecordHandle{this, index, records_[index].size};
 }
 
-void Perseas::push_meta(Mirror& m) {
-  std::vector<std::byte> buf(meta_segment_size(config_.max_records));
-  MetaHeader hdr;
-  hdr.record_count = static_cast<std::uint32_t>(records_.size());
-  hdr.propagating_txn = 0;
-  hdr.undo_gen = undo_gen_;
-  std::memcpy(buf.data(), &hdr, sizeof hdr);
-  for (std::uint32_t i = 0; i < records_.size(); ++i) {
-    const std::uint64_t size = records_[i].size;
-    std::memcpy(buf.data() + record_size_slot(i), &size, sizeof size);
-  }
-  client_.sci_memcpy_write(m.meta, 0, buf, netram::StreamHint::kNewBurst,
-                           config_.optimized_sci_memcpy);
-}
-
-void Perseas::push_record(Mirror& m, std::uint32_t index) {
-  auto span = record_bytes(index);
-  client_.sci_memcpy_write(m.db[index], 0, span, netram::StreamHint::kNewBurst,
-                           config_.optimized_sci_memcpy);
-}
-
 void Perseas::init_remote_db() {
-  if (in_txn_) throw UsageError("init_remote_db: not allowed inside a transaction");
-  for (auto& m : mirrors_) {
-    push_meta(m);
+  if (shut_down_) throw UsageError("init_remote_db: instance was shut down");
+  if (in_transaction()) throw UsageError("init_remote_db: not allowed inside a transaction");
+  for (auto& m : mirror_set_.mirrors()) {
+    mirror_set_.push_meta(m, records_, undo_log_.gen());
     for (std::uint32_t i = 0; i < records_.size(); ++i) {
-      if (!records_[i].mirrored) push_record(m, i);
+      if (!records_[i].mirrored) mirror_set_.push_record(m, i, records_);
     }
   }
   for (auto& r : records_) r.mirrored = true;
 }
 
 void Perseas::shutdown(bool decommission) {
-  if (in_txn_) throw UsageError("shutdown: a transaction is still active");
-  if (shut_down_) return;
-  for (auto& m : mirrors_) {
+  if (in_transaction()) throw UsageError("shutdown: a transaction is still active");
+  if (shut_down_) throw UsageError("shutdown: instance was already shut down");
+  for (auto& m : mirror_set_.mirrors()) {
     if (cluster_->node(m.server->host()).crashed()) continue;
     if (decommission) {
-      for (const auto& seg : m.db) client_.sci_free_segment(*m.server, seg);
-      client_.sci_free_segment(*m.server, m.undo);
-      client_.sci_free_segment(*m.server, m.meta);
+      mirror_set_.free_segments(m);
     } else {
       // Leave a final consistent image behind: every record's current
       // content plus clean metadata (no propagation in flight).
-      for (std::uint32_t i = 0; i < records_.size(); ++i) push_record(m, i);
-      push_meta(m);
+      for (std::uint32_t i = 0; i < records_.size(); ++i) {
+        mirror_set_.push_record(m, i, records_);
+      }
+      mirror_set_.push_meta(m, records_, undo_log_.gen());
     }
   }
   for (const auto& r : records_) {
     cluster_->node(local_).allocator().free(r.local_offset);
   }
   records_.clear();
-  mirrors_.clear();
+  mirror_set_.clear();
   shut_down_ = true;
 }
 
 Transaction Perseas::begin_transaction() {
   if (shut_down_) throw UsageError("begin_transaction: instance was shut down");
-  if (in_txn_) {
-    throw UsageError("begin_transaction: a transaction is already active");
-  }
   const bool all_mirrored =
       std::all_of(records_.begin(), records_.end(), [](const LocalRecord& r) { return r.mirrored; });
   if (!all_mirrored) {
     throw UsageError("begin_transaction: call init_remote_db() after persistent_malloc");
   }
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_begin);
-  in_txn_ = true;
-  undo_.clear();
-  write_set_.clear();
-  txn_declared_bytes_ = 0;
-  undo_used_ = 0;
+  // The shared log's tail can only rewind when no pushed entry is live;
+  // with one transaction at a time this resets at every begin, exactly the
+  // historical behaviour.
+  if (open_.empty()) undo_log_.reset_tail();
   ++txn_counter_;
+  open_.push_back(std::make_unique<TxnContext>(txn_counter_));
+  stats_.max_open_txns = std::max<std::uint64_t>(stats_.max_open_txns, open_.size());
   if (observer_) {
     const auto views = observer_views();
     observer_->on_begin(txn_counter_, views);
@@ -459,122 +189,28 @@ Transaction Perseas::begin_transaction() {
   return Transaction{this, txn_counter_};
 }
 
-// --- undo log ---------------------------------------------------------------
-
-namespace {
-
-/// CRC-32C over the entry's payload fields and before-image (the magic and
-/// the checksum slot itself are excluded).  The fields are memcpy'd into a
-/// packed buffer so the computation never forms references into a header
-/// that may live at an arbitrary log offset; chaining over the packed
-/// bytes produces the identical CRC as the per-field version.
-std::uint32_t undo_entry_checksum(const UndoEntryHeader& hdr,
-                                  std::span<const std::byte> image) {
-  std::array<std::byte, sizeof hdr.record + sizeof hdr.txn_id + sizeof hdr.offset +
-                            sizeof hdr.size>
-      fields;
-  std::byte* p = fields.data();
-  std::memcpy(p, &hdr.record, sizeof hdr.record);
-  p += sizeof hdr.record;
-  std::memcpy(p, &hdr.txn_id, sizeof hdr.txn_id);
-  p += sizeof hdr.txn_id;
-  std::memcpy(p, &hdr.offset, sizeof hdr.offset);
-  p += sizeof hdr.offset;
-  std::memcpy(p, &hdr.size, sizeof hdr.size);
-  const std::uint32_t crc = sim::crc32c(fields);
-  return sim::crc32c(image, crc) ^ 0xffffffffu;
+TxnContext* Perseas::find_context(std::uint64_t txn_id) noexcept {
+  for (auto& ctx : open_) {
+    if (ctx->id() == txn_id) return ctx.get();
+  }
+  return nullptr;
 }
 
-}  // namespace
-
-std::vector<std::byte> Perseas::serialize_undo(const LocalUndo& u, std::uint64_t txn_id) const {
-  UndoEntryHeader hdr;
-  hdr.record = u.record;
-  hdr.txn_id = txn_id;
-  hdr.offset = u.offset;
-  hdr.size = u.before.size();
-  hdr.checksum = undo_entry_checksum(hdr, u.before);
-  std::vector<std::byte> buf(undo_entry_bytes(u.before.size()));
-  std::memcpy(buf.data(), &hdr, sizeof hdr);
-  std::memcpy(buf.data() + sizeof hdr, u.before.data(), u.before.size());
-  return buf;
+std::vector<const TxnContext*> Perseas::open_contexts() const {
+  std::vector<const TxnContext*> out;
+  out.reserve(open_.size());
+  for (const auto& ctx : open_) out.push_back(ctx.get());
+  return out;
 }
 
-void Perseas::push_undo_entry(const LocalUndo& u, std::uint64_t txn_id,
-                              netram::StreamHint hint) {
-  const auto buf = serialize_undo(u, txn_id);
-  for (auto& m : mirrors_) {
-    client_.sci_memcpy_write(m.undo, undo_used_, buf, hint, config_.optimized_sci_memcpy);
-    stats_.bytes_undo_remote += buf.size();
-    ++stats_.undo_writes;
-    if (observer_) {
-      // Peek at the mirror's memory directly (no simulated traffic): the
-      // serialized entry just written must byte-match the local log.
-      const auto remote =
-          cluster_->node(m.server->host()).mem(m.undo.offset + undo_used_, buf.size());
-      observer_->on_undo_push(txn_id, buf, remote);
+void Perseas::close_context(std::uint64_t txn_id) noexcept {
+  conflicts_.release(txn_id);
+  for (auto it = open_.begin(); it != open_.end(); ++it) {
+    if ((*it)->id() == txn_id) {
+      open_.erase(it);
+      return;
     }
   }
-}
-
-std::uint64_t next_undo_capacity(std::uint64_t current, std::uint64_t required) {
-  std::uint64_t capacity = std::max<std::uint64_t>(current, 64);
-  while (capacity < required) {
-    if (capacity > std::numeric_limits<std::uint64_t>::max() / 2) {
-      // One more doubling would wrap to zero and the loop would spin
-      // forever; no mirror can hold this transaction's undo images.
-      throw OutOfRemoteMemory("grow_undo: undo-log capacity overflow (transaction needs " +
-                              std::to_string(required) + " bytes)");
-    }
-    capacity *= 2;
-  }
-  return capacity;
-}
-
-void Perseas::grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id,
-                        std::size_t preserve_entries) {
-  // Re-log the already-pushed entries of the running transaction into a
-  // larger segment; entries not yet pushed follow through push_undo_entry.
-  std::vector<std::byte> all;
-  for (std::size_t i = 0; i < preserve_entries; ++i) {
-    const auto buf = serialize_undo(undo_[i], txn_id);
-    all.insert(all.end(), buf.begin(), buf.end());
-  }
-  if (needed_bytes > std::numeric_limits<std::uint64_t>::max() - all.size()) {
-    throw OutOfRemoteMemory("grow_undo: undo-log capacity overflow (transaction needs more "
-                            "bytes than a 64-bit log can address)");
-  }
-  const std::uint64_t new_capacity =
-      next_undo_capacity(undo_capacity_, all.size() + needed_bytes);
-
-  const std::uint64_t new_gen = undo_gen_ + 1;
-  for (auto& m : mirrors_) {
-    netram::RemoteSegment fresh;
-    try {
-      fresh = client_.sci_get_new_segment(*m.server, new_capacity, undo_key(new_gen, config_.name));
-    } catch (const std::bad_alloc&) {
-      throw OutOfRemoteMemory("grow_undo: mirror node " + std::to_string(m.server->host()) +
-                              " cannot hold a " + std::to_string(new_capacity) +
-                              "-byte undo log");
-    }
-    if (!all.empty()) {
-      client_.sci_memcpy_write(fresh, 0, all, netram::StreamHint::kNewBurst,
-                               config_.optimized_sci_memcpy);
-    }
-    // Publish the new generation, then drop the old segment.  A crash
-    // between these steps is safe: set_range runs with propagating_txn == 0,
-    // so recovery never consults the undo log in this window.
-    const std::uint64_t gen_value = new_gen;
-    client_.sci_memcpy_write(m.meta, kUndoGenOffset, as_bytes_of(gen_value),
-                             netram::StreamHint::kNewBurst, false);
-    client_.sci_free_segment(*m.server, m.undo);
-    m.undo = fresh;
-  }
-  undo_gen_ = new_gen;
-  undo_capacity_ = new_capacity;
-  undo_used_ = all.size();
-  ++stats_.undo_growths;
-  cluster_->failures().notify("perseas.undo.after_growth");
 }
 
 // --- transaction backends ---------------------------------------------------
@@ -582,32 +218,31 @@ void Perseas::grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id,
 void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) {
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_set_range);
+  TxnContext* ctx = find_context(txn_id);
+  if (ctx == nullptr) throw UsageError("set_range: transaction is not active");
   if (record >= records_.size()) throw UsageError("set_range: record index out of range");
   if (size == 0) throw UsageError("set_range: empty range");
   if (offset + size > records_[record].size || offset + size < offset) {
     throw UsageError("set_range: range exceeds record");
   }
+  // First-writer-wins before anything else observes the declaration: a
+  // losing set_range leaves the transaction, the stats and the logs exactly
+  // as they were, so the caller can abort and retry.
+  try {
+    conflicts_.acquire(txn_id, record, offset, size);
+  } catch (const TxnConflict&) {
+    ++stats_.txns_conflicted;
+    throw;
+  }
   if (observer_) observer_->on_set_range(txn_id, record, offset, size);
   ++stats_.set_ranges;
-  txn_declared_bytes_ += size;
 
   // Merge the declaration into the per-record union.  Only the sub-ranges
   // not already declared ("fresh") need before-images: the covered bytes
   // were logged by an earlier set_range while still pristine (writes must
   // follow their covering declaration), so a second copy would duplicate
   // the first byte-for-byte.
-  std::vector<ByteRange>* ranges = nullptr;
-  for (auto& [rec, rs] : write_set_) {
-    if (rec == record) {
-      ranges = &rs;
-      break;
-    }
-  }
-  if (ranges == nullptr) {
-    write_set_.emplace_back(record, std::vector<ByteRange>{});
-    ranges = &write_set_.back().second;
-  }
-  std::vector<ByteRange> fresh = merge_range(*ranges, offset, size);
+  std::vector<ByteRange> fresh = ctx->declare(record, offset, size);
   if (!config_.coalesce_ranges) {
     // Historical behaviour: one full-width entry per declaration.  The
     // union is still maintained so both modes expose the same write set.
@@ -618,11 +253,11 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   }
 
   const sim::StopWatch local_watch(cluster_->clock());
-  std::vector<LocalUndo> entries;
+  std::vector<UndoImage> entries;
   entries.reserve(fresh.size());
   std::uint64_t fresh_bytes = 0;
   for (const auto& r : fresh) {  // figure 3, step 1
-    LocalUndo u;
+    UndoImage u;
     u.record = record;
     u.offset = r.offset;
     const auto src = record_bytes(record).subspan(r.offset, r.size);
@@ -632,6 +267,7 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   }
   if (fresh_bytes > 0) cluster_->charge_local_memcpy(local_, fresh_bytes);
   stats_.time_local_undo += local_watch.elapsed();
+  ctx->times().local_undo += local_watch.elapsed();
   stats_.bytes_undo_local += fresh_bytes;
   stats_.bytes_dedup_undo += size - fresh_bytes;
   if (observer_ && fresh_bytes > 0) {
@@ -640,33 +276,37 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   }
   // Notified even when fully covered (nothing copied): crash tests rely on
   // every set_range reaching the same protocol points.
-  cluster_->failures().notify(kAfterLocalUndo);
+  cluster_->failures().notify(points::kAfterLocalUndo);
 
   if (config_.eager_remote_undo && !entries.empty()) {
     const sim::StopWatch remote_watch(cluster_->clock());
+    const auto open = open_contexts();
     std::uint64_t pushed = 0;
     for (auto& u : entries) {
       const std::uint64_t needed = undo_entry_bytes(u.before.size());
-      if (undo_used_ + needed > undo_capacity_) grow_undo(needed, txn_id, undo_.size());
-      push_undo_entry(u, txn_id);  // figure 3, step 2
-      undo_used_ += needed;
+      undo_log_.ensure_capacity(mirror_set_, needed, open);
+      undo_log_.push(mirror_set_, u, txn_id, netram::StreamHint::kNewBurst,
+                     observer_.get());  // figure 3, step 2
       pushed += needed;
-      cluster_->failures().notify(kAfterRemoteUndo);
-      undo_.push_back(std::move(u));
+      cluster_->failures().notify(points::kAfterRemoteUndo);
+      ctx->undo().push_back(std::move(u));
+      ctx->set_pushed_entries(ctx->undo().size());
     }
     stats_.time_remote_undo += remote_watch.elapsed();
+    ctx->times().remote_undo += remote_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kRemoteUndo, remote_watch.start(),
-                          remote_watch.elapsed(), pushed * mirrors_.size(), 0);
+                          remote_watch.elapsed(), pushed * mirror_set_.size(), 0);
     }
   } else {
-    for (auto& u : entries) undo_.push_back(std::move(u));
+    for (auto& u : entries) ctx->undo().push_back(std::move(u));
   }
 }
 
 void Perseas::txn_commit(std::uint64_t txn_id) {
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_commit);
-  if (!in_txn_) throw UsageError("commit: no active transaction");
+  TxnContext* ctx = find_context(txn_id);
+  if (ctx == nullptr) throw UsageError("commit: no active transaction");
 
   if (observer_) {
     // Nothing has been propagated yet: a CoverageError here leaves the
@@ -678,11 +318,13 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
 
   if (!config_.eager_remote_undo) {
     // Lazy mode: make the undo images durable on the mirrors now, before
-    // any propagation can touch the remote database.
-    undo_used_ = 0;
+    // any propagation can touch the remote database.  Rewinding the shared
+    // tail is safe here because lazy pushes happen only inside this
+    // synchronous commit — no other open transaction has live entries.
+    undo_log_.reset_tail();
     const sim::StopWatch remote_watch(cluster_->clock());
     std::uint64_t total = 0;
-    for (const auto& u : undo_) {
+    for (const auto& u : ctx->undo()) {
       const std::uint64_t needed = undo_entry_bytes(u.before.size());
       if (needed > std::numeric_limits<std::uint64_t>::max() - total) {
         throw OutOfRemoteMemory("commit: transaction's undo images overflow a 64-bit log");
@@ -694,384 +336,120 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     // protocol points and observer cross-checks are identical whether or
     // not the log had to grow.  The entries continue one SCI stream: only
     // the first pays the burst launch latency.
-    if (total > undo_capacity_) grow_undo(total, txn_id, 0);
+    undo_log_.ensure_capacity(mirror_set_, total, open_contexts());
     bool first = true;
-    for (const auto& u : undo_) {
-      push_undo_entry(u, txn_id,
-                      first ? netram::StreamHint::kNewBurst : netram::StreamHint::kContinuation);
+    for (const auto& u : ctx->undo()) {
+      undo_log_.push(mirror_set_, u, txn_id,
+                     first ? netram::StreamHint::kNewBurst : netram::StreamHint::kContinuation,
+                     observer_.get());
       first = false;
-      undo_used_ += undo_entry_bytes(u.before.size());
-      cluster_->failures().notify(kAfterRemoteUndo);
+      cluster_->failures().notify(points::kAfterRemoteUndo);
     }
     stats_.time_remote_undo += remote_watch.elapsed();
+    ctx->times().remote_undo += remote_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kRemoteUndo, remote_watch.start(),
-                          remote_watch.elapsed(), total * mirrors_.size(), 0);
+                          remote_watch.elapsed(), total * mirror_set_.size(), 0);
     }
   }
 
-  if (undo_.empty()) {  // read-only transaction: nothing to propagate
-    write_set_.clear();
-    txn_declared_bytes_ = 0;
-    in_txn_ = false;
+  if (ctx->undo().empty()) {  // read-only transaction: nothing to propagate
+    close_context(txn_id);
     ++stats_.txns_committed;
     if (observer_) observer_->on_commit_complete(txn_id);
-    cluster_->failures().notify(kCommitDone);
+    cluster_->failures().notify(points::kCommitDone);
     return;
   }
 
-  for (std::uint32_t mi = 0; mi < mirrors_.size(); ++mi) {
-    Mirror& m = mirrors_[mi];
+  for (std::uint32_t mi = 0; mi < mirror_set_.size(); ++mi) {
+    MirrorSet::Mirror& m = mirror_set_[mi];
     // Announce the propagation: from here until the clearing store, the
     // mirror's database image may be partially updated and recovery must
     // roll it back with the remote undo log.  The announcement carries the
-    // exact undo byte count, so recovery can prove it parsed every entry.
-    const std::uint64_t flag[2] = {txn_id, undo_used_};
+    // shared log's exact tail, so recovery can prove it parsed every entry
+    // — this transaction's and any open neighbour's interleaved with them.
     const sim::StopWatch set_watch(cluster_->clock());
-    client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(flag),
-                             netram::StreamHint::kNewBurst, false);
+    mirror_set_.store_flag(m, txn_id, undo_log_.tail(), netram::StreamHint::kNewBurst);
     stats_.time_commit_flags += set_watch.elapsed();
+    ctx->times().commit_flags += set_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kFlagSet, set_watch.start(), set_watch.elapsed(),
-                          sizeof flag, mi);
+                          kFlagBytes, mi);
     }
-    cluster_->failures().notify(kAfterFlagSet);
+    cluster_->failures().notify(points::kAfterFlagSet);
 
     const sim::StopWatch propagate_watch(cluster_->clock());
     std::uint64_t mirror_bytes = 0;
+    const auto after_copy = [this] { cluster_->failures().notify(points::kAfterRangeCopy); };
     if (config_.coalesce_ranges) {
       // figure 3, step 3 — each record's merged dirty union exactly once,
       // gathered into shared SCI bursts (adjacent ranges share packets,
       // later bursts skip the launch latency).
-      for (const auto& [rec, ranges] : write_set_) {
-        const auto bytes = record_bytes(rec);
-        std::vector<netram::RemoteMemoryClient::GatherSlice> slices;
-        slices.reserve(ranges.size());
-        for (const auto& r : ranges) {
-          slices.push_back({r.offset, bytes.subspan(r.offset, r.size)});
-          mirror_bytes += r.size;
-        }
-        client_.sci_memcpy_writev(
-            m.db[rec], slices, netram::StreamHint::kContinuation, config_.optimized_sci_memcpy,
-            [this](std::size_t) { cluster_->failures().notify(kAfterRangeCopy); });
-        ++stats_.propagate_writes;
-      }
-      stats_.bytes_propagated += mirror_bytes;
-      stats_.bytes_dedup_propagated += txn_declared_bytes_ - mirror_bytes;
+      mirror_bytes = mirror_set_.propagate_ranges(m, ctx->write_set(), records_, after_copy);
+      stats_.bytes_dedup_propagated += ctx->declared_bytes() - mirror_bytes;
     } else {
-      for (const auto& u : undo_) {  // figure 3, step 3
-        const auto data = record_bytes(u.record).subspan(u.offset, u.before.size());
-        client_.sci_memcpy_write(m.db[u.record], u.offset, data,
-                                 netram::StreamHint::kContinuation,
-                                 config_.optimized_sci_memcpy);
-        stats_.bytes_propagated += data.size();
-        ++stats_.propagate_writes;
-        mirror_bytes += data.size();
-        cluster_->failures().notify(kAfterRangeCopy);
-      }
+      mirror_bytes = mirror_set_.propagate_entries(m, ctx->undo(), records_, after_copy);
     }
     stats_.time_propagation += propagate_watch.elapsed();
+    ctx->times().propagation += propagate_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kPropagate, propagate_watch.start(),
                           propagate_watch.elapsed(), mirror_bytes, mi);
     }
 
-    cluster_->failures().notify(kBeforeFlagClear);
+    cluster_->failures().notify(points::kBeforeFlagClear);
     // THE commit point (for this mirror): the store clearing the flag.
     const sim::StopWatch clear_watch(cluster_->clock());
-    const std::uint64_t clear[2] = {0, 0};
     if (!mc_skip_flag_clear_) {
-      client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
-                               netram::StreamHint::kContinuation, false);
+      mirror_set_.store_flag(m, 0, 0, netram::StreamHint::kContinuation);
     }
     stats_.time_commit_flags += clear_watch.elapsed();
+    ctx->times().commit_flags += clear_watch.elapsed();
     if (observer_) {
       observer_->on_phase(txn_id, TxnPhase::kFlagClear, clear_watch.start(),
-                          clear_watch.elapsed(), sizeof clear, mi);
+                          clear_watch.elapsed(), kFlagBytes, mi);
     }
-    cluster_->failures().notify(kAfterFlagClear);
+    cluster_->failures().notify(points::kAfterFlagClear);
   }
 
-  undo_.clear();
-  write_set_.clear();
-  txn_declared_bytes_ = 0;
-  in_txn_ = false;
+  close_context(txn_id);
   ++stats_.txns_committed;
   if (observer_) observer_->on_commit_complete(txn_id);
-  cluster_->failures().notify(kCommitDone);
+  cluster_->failures().notify(points::kCommitDone);
 }
 
-void Perseas::txn_abort() {
+void Perseas::txn_abort(std::uint64_t txn_id) {
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_abort);
-  if (!in_txn_) throw UsageError("abort: no active transaction");
+  TxnContext* ctx = find_context(txn_id);
+  if (ctx == nullptr) throw UsageError("abort: no active transaction");
   // Purely local: the remote database was never touched (propagation only
   // happens inside commit), and stale remote undo entries are harmless
   // because propagating_txn is zero.  Newest-first restores legacy
   // (coalesce_ranges=false) overlapping entries correctly; coalesced
   // entries are disjoint, for which any order works.
   std::uint64_t bytes = 0;
-  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+  const auto& undo = ctx->undo();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
     auto dst = record_bytes(it->record).subspan(it->offset, it->before.size());
     std::memcpy(dst.data(), it->before.data(), it->before.size());
     bytes += it->before.size();
   }
   cluster_->charge_local_memcpy(local_, bytes);
-  undo_.clear();
-  write_set_.clear();
-  txn_declared_bytes_ = 0;
-  in_txn_ = false;
+  close_context(txn_id);
   ++stats_.txns_aborted;
   if (observer_) {
     // The declared before-images are restored; every record must now be
     // byte-identical to its begin snapshot or an uncovered write leaked
     // through the rollback.
     const auto views = observer_views();
-    observer_->on_abort(txn_counter_, views);
+    observer_->on_abort(txn_id, views);
   }
-  cluster_->failures().notify(kAbortDone);
+  cluster_->failures().notify(points::kAbortDone);
 }
 
-// --- recovery ----------------------------------------------------------------
-
-void Perseas::rebuild_mirror(std::uint32_t index) {
-  if (index >= mirrors_.size()) throw UsageError("rebuild_mirror: index out of range");
-  Mirror& m = mirrors_[index];
-
-  // If the server still exports an older incarnation of the database (it
-  // stayed up while we recovered elsewhere, or kept segments from before
-  // its own crash), drop those exports first.
-  if (auto meta = client_.sci_connect_segment(*m.server, meta_key(config_.name))) {
-    MetaHeader hdr;
-    std::vector<std::byte> buf(sizeof hdr);
-    client_.sci_memcpy_read(*meta, 0, buf);
-    std::memcpy(&hdr, buf.data(), sizeof hdr);
-    if (hdr.valid()) {
-      if (auto undo = client_.sci_connect_segment(*m.server, undo_key(hdr.undo_gen, config_.name))) {
-        client_.sci_free_segment(*m.server, *undo);
-      }
-      for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
-        if (auto db = client_.sci_connect_segment(*m.server, db_key(i, config_.name))) {
-          client_.sci_free_segment(*m.server, *db);
-        }
-      }
-    }
-    client_.sci_free_segment(*m.server, *meta);
-  }
-
-  m.db.clear();
-  create_mirror_segments(m);
-  cluster_->failures().notify(kRebuildSegments);
-  for (std::uint32_t i = 0; i < records_.size(); ++i) {
-    try {
-      m.db.push_back(client_.sci_get_new_segment(*m.server, records_[i].size, db_key(i, config_.name)));
-    } catch (const std::bad_alloc&) {
-      throw OutOfRemoteMemory("rebuild_mirror: mirror node " +
-                              std::to_string(m.server->host()) + " is out of memory");
-    }
-    push_record(m, i);
-  }
-  push_meta(m);
-  ++stats_.mirror_rebuilds;
-  cluster_->failures().notify(kRebuildDone);
-}
-
-Perseas Perseas::recover(netram::Cluster& cluster, netram::NodeId new_local,
-                         const std::vector<netram::RemoteMemoryServer*>& servers,
-                         PerseasConfig config) {
-  Perseas p{AttachTag{}, cluster, new_local, config};
-
-  // Find any reachable mirror that holds the database (paper section 3:
-  // "the database may be reconstructed quickly in any workstation").
-  netram::RemoteMemoryServer* primary = nullptr;
-  netram::RemoteSegment meta_seg;
-  for (auto* srv : servers) {
-    if (srv == nullptr || srv->host() == new_local) continue;
-    if (cluster.node(srv->host()).crashed()) continue;
-    if (auto seg = p.client_.sci_connect_segment(*srv, meta_key(config.name))) {
-      primary = srv;
-      meta_seg = *seg;
-      break;
-    }
-  }
-  if (primary == nullptr) {
-    throw RecoveryError("recover: no reachable mirror exports a PERSEAS database");
-  }
-
-  MetaHeader hdr;
-  {
-    std::vector<std::byte> buf(sizeof hdr);
-    p.client_.sci_memcpy_read(meta_seg, 0, buf);
-    std::memcpy(&hdr, buf.data(), sizeof hdr);
-  }
-  if (!hdr.valid()) throw RecoveryError("recover: metadata header is corrupt");
-  // The directory capacity is a property of the stored database, not of the
-  // recovery invocation: adopt it so later pushes fit the existing segment.
-  p.config_.max_records =
-      static_cast<std::uint32_t>((meta_seg.size - sizeof(MetaHeader)) / sizeof(std::uint64_t));
-  if (hdr.record_count > p.config_.max_records) {
-    throw RecoveryError("recover: metadata record count exceeds directory capacity");
-  }
-
-  std::vector<std::uint64_t> sizes(hdr.record_count);
-  if (hdr.record_count > 0) {
-    std::vector<std::byte> buf(hdr.record_count * sizeof(std::uint64_t));
-    p.client_.sci_memcpy_read(meta_seg, sizeof(MetaHeader), buf);
-    std::memcpy(sizes.data(), buf.data(), buf.size());
-  }
-  cluster.failures().notify(kRecoverAfterMeta);
-
-  Mirror m;
-  m.server = primary;
-  m.meta = meta_seg;
-  if (auto undo = p.client_.sci_connect_segment(*primary, undo_key(hdr.undo_gen, config.name))) {
-    m.undo = *undo;
-  } else {
-    throw RecoveryError("recover: undo segment generation " + std::to_string(hdr.undo_gen) +
-                        " is missing");
-  }
-  for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
-    auto db = p.client_.sci_connect_segment(*primary, db_key(i, config.name));
-    if (!db) throw RecoveryError("recover: database record " + std::to_string(i) + " is missing");
-    if (db->size < sizes[i]) throw RecoveryError("recover: record segment smaller than metadata");
-    m.db.push_back(*db);
-  }
-  cluster.failures().notify(kRecoverConnected);
-
-  // Scan the remote undo log: find the highest transaction id ever logged
-  // (to keep ids monotonic across incarnations) and, if a commit was in
-  // flight, collect the before-images to roll the mirror's database back.
-  std::uint64_t max_txn = hdr.propagating_txn;
-  {
-    // When a commit was in flight, the metadata names the exact byte length
-    // of the doomed transaction's undo entries: every byte of that prefix
-    // must parse and checksum cleanly, or the mirror cannot be rolled back
-    // and recovery refuses rather than return a partially updated database.
-    const std::uint64_t must_parse =
-        hdr.propagating_txn != 0 ? hdr.propagating_undo_bytes : 0;
-    std::vector<std::byte> undo_bytes(m.undo.size);
-    p.client_.sci_memcpy_read(m.undo, 0, undo_bytes);
-    if (must_parse > undo_bytes.size()) {
-      throw RecoveryError("recover: metadata claims more undo bytes than the segment holds");
-    }
-    struct Rollback {
-      std::uint32_t record;
-      std::uint64_t offset;
-      std::uint64_t body_pos;
-      std::uint64_t size;
-    };
-    std::vector<Rollback> rollbacks;
-    std::uint64_t pos = 0;
-    while (pos + sizeof(UndoEntryHeader) <= undo_bytes.size()) {
-      const bool required = pos < must_parse;
-      UndoEntryHeader e;
-      std::memcpy(&e, undo_bytes.data() + pos, sizeof e);
-      const bool shape_ok = e.magic == UndoEntryHeader::kMagic &&
-                            e.record < hdr.record_count && e.size <= sizes[e.record] &&
-                            e.offset + e.size <= sizes[e.record] &&
-                            pos + undo_entry_bytes(e.size) <= undo_bytes.size();
-      if (!shape_ok) {
-        if (required) {
-          throw RecoveryError(
-              "recover: remote undo log is corrupt inside the in-flight "
-              "transaction's entries; the mirror cannot be rolled back safely");
-        }
-        break;  // clean end of the log (stale bytes / zeroes)
-      }
-      const std::span<const std::byte> body{undo_bytes.data() + pos + sizeof e, e.size};
-      if (e.checksum != undo_entry_checksum(e, body) ||
-          (required && e.txn_id != hdr.propagating_txn)) {
-        if (required) {
-          throw RecoveryError(
-              "recover: remote undo entry failed validation while a commit "
-              "was in flight; the mirror cannot be rolled back safely");
-        }
-        break;
-      }
-      max_txn = std::max(max_txn, e.txn_id);
-      if (required) {
-        rollbacks.push_back(Rollback{e.record, e.offset, pos + sizeof e, e.size});
-      }
-      pos += undo_entry_bytes(e.size);
-    }
-    if (pos < must_parse) {
-      throw RecoveryError("recover: undo log ends before the announced length");
-    }
-    cluster.failures().notify(kRecoverAfterUndoScan);
-    // Discard the illegal (partially propagated) update on the mirror.
-    // Coalesced logs (the default format) hold disjoint before-images, so
-    // rollback is order-independent: apply them forward, gathered per
-    // record into shared SCI bursts.  Legacy-format logs
-    // (coalesce_ranges=false) may hold overlapping entries — a later
-    // range's before-image contains the earlier range's writes, so forward
-    // application would resurrect them — and must be applied newest-first,
-    // one store each.
-    std::vector<std::size_t> order(rollbacks.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return std::tie(rollbacks[a].record, rollbacks[a].offset) <
-             std::tie(rollbacks[b].record, rollbacks[b].offset);
-    });
-    bool overlapping = false;
-    for (std::size_t i = 1; i < order.size() && !overlapping; ++i) {
-      const Rollback& prev = rollbacks[order[i - 1]];
-      const Rollback& next = rollbacks[order[i]];
-      overlapping = prev.record == next.record && prev.offset + prev.size > next.offset;
-    }
-    if (overlapping) {
-      for (auto it = rollbacks.rbegin(); it != rollbacks.rend(); ++it) {
-        const std::span<const std::byte> image{undo_bytes.data() + it->body_pos, it->size};
-        p.client_.sci_memcpy_write(m.db[it->record], it->offset, image,
-                                   netram::StreamHint::kNewBurst, config.optimized_sci_memcpy);
-      }
-    } else {
-      std::size_t i = 0;
-      while (i < order.size()) {
-        const std::uint32_t rec = rollbacks[order[i]].record;
-        std::vector<netram::RemoteMemoryClient::GatherSlice> slices;
-        for (; i < order.size() && rollbacks[order[i]].record == rec; ++i) {
-          const Rollback& rb = rollbacks[order[i]];
-          slices.push_back({rb.offset, {undo_bytes.data() + rb.body_pos, rb.size}});
-        }
-        p.client_.sci_memcpy_writev(m.db[rec], slices, netram::StreamHint::kNewBurst,
-                                    config.optimized_sci_memcpy);
-      }
-    }
-    cluster.failures().notify(kRecoverAfterRollback);
-    if (hdr.propagating_txn != 0) {
-      const std::uint64_t clear[2] = {0, 0};
-      p.client_.sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(clear),
-                                 netram::StreamHint::kNewBurst, false);
-    }
-    cluster.failures().notify(kRecoverAfterFlagClear);
-  }
-
-  p.undo_gen_ = hdr.undo_gen;
-  p.undo_capacity_ = m.undo.size;
-  p.txn_counter_ = max_txn;
-  p.mirrors_.push_back(std::move(m));
-
-  // Pull every record into local memory (one remote-to-local copy each).
-  for (std::uint32_t i = 0; i < hdr.record_count; ++i) {
-    const auto local_offset = cluster.node(new_local).allocator().allocate(sizes[i]);
-    if (!local_offset) throw RecoveryError("recover: local arena exhausted");
-    p.records_.push_back(LocalRecord{*local_offset, sizes[i], true});
-    auto span = cluster.node(new_local).mem(*local_offset, sizes[i]);
-    p.client_.sci_memcpy_read(p.mirrors_[0].db[i], 0, span);
-  }
-  cluster.failures().notify(kRecoverAfterPull);
-
-  // Re-synchronize every other reachable mirror from the recovered image so
-  // the configured replication degree is restored.
-  for (auto* srv : servers) {
-    if (srv == nullptr || srv == primary || srv->host() == new_local) continue;
-    if (cluster.node(srv->host()).crashed()) continue;
-    Mirror extra;
-    extra.server = srv;
-    p.mirrors_.push_back(std::move(extra));
-    p.rebuild_mirror(static_cast<std::uint32_t>(p.mirrors_.size() - 1));
-  }
-  cluster.failures().notify(kRecoverDone);
-  return p;
-}
+// The Transaction/RecordHandle forwarders live in transaction.cpp;
+// rebuild_mirror, attach_recover and recover in perseas_recover.cpp; the
+// observability wiring (maybe_install_observers, export_metrics) in
+// perseas_observe.cpp.
 
 }  // namespace perseas::core

@@ -19,6 +19,15 @@
 // database back with the remote undo log if a commit was in flight, and
 // rebuilds the database on any workstation of the network.
 //
+// The Perseas class is the orchestration layer: it owns the protocol's
+// *sequencing* (charge order, observer callbacks, failure-injection
+// points) and delegates the state to four components —
+//
+//   core/txn_context.hpp    per-transaction state (several may be open),
+//   core/undo_log.hpp       the shared tagged remote undo log,
+//   core/mirror_set.hpp     remote segment lifecycle and data pushes,
+//   core/conflict_table.hpp first-writer-wins range claims (TxnConflict).
+//
 // Public API mapping to the paper's interface:
 //   PERSEAS_init               -> Perseas constructor
 //   PERSEAS_malloc             -> Perseas::persistent_malloc
@@ -35,10 +44,15 @@
 #include <string>
 #include <vector>
 
+#include "core/conflict_table.hpp"
 #include "core/errors.hpp"
 #include "core/layout.hpp"
+#include "core/mirror_set.hpp"
+#include "core/perseas_config.hpp"
 #include "core/range_set.hpp"
+#include "core/txn_context.hpp"
 #include "core/txn_hooks.hpp"
+#include "core/undo_log.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
 #include "obs/metrics.hpp"
@@ -52,92 +66,6 @@ namespace perseas::core {
 [[nodiscard]] inline bool is_aligned_for(const void* p, std::size_t align) noexcept {
   return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
 }
-
-/// The undo-log capacity after doubling `current` until it holds
-/// `required` bytes.  Throws OutOfRemoteMemory instead of wrapping when the
-/// doubling would overflow (a request no mirror could ever satisfy).
-[[nodiscard]] std::uint64_t next_undo_capacity(std::uint64_t current, std::uint64_t required);
-
-struct PerseasConfig {
-  /// Name of this database: namespaces its segment keys on the mirrors, so
-  /// several PERSEAS databases can share one remote-memory server.  The
-  /// same name must be passed to recover().
-  std::string name = "p";
-  /// Initial capacity of the (local and remote) undo log; grows by doubling
-  /// when a transaction logs more than this.
-  std::uint64_t undo_capacity = 1 << 20;
-  /// Capacity of the metadata directory (max persistent_malloc calls).
-  std::uint32_t max_records = 256;
-  /// Paper behaviour (true): push each undo image to the mirrors inside
-  /// set_range.  false = lazy: push all undo images at the start of commit
-  /// (ablation; shrinks the recovery window guarantees to the same point
-  /// but changes where the latency is paid).
-  bool eager_remote_undo = true;
-  /// Use the aligned-64-byte sci_memcpy optimization (paper section 4).
-  bool optimized_sci_memcpy = true;
-  /// Coalesce the write set (default on): set_range calls that overlap or
-  /// duplicate earlier declarations log a before-image only for the bytes
-  /// not already covered, and commit propagates each record's merged,
-  /// sorted dirty ranges exactly once, gathered into shared SCI bursts.
-  /// Keeps figure 3's three-copies promise per *byte* instead of per
-  /// declaration.  false restores the historical one-entry-per-set_range
-  /// behaviour (the fig6 ablation baseline); recovery handles both log
-  /// formats.  The environment variable PERSEAS_COALESCE=0/1 overrides the
-  /// config (CI runs both legs of the bench-obs job with it).
-  bool coalesce_ranges = true;
-  /// Install check::TxnValidator as this instance's transaction observer:
-  /// every record is snapshotted at begin_transaction and commit verifies
-  /// that all modified bytes were covered by set_range (raising
-  /// check::CoverageError otherwise), that abort restored the snapshot,
-  /// and that remote undo entries byte-match the local log.  Debug/test
-  /// facility: costs real memory and CPU per transaction but charges no
-  /// simulated time.  Off by default; the environment variable
-  /// PERSEAS_VALIDATE_WRITES=1 force-enables it (CI sanitizer runs).
-  bool validate_writes = false;
-  /// Observability (obs::TxnTracer) — both are optional, not owned, and
-  /// must outlive the instance.  When `trace` is set, every transaction
-  /// emits Perfetto spans on `trace_track` (0 = the instance registers its
-  /// own track named after the database); when `metrics` is set, txn
-  /// latency and per-phase histograms are observed live.  When *neither*
-  /// is set, the environment variables PERSEAS_TRACE=<path> and
-  /// PERSEAS_METRICS=<path> make the instance own a recorder/registry and
-  /// dump them at destruction.  Composes with validate_writes through
-  /// core::TxnObserverMux (validator keeps its veto).  Like validation,
-  /// observability charges no simulated time or traffic.
-  obs::TraceRecorder* trace = nullptr;
-  obs::MetricsRegistry* metrics = nullptr;
-  std::uint32_t trace_track = 0;
-};
-
-struct PerseasStats {
-  std::uint64_t txns_committed = 0;
-  std::uint64_t txns_aborted = 0;
-  std::uint64_t set_ranges = 0;
-  std::uint64_t bytes_undo_local = 0;
-  std::uint64_t bytes_undo_remote = 0;  // summed over mirrors
-  std::uint64_t bytes_propagated = 0;   // summed over mirrors
-  std::uint64_t undo_growths = 0;
-  std::uint64_t mirror_rebuilds = 0;
-
-  // Write-set coalescing (PerseasConfig::coalesce_ranges).  The byte
-  // counters above always equal the traffic actually charged to the
-  // cluster; these record what coalescing saved relative to the historical
-  // one-entry-per-set_range behaviour, plus how the commit traffic was
-  // bursted.
-  std::uint64_t ranges_coalesced = 0;       ///< set_range calls overlapping the declared union
-  std::uint64_t bytes_dedup_undo = 0;       ///< before-image bytes skipped (already covered)
-  std::uint64_t bytes_dedup_propagated = 0; ///< propagation bytes saved (summed over mirrors)
-  std::uint64_t undo_writes = 0;            ///< SCI store ops pushing undo entries (all mirrors)
-  std::uint64_t propagate_writes = 0;       ///< SCI store ops issued by propagation (all mirrors)
-
-  // Simulated time spent per protocol phase (figure 3's three copies plus
-  // the commit-point stores): lets benches print where a transaction's
-  // microseconds go.
-  sim::SimDuration time_local_undo = 0;      // step 1: before-image memcpy
-  sim::SimDuration time_remote_undo = 0;     // step 2: undo push to mirrors
-  sim::SimDuration time_propagation = 0;     // step 3: db ranges to mirrors
-  sim::SimDuration time_commit_flags = 0;    // propagating set/clear stores
-};
 
 class Perseas;
 
@@ -192,8 +120,10 @@ class RecordHandle {
 };
 
 /// An open transaction.  Move-only RAII: destroying an active transaction
-/// aborts it.  At most one transaction is open per Perseas instance (the
-/// paper's library serves one sequential application).
+/// aborts it.  Several transactions may be open concurrently on one
+/// Perseas instance as long as their write sets are disjoint — set_range
+/// raises TxnConflict (first-writer-wins) when two open transactions
+/// declare overlapping ranges; the loser aborts and retries.
 class Transaction {
  public:
   Transaction(Transaction&& other) noexcept;
@@ -204,6 +134,8 @@ class Transaction {
 
   /// Declares [offset, offset+size) of `record` as about to be updated;
   /// logs its before-image locally and (eager mode) on every mirror.
+  /// Throws TxnConflict — with nothing logged or pushed — when the range
+  /// overlaps another open transaction's declarations.
   void set_range(const RecordHandle& record, std::uint64_t offset, std::uint64_t size);
   void set_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size);
 
@@ -228,8 +160,21 @@ class Perseas {
   Perseas(netram::Cluster& cluster, netram::NodeId local,
           const std::vector<netram::RemoteMemoryServer*>& mirrors, PerseasConfig config = {});
 
-  Perseas(Perseas&&) noexcept = default;
-  Perseas& operator=(Perseas&&) noexcept = default;
+  /// Tag for the recovery constructor: builds the instance directly in
+  /// recovered state (what the static recover() returns).  Lets callers
+  /// construct in place — std::optional<Perseas>::emplace, make_unique —
+  /// now that the instance is pinned (see the deleted moves below).
+  struct RecoverTag {};
+  Perseas(RecoverTag, netram::Cluster& cluster, netram::NodeId new_local,
+          const std::vector<netram::RemoteMemoryServer*>& servers, PerseasConfig config = {});
+
+  /// Not movable: RecordHandle and Transaction hold raw Perseas* back
+  /// pointers, so a move would leave every outstanding handle dangling at
+  /// the old address (and the components hold sibling references).  The
+  /// instance is pinned; hold it in an optional or unique_ptr to relocate
+  /// ownership.
+  Perseas(Perseas&&) = delete;
+  Perseas& operator=(Perseas&&) = delete;
   Perseas(const Perseas&) = delete;
   Perseas& operator=(const Perseas&) = delete;
   /// Flushes environment-variable-owned observability (PERSEAS_TRACE /
@@ -246,7 +191,9 @@ class Perseas {
   /// first transaction.
   void init_remote_db();
 
-  /// PERSEAS_begin_transaction.
+  /// PERSEAS_begin_transaction.  May be called while other transactions
+  /// are open: each call returns an independent Transaction whose state
+  /// lives in its own TxnContext.
   Transaction begin_transaction();
 
   [[nodiscard]] std::uint32_t record_count() const noexcept {
@@ -255,11 +202,13 @@ class Perseas {
   [[nodiscard]] RecordHandle record(std::uint32_t index);
   [[nodiscard]] netram::NodeId local_node() const noexcept { return local_; }
   [[nodiscard]] std::uint32_t mirror_count() const noexcept {
-    return static_cast<std::uint32_t>(mirrors_.size());
+    return static_cast<std::uint32_t>(mirror_set_.size());
   }
   [[nodiscard]] const PerseasStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const PerseasConfig& config() const noexcept { return config_; }
-  [[nodiscard]] bool in_transaction() const noexcept { return in_txn_; }
+  [[nodiscard]] bool in_transaction() const noexcept { return !open_.empty(); }
+  /// Number of currently open transactions.
+  [[nodiscard]] std::size_t open_transactions() const noexcept { return open_.size(); }
 
   /// True when any transaction observer (validator and/or tracer) is
   /// installed; see PerseasConfig::validate_writes / trace / metrics.
@@ -290,7 +239,8 @@ class Perseas {
   /// detaches; the database remains recoverable by name.  With
   /// `decommission` it instead frees every remote segment — the database
   /// ceases to exist.  The instance is unusable afterwards except for
-  /// destruction.
+  /// destruction: every library entry point (including a second shutdown)
+  /// raises UsageError.
   void shutdown(bool decommission = false);
 
   [[nodiscard]] bool is_shut_down() const noexcept { return shut_down_; }
@@ -299,7 +249,8 @@ class Perseas {
   /// network) from the first reachable mirror in `servers`.  Rolls the
   /// mirror's database back if a commit was propagating when the primary
   /// died, then pulls every record into local memory and re-synchronizes
-  /// any additional reachable mirrors.
+  /// any additional reachable mirrors.  Equivalent to constructing with
+  /// RecoverTag (use the tag to emplace into an optional or unique_ptr).
   static Perseas recover(netram::Cluster& cluster, netram::NodeId new_local,
                          const std::vector<netram::RemoteMemoryServer*>& servers,
                          PerseasConfig config = {});
@@ -308,28 +259,12 @@ class Perseas {
   friend class Transaction;
   friend class RecordHandle;
 
-  struct LocalRecord {
-    std::uint64_t local_offset = 0;
-    std::uint64_t size = 0;
-    bool mirrored = false;
-  };
-
-  struct Mirror {
-    netram::RemoteMemoryServer* server = nullptr;
-    netram::RemoteSegment meta;
-    netram::RemoteSegment undo;
-    std::vector<netram::RemoteSegment> db;
-  };
-
-  struct LocalUndo {
-    std::uint32_t record = 0;
-    std::uint64_t offset = 0;
-    std::vector<std::byte> before;
-  };
-
-  /// Tag for the private recovery constructor.
+  /// Tag for the private bare-attach constructor (no segments touched).
   struct AttachTag {};
   Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, PerseasConfig config);
+  /// The recovery body: connect to the first reachable mirror exporting
+  /// the database, roll back, pull records, re-sync extra mirrors.
+  void attach_recover(const std::vector<netram::RemoteMemoryServer*>& servers);
 
   [[nodiscard]] std::span<std::byte> record_bytes(std::uint32_t index);
   /// Builds the record views handed to the observer (observer installed
@@ -342,53 +277,43 @@ class Perseas {
   void maybe_install_observers();
   /// Dumps environment-variable-owned trace/metrics (called by ~Perseas).
   void flush_owned_observability() noexcept;
-  void create_mirror_segments(Mirror& m);
-  void push_meta(Mirror& m);
-  void push_record(Mirror& m, std::uint32_t index);
 
-  /// Serializes one undo entry (header + padded image) for txn `txn_id`.
-  [[nodiscard]] std::vector<std::byte> serialize_undo(const LocalUndo& u,
-                                                      std::uint64_t txn_id) const;
-  void push_undo_entry(const LocalUndo& u, std::uint64_t txn_id,
-                       netram::StreamHint hint = netram::StreamHint::kNewBurst);
-  /// Moves the undo log to a doubled segment, re-logging only the first
-  /// `preserve_entries` entries of undo_ (the ones already pushed).
-  void grow_undo(std::uint64_t needed_bytes, std::uint64_t txn_id,
-                 std::size_t preserve_entries);
+  /// The open transaction with this id, or nullptr.
+  [[nodiscard]] TxnContext* find_context(std::uint64_t txn_id) noexcept;
+  /// Views of every open context in begin order (undo-log growth input).
+  [[nodiscard]] std::vector<const TxnContext*> open_contexts() const;
+  /// Drops `txn_id`'s context and conflict-table claims (commit/abort).
+  void close_context(std::uint64_t txn_id) noexcept;
 
   // Transaction backends.
   void txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                      std::uint64_t size);
   void txn_commit(std::uint64_t txn_id);
-  void txn_abort();
+  void txn_abort(std::uint64_t txn_id);
 
   netram::Cluster* cluster_ = nullptr;
   netram::NodeId local_ = 0;
   PerseasConfig config_;
   netram::RemoteMemoryClient client_;
-  std::vector<Mirror> mirrors_;
-  std::vector<LocalRecord> records_;
+  PerseasStats stats_;
 
-  bool in_txn_ = false;
+  // The components (construction order matters: they hold references to
+  // client_, config_ and stats_ above).
+  MirrorSet mirror_set_;
+  UndoLog undo_log_;
+  ConflictTable conflicts_;
+
+  std::vector<LocalRecord> records_;
+  /// Open transactions in begin order; each owns its TxnContext at a
+  /// stable address (Transaction handles name them by id).
+  std::vector<std::unique_ptr<TxnContext>> open_;
+
   bool shut_down_ = false;
   /// PERSEAS_MC_SEED_BUG=skip-flag-clear (model-checker self-test only):
   /// deliberately skip the commit-point store so perseas-mc can prove it
   /// catches real protocol violations.
   bool mc_skip_flag_clear_ = false;
   std::uint64_t txn_counter_ = 0;
-  std::uint64_t undo_gen_ = 0;
-  std::uint64_t undo_capacity_ = 0;
-  std::uint64_t undo_used_ = 0;
-  std::vector<LocalUndo> undo_;
-
-  /// The open transaction's write set: per touched record (first-touch
-  /// order), the merged, sorted union of its declared set_range intervals.
-  /// Commit propagates these — not the raw undo entries — when
-  /// config_.coalesce_ranges is on.
-  std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>> write_set_;
-  /// Raw (pre-merge) declared bytes of the open transaction; the difference
-  /// from the union is what coalescing saves per mirror at propagation.
-  std::uint64_t txn_declared_bytes_ = 0;
 
   /// Installed by maybe_install_observers; hooks fire only when non-null.
   std::unique_ptr<TxnObserver> observer_;
@@ -400,8 +325,6 @@ class Perseas {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   std::string owned_trace_path_;
   std::string owned_metrics_path_;
-
-  PerseasStats stats_;
 };
 
 }  // namespace perseas::core

@@ -1,0 +1,109 @@
+// Configuration and statistics of one PERSEAS database instance.
+//
+// Split out of core/perseas.hpp so the collaborating components
+// (core/undo_log.hpp, core/mirror_set.hpp) can consume them without
+// pulling in the full orchestration class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sim_time.hpp"
+
+namespace perseas::obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace perseas::obs
+
+namespace perseas::core {
+
+struct PerseasConfig {
+  /// Name of this database: namespaces its segment keys on the mirrors, so
+  /// several PERSEAS databases can share one remote-memory server.  The
+  /// same name must be passed to recover().
+  std::string name = "p";
+  /// Initial capacity of the (local and remote) undo log; grows by doubling
+  /// when the open transactions log more than this.
+  std::uint64_t undo_capacity = 1 << 20;
+  /// Capacity of the metadata directory (max persistent_malloc calls).
+  std::uint32_t max_records = 256;
+  /// Paper behaviour (true): push each undo image to the mirrors inside
+  /// set_range.  false = lazy: push all undo images at the start of commit
+  /// (ablation; shrinks the recovery window guarantees to the same point
+  /// but changes where the latency is paid).
+  bool eager_remote_undo = true;
+  /// Use the aligned-64-byte sci_memcpy optimization (paper section 4).
+  bool optimized_sci_memcpy = true;
+  /// Coalesce the write set (default on): set_range calls that overlap or
+  /// duplicate earlier declarations log a before-image only for the bytes
+  /// not already covered, and commit propagates each record's merged,
+  /// sorted dirty ranges exactly once, gathered into shared SCI bursts.
+  /// Keeps figure 3's three-copies promise per *byte* instead of per
+  /// declaration.  false restores the historical one-entry-per-set_range
+  /// behaviour (the fig6 ablation baseline); recovery handles both log
+  /// formats.  The environment variable PERSEAS_COALESCE=0/1 overrides the
+  /// config (CI runs both legs of the bench-obs job with it).
+  bool coalesce_ranges = true;
+  /// Install check::TxnValidator as this instance's transaction observer:
+  /// every record is snapshotted at begin_transaction and commit verifies
+  /// that all modified bytes were covered by set_range (raising
+  /// check::CoverageError otherwise), that abort restored the snapshot,
+  /// and that remote undo entries byte-match the local log.  Debug/test
+  /// facility: costs real memory and CPU per transaction but charges no
+  /// simulated time.  Off by default; the environment variable
+  /// PERSEAS_VALIDATE_WRITES=1 force-enables it (CI sanitizer runs).
+  bool validate_writes = false;
+  /// Observability (obs::TxnTracer) — both are optional, not owned, and
+  /// must outlive the instance.  When `trace` is set, every transaction
+  /// emits Perfetto spans on `trace_track` (0 = the instance registers its
+  /// own track named after the database; concurrently open transactions
+  /// beyond the first get additional lazily-registered tracks so their
+  /// spans never interleave on one lane); when `metrics` is set, txn
+  /// latency and per-phase histograms are observed live.  When *neither*
+  /// is set, the environment variables PERSEAS_TRACE=<path> and
+  /// PERSEAS_METRICS=<path> make the instance own a recorder/registry and
+  /// dump them at destruction.  Composes with validate_writes through
+  /// core::TxnObserverMux (validator keeps its veto).  Like validation,
+  /// observability charges no simulated time or traffic.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::uint32_t trace_track = 0;
+};
+
+struct PerseasStats {
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  /// set_range declarations rejected with TxnConflict (the range was
+  /// claimed by another open transaction; the caller aborts and retries).
+  std::uint64_t txns_conflicted = 0;
+  std::uint64_t set_ranges = 0;
+  std::uint64_t bytes_undo_local = 0;
+  std::uint64_t bytes_undo_remote = 0;  // summed over mirrors
+  std::uint64_t bytes_propagated = 0;   // summed over mirrors
+  std::uint64_t undo_growths = 0;
+  std::uint64_t mirror_rebuilds = 0;
+  /// High-water mark of concurrently open transactions (1 for a sequential
+  /// application; >1 only when the multi-transaction mode is exercised).
+  std::uint64_t max_open_txns = 0;
+
+  // Write-set coalescing (PerseasConfig::coalesce_ranges).  The byte
+  // counters above always equal the traffic actually charged to the
+  // cluster; these record what coalescing saved relative to the historical
+  // one-entry-per-set_range behaviour, plus how the commit traffic was
+  // bursted.
+  std::uint64_t ranges_coalesced = 0;       ///< set_range calls overlapping the declared union
+  std::uint64_t bytes_dedup_undo = 0;       ///< before-image bytes skipped (already covered)
+  std::uint64_t bytes_dedup_propagated = 0; ///< propagation bytes saved (summed over mirrors)
+  std::uint64_t undo_writes = 0;            ///< SCI store ops pushing undo entries (all mirrors)
+  std::uint64_t propagate_writes = 0;       ///< SCI store ops issued by propagation (all mirrors)
+
+  // Simulated time spent per protocol phase (figure 3's three copies plus
+  // the commit-point stores): lets benches print where a transaction's
+  // microseconds go.
+  sim::SimDuration time_local_undo = 0;      // step 1: before-image memcpy
+  sim::SimDuration time_remote_undo = 0;     // step 2: undo push to mirrors
+  sim::SimDuration time_propagation = 0;     // step 3: db ranges to mirrors
+  sim::SimDuration time_commit_flags = 0;    // propagating set/clear stores
+};
+
+}  // namespace perseas::core

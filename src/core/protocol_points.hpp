@@ -1,0 +1,32 @@
+// Failure-point names instrumented throughout the PERSEAS protocol.
+//
+// Tests, the crash-consistency model checker, and the recovery suites arm
+// sim::FailureInjector at these points to crash the primary at every
+// intermediate protocol state.  Shared by the orchestration layer
+// (core/perseas.cpp) and the components it delegates to (core/undo_log.cpp,
+// core/mirror_set.cpp); the names are part of the repo's test contract —
+// renaming one invalidates recorded perseas-mc reports.
+#pragma once
+
+namespace perseas::core::points {
+
+inline constexpr const char* kAfterLocalUndo = "perseas.set_range.after_local_undo";
+inline constexpr const char* kAfterRemoteUndo = "perseas.set_range.after_remote_undo";
+inline constexpr const char* kAfterFlagSet = "perseas.commit.after_flag_set";
+inline constexpr const char* kAfterRangeCopy = "perseas.commit.after_range_copy";
+inline constexpr const char* kBeforeFlagClear = "perseas.commit.before_flag_clear";
+inline constexpr const char* kAfterFlagClear = "perseas.commit.after_flag_clear";
+inline constexpr const char* kCommitDone = "perseas.commit.done";
+inline constexpr const char* kAbortDone = "perseas.abort.done";
+inline constexpr const char* kUndoAfterGrowth = "perseas.undo.after_growth";
+inline constexpr const char* kRecoverAfterMeta = "perseas.recover.after_meta";
+inline constexpr const char* kRecoverConnected = "perseas.recover.connected";
+inline constexpr const char* kRecoverAfterUndoScan = "perseas.recover.after_undo_scan";
+inline constexpr const char* kRecoverAfterRollback = "perseas.recover.after_rollback";
+inline constexpr const char* kRecoverAfterFlagClear = "perseas.recover.after_flag_clear";
+inline constexpr const char* kRecoverAfterPull = "perseas.recover.after_pull";
+inline constexpr const char* kRebuildSegments = "perseas.rebuild.segments";
+inline constexpr const char* kRebuildDone = "perseas.rebuild.done";
+inline constexpr const char* kRecoverDone = "perseas.recover.done";
+
+}  // namespace perseas::core::points

@@ -1,0 +1,22 @@
+#include "core/txn_context.hpp"
+
+namespace perseas::core {
+
+std::vector<ByteRange> TxnContext::declare(std::uint32_t record, std::uint64_t offset,
+                                           std::uint64_t size) {
+  declared_bytes_ += size;
+  std::vector<ByteRange>* ranges = nullptr;
+  for (auto& [rec, rs] : write_set_) {
+    if (rec == record) {
+      ranges = &rs;
+      break;
+    }
+  }
+  if (ranges == nullptr) {
+    write_set_.emplace_back(record, std::vector<ByteRange>{});
+    ranges = &write_set_.back().second;
+  }
+  return merge_range(*ranges, offset, size);
+}
+
+}  // namespace perseas::core

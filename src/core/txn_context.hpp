@@ -1,0 +1,84 @@
+// Per-transaction state of the PERSEAS protocol.
+//
+// Every begin_transaction() allocates one TxnContext; the Transaction
+// handle the caller holds names it by id.  All state that used to live on
+// the Perseas instance while "the" transaction was open — the local undo
+// images, the merged write set, the raw declared-byte counter, and the
+// per-phase simulated timings — lives here instead, so several
+// transactions can be open concurrently on one database.  The context is
+// plain local bookkeeping: the shared remote undo log (core/undo_log.hpp)
+// and the mirror images (core/mirror_set.hpp) stay per-database.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/range_set.hpp"
+#include "sim/sim_time.hpp"
+
+namespace perseas::core {
+
+/// One before-image captured by set_range (figure 3, step 1): the bytes of
+/// [offset, offset+size) of `record` as they were before the transaction's
+/// covered writes.  Restored newest-first on abort; serialized into the
+/// remote undo log for crash rollback.
+struct UndoImage {
+  std::uint32_t record = 0;
+  std::uint64_t offset = 0;
+  std::vector<std::byte> before;
+};
+
+class TxnContext {
+ public:
+  explicit TxnContext(std::uint64_t id) : id_(id) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+  /// Merges a set_range declaration into this transaction's per-record
+  /// union and returns the sub-ranges not previously covered (ascending,
+  /// possibly empty) — the bytes that still need before-images.  Also
+  /// advances the raw declared-byte counter.
+  std::vector<ByteRange> declare(std::uint32_t record, std::uint64_t offset,
+                                 std::uint64_t size);
+
+  /// The write set: per touched record (first-touch order), the merged,
+  /// sorted union of declared intervals.  Commit propagates these.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>>&
+  write_set() const noexcept {
+    return write_set_;
+  }
+
+  /// Local undo images in declaration order.  The prefix already pushed to
+  /// the mirrors is tracked by pushed_entries() (eager mode pushes each
+  /// image inside set_range; lazy mode pushes them all inside commit).
+  [[nodiscard]] std::vector<UndoImage>& undo() noexcept { return undo_; }
+  [[nodiscard]] const std::vector<UndoImage>& undo() const noexcept { return undo_; }
+
+  [[nodiscard]] std::size_t pushed_entries() const noexcept { return pushed_entries_; }
+  void set_pushed_entries(std::size_t n) noexcept { pushed_entries_ = n; }
+
+  [[nodiscard]] std::uint64_t declared_bytes() const noexcept { return declared_bytes_; }
+
+  /// Simulated time this transaction spent per protocol phase (the
+  /// per-transaction slice of PerseasStats' aggregate phase counters).
+  struct PhaseTimes {
+    sim::SimDuration local_undo = 0;
+    sim::SimDuration remote_undo = 0;
+    sim::SimDuration propagation = 0;
+    sim::SimDuration commit_flags = 0;
+  };
+  [[nodiscard]] PhaseTimes& times() noexcept { return times_; }
+  [[nodiscard]] const PhaseTimes& times() const noexcept { return times_; }
+
+ private:
+  std::uint64_t id_;
+  std::vector<UndoImage> undo_;
+  std::size_t pushed_entries_ = 0;
+  std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>> write_set_;
+  std::uint64_t declared_bytes_ = 0;
+  PhaseTimes times_;
+};
+
+}  // namespace perseas::core

@@ -9,9 +9,12 @@
 // throwing.
 //
 // The interface is deliberately data-only: observers receive spans and ids,
-// never a back-pointer into Perseas, so the instance stays freely movable
-// and the observer cannot perturb the protocol.  No hook charges simulated
-// time or network traffic — validation is invisible to the cost model.
+// never a back-pointer into Perseas, so the observer cannot perturb the
+// protocol.  Every hook carries the owning transaction's id — with several
+// transactions open concurrently the hooks of different transactions
+// interleave, and observers demultiplex on txn_id.  No hook charges
+// simulated time or network traffic — validation is invisible to the cost
+// model.
 #pragma once
 
 #include <cstddef>

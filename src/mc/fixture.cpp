@@ -1,5 +1,6 @@
 #include "mc/fixture.hpp"
 
+#include <array>
 #include <cstring>
 #include <optional>
 #include <stdexcept>
@@ -32,21 +33,40 @@ class PerseasFixture final : public McFixture {
   [[nodiscard]] netram::Cluster& cluster() noexcept override { return cluster_; }
   [[nodiscard]] std::span<std::byte> db() override { return record_.bytes(); }
 
-  void begin() override { txn_.emplace(db_->begin_transaction()); }
+  void begin() override { begin_slot(0); }
   void set_range(std::uint64_t offset, std::uint64_t size) override {
-    txn_->set_range(record_, offset, size);
+    set_range_slot(0, offset, size);
   }
-  void commit() override {
-    txn_->commit();
-    txn_.reset();
+  void commit() override { commit_slot(0); }
+
+  // Two slots so the interleaved workload can hold a pair of transactions
+  // open; their write sets are parity-disjoint by construction, so the
+  // conflict table never rejects a declaration here.
+  [[nodiscard]] std::uint32_t max_slots() const noexcept override {
+    return static_cast<std::uint32_t>(txns_.size());
+  }
+  void begin_slot(std::uint32_t slot) override {
+    require_slot(slot);
+    txns_[slot].emplace(db_->begin_transaction());
+  }
+  void set_range_slot(std::uint32_t slot, std::uint64_t offset, std::uint64_t size) override {
+    require_slot(slot);
+    txns_[slot]->set_range(record_, offset, size);
+  }
+  void commit_slot(std::uint32_t slot) override {
+    require_slot(slot);
+    txns_[slot]->commit();
+    txns_[slot].reset();
   }
 
   void crash(sim::FailureKind kind) override { cluster_.crash_node(0, kind); }
 
   void recover() override {
-    txn_.reset();  // its abort-on-destroy is a no-op against a dead node
+    // Abort-on-destroy is a no-op against a dead node.
+    for (auto& txn : txns_) txn.reset();
     if (cluster_.node(0).crashed()) cluster_.restart_node(0);
-    db_.emplace(core::Perseas::recover(cluster_, 0, {&server_}, config_));
+    db_.emplace(core::Perseas::RecoverTag{}, cluster_, 0,
+                std::vector<netram::RemoteMemoryServer*>{&server_}, config_);
     record_ = db_->record(0);
   }
 
@@ -87,7 +107,7 @@ class PerseasFixture final : public McFixture {
   core::PerseasConfig config_;
   std::optional<core::Perseas> db_;
   core::RecordHandle record_;
-  std::optional<core::Transaction> txn_;
+  std::array<std::optional<core::Transaction>, 2> txns_;
 };
 
 /// Any EngineLab-assembled comparator with an engine-level recovery entry

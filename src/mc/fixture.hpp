@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,6 +48,27 @@ class McFixture {
   virtual void set_range(std::uint64_t offset, std::uint64_t size) = 0;
   virtual void commit() = 0;
 
+  // --- concurrent slots ------------------------------------------------
+  // Engines able to keep several transactions open expose them as numbered
+  // slots (mirrors workload::TxnEngine's slot surface); the interleaved
+  // workload drives two.  Defaults: exactly one slot forwarding to the
+  // classic entry points, so single-transaction engines need no changes.
+
+  /// How many transactions this fixture can keep open at once.
+  [[nodiscard]] virtual std::uint32_t max_slots() const noexcept { return 1; }
+  virtual void begin_slot(std::uint32_t slot) {
+    require_slot(slot);
+    begin();
+  }
+  virtual void set_range_slot(std::uint32_t slot, std::uint64_t offset, std::uint64_t size) {
+    require_slot(slot);
+    set_range(offset, size);
+  }
+  virtual void commit_slot(std::uint32_t slot) {
+    require_slot(slot);
+    commit();
+  }
+
   /// Takes the application node down with `kind` (the armed failure action
   /// calls this, then throws sim::NodeCrashed through the engine).
   virtual void crash(sim::FailureKind kind) = 0;
@@ -63,6 +85,16 @@ class McFixture {
   [[nodiscard]] virtual std::vector<std::string> committed_points() const = 0;
   /// Failure kinds this engine's substrate can recover from at all.
   [[nodiscard]] virtual std::vector<sim::FailureKind> supported_kinds() const = 0;
+
+ protected:
+  /// Rejects slots beyond max_slots() (checker bug, not an engine failure).
+  void require_slot(std::uint32_t slot) const {
+    if (slot >= max_slots()) {
+      throw std::logic_error("McFixture: slot " + std::to_string(slot) + " exceeds the " +
+                             std::to_string(max_slots()) + " slot(s) of engine '" +
+                             std::string(engine_name()) + "'");
+    }
+  }
 };
 
 /// Engines make_fixture accepts: "perseas", "rvm-disk", "rvm-rio",

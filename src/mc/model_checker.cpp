@@ -131,19 +131,61 @@ void ModelChecker::run_txn(McFixture& fixture, std::uint64_t txn_index) {
   fixture.commit();
 }
 
+void ModelChecker::run_txn_ops(McFixture& fixture, std::uint64_t txn_index, std::uint32_t slot) {
+  const McTxn& txn = spec_.txns[txn_index];
+  fixture.begin_slot(slot);
+  for (std::size_t j = 0; j < txn.ops.size(); ++j) {
+    const McOp& op = txn.ops[j];
+    fixture.set_range_slot(slot, op.offset, op.size);
+    fill_op(fixture.db().subspan(op.offset, op.size), txn_index, j);
+  }
+}
+
+void ModelChecker::run_workload(McFixture& fixture, std::uint64_t txn_limit,
+                                std::uint64_t& crash_txn) {
+  if (!spec_.interleaved) {
+    for (std::uint64_t t = 0; t < txn_limit; ++t) {
+      crash_txn = t;
+      run_txn(fixture, t);
+    }
+    crash_txn = txn_limit;
+    return;
+  }
+  // Interleaved schedule: transactions 2k and 2k+1 are open concurrently
+  // (slots 0 and 1), commits in index order.  The atomicity boundary stays
+  // t while ops of t AND of its still-uncommitted neighbour t+1 run —
+  // neither has reached its commit point, so recovery must yield
+  // states_[t] — and advances to t+1 only for txn t+1's own commit.
+  for (std::uint64_t t = 0; t < txn_limit; t += 2) {
+    crash_txn = t;
+    run_txn_ops(fixture, t, 0);
+    const bool pair = t + 1 < txn_limit;
+    if (pair) run_txn_ops(fixture, t + 1, 1);
+    fixture.commit_slot(0);
+    if (pair) {
+      crash_txn = t + 1;
+      fixture.commit_slot(1);
+    }
+  }
+  crash_txn = txn_limit;
+}
+
 void ModelChecker::discover(McResult& result) {
   auto fixture = make_fixture(options_.engine, options_.fixture);
   auto& injector = fixture->cluster().failures();
   const auto baseline = injector.snapshot();
 
+  // Reference images are serial regardless of schedule: interleaved pairs
+  // have disjoint write sets and commit in index order.
   ReferenceModel ref(options_.db_size);
   states_.clear();
   states_.push_back(ref.copy());  // states_[0]: all zeroes
   for (std::uint64_t t = 0; t < options_.txns; ++t) {
-    run_txn(*fixture, t);
     ref.apply(spec_.txns[t], t);
     states_.push_back(ref.copy());
   }
+  std::uint64_t ignored = 0;
+  run_workload(*fixture, options_.txns, ignored);
 
   result.points = window_delta(baseline, injector.snapshot());
   const auto db = fixture->db();
@@ -177,11 +219,7 @@ ModelChecker::Outcome ModelChecker::explore(const Combo& combo, std::uint64_t tx
   std::uint64_t crash_txn = txn_limit;
   bool fired = false;
   try {
-    for (std::uint64_t t = 0; t < txn_limit; ++t) {
-      crash_txn = t;
-      run_txn(*fixture, t);
-    }
-    crash_txn = txn_limit;
+    run_workload(*fixture, txn_limit, crash_txn);
   } catch (const sim::NodeCrashed&) {
     fired = true;
   }
@@ -325,6 +363,12 @@ McResult ModelChecker::run() {
   // Engine capabilities (constant per engine; probed once).
   {
     const auto probe = make_fixture(options_.engine, options_.fixture);
+    if (spec_.interleaved && probe->max_slots() < 2) {
+      throw std::invalid_argument("ModelChecker: workload '" + spec_.name +
+                                  "' keeps two transactions open, but engine '" +
+                                  options_.engine + "' supports only " +
+                                  std::to_string(probe->max_slots()) + " slot(s)");
+    }
     committed_points_ = probe->committed_points();
     std::vector<sim::FailureKind> supported = probe->supported_kinds();
     if (options_.kinds.empty()) {

@@ -114,6 +114,14 @@ class ModelChecker {
   struct Outcome;
 
   void run_txn(McFixture& fixture, std::uint64_t txn_index);
+  /// begin + ops of one transaction on `slot`, without the commit
+  /// (interleaved schedule building block).
+  void run_txn_ops(McFixture& fixture, std::uint64_t txn_index, std::uint32_t slot);
+  /// Executes the first `txn_limit` transactions — serially, or in the
+  /// interleaved two-slot schedule when the workload asks for it — keeping
+  /// `crash_txn` equal to the atomicity boundary index throughout, so a
+  /// crash escaping this function names the right states_ pair.
+  void run_workload(McFixture& fixture, std::uint64_t txn_limit, std::uint64_t& crash_txn);
   void discover(McResult& result);
   Outcome explore(const Combo& combo, std::uint64_t txn_limit, const std::string* nested_point,
                   std::uint64_t nested_hit, bool want_recovery_window);

@@ -74,6 +74,34 @@ McWorkloadSpec make_synthetic(std::uint64_t txns, std::uint64_t db_size, std::ui
   return spec;
 }
 
+/// Parity-disjoint ranges for the interleaved schedule: even-indexed
+/// transactions write only the lower half of the database, odd-indexed
+/// only the upper half, so the two concurrently open transactions of a
+/// pair never collide in the engine's conflict table.  Within one
+/// transaction ranges may overlap (exercising coalescing and newest-first
+/// rollback, as in "synthetic").
+McWorkloadSpec make_interleaved(std::uint64_t txns, std::uint64_t db_size, std::uint64_t seed) {
+  if (db_size < 128) throw std::invalid_argument("interleaved: db_size must be >= 128");
+  const std::uint64_t half = db_size / 2;
+  sim::Rng rng(seed);
+  McWorkloadSpec spec;
+  spec.name = "interleaved";
+  spec.db_size = db_size;
+  spec.interleaved = true;
+  for (std::uint64_t i = 0; i < txns; ++i) {
+    const std::uint64_t base = (i % 2 == 0) ? 0 : half;
+    McTxn txn;
+    const std::uint64_t ops = 1 + rng.below(3);
+    for (std::uint64_t j = 0; j < ops; ++j) {
+      const std::uint64_t size = 1 + rng.below(32);
+      const std::uint64_t offset = base + rng.below(half - size + 1);
+      txn.ops.push_back({offset, size});
+    }
+    spec.txns.push_back(std::move(txn));
+  }
+  return spec;
+}
+
 McWorkloadSpec make_scripted(std::uint64_t db_size, const std::string& script) {
   McWorkloadSpec spec;
   spec.name = "scripted";
@@ -123,10 +151,13 @@ McWorkloadSpec make_workload(const std::string& kind, std::uint64_t txns,
   if (txns == 0) throw std::invalid_argument("make_workload: txns must be >= 1");
   if (kind == "debit-credit") return make_debit_credit(txns, db_size, seed);
   if (kind == "synthetic") return make_synthetic(txns, db_size, seed);
+  if (kind == "interleaved") return make_interleaved(txns, db_size, seed);
   if (kind == "scripted") return make_scripted(db_size, script);
   throw std::invalid_argument("make_workload: unknown workload '" + kind + "'");
 }
 
-std::vector<std::string> known_workloads() { return {"debit-credit", "synthetic", "scripted"}; }
+std::vector<std::string> known_workloads() {
+  return {"debit-credit", "synthetic", "interleaved", "scripted"};
+}
 
 }  // namespace perseas::mc

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "netram/cluster.hpp"
@@ -37,12 +39,50 @@ class TxnEngine {
   virtual void commit() = 0;
   virtual void abort() = 0;
 
+  // --- concurrent transactions ---------------------------------------
+  // A "slot" is the workload's name for one of its concurrently open
+  // transactions (0 .. max_open_txns()-1).  Engines that support several
+  // open transactions override the block below; the defaults expose
+  // exactly one slot that forwards to the classic entry points, so
+  // single-transaction engines need no changes.  Engines whose slots can
+  // collide (PERSEAS first-writer-wins) raise their conflict exception
+  // from set_range_slot; the workload aborts that slot and retries.
+
+  /// How many transactions this engine can keep open at once.
+  [[nodiscard]] virtual std::uint32_t max_open_txns() const noexcept { return 1; }
+  virtual void begin_slot(std::uint32_t slot) {
+    check_slot(slot);
+    begin();
+  }
+  virtual void set_range_slot(std::uint32_t slot, std::uint64_t offset, std::uint64_t size) {
+    check_slot(slot);
+    set_range(offset, size);
+  }
+  virtual void commit_slot(std::uint32_t slot) {
+    check_slot(slot);
+    commit();
+  }
+  virtual void abort_slot(std::uint32_t slot) {
+    check_slot(slot);
+    abort();
+  }
+
   /// Attaches a trace recorder to the engine's own span emitters (nullptr
   /// detaches).  Engines without internal instrumentation ignore the call;
   /// PERSEAS is instead traced via PerseasConfig::trace at construction.
   virtual void set_trace(obs::TraceRecorder* /*trace*/, std::uint32_t /*track*/) {}
   /// Folds the engine's own counters into `reg`.  Default: nothing.
   virtual void export_metrics(obs::MetricsRegistry& /*reg*/) const {}
+
+ protected:
+  /// Rejects slots beyond max_open_txns().
+  void check_slot(std::uint32_t slot) const {
+    if (slot >= max_open_txns()) {
+      throw std::out_of_range("TxnEngine: slot " + std::to_string(slot) + " exceeds the " +
+                              std::to_string(max_open_txns()) + " open transaction(s) '" +
+                              std::string(name()) + "' supports");
+    }
+  }
 };
 
 }  // namespace perseas::workload

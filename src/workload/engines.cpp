@@ -12,23 +12,31 @@ PerseasEngine::PerseasEngine(netram::Cluster& cluster, netram::NodeId local,
   db_.init_remote_db();
 }
 
-void PerseasEngine::begin() { txn_.emplace(db_.begin_transaction()); }
-
-void PerseasEngine::set_range(std::uint64_t offset, std::uint64_t size) {
-  if (!txn_) throw core::UsageError("PerseasEngine: set_range outside a transaction");
-  txn_->set_range(record_, offset, size);
+void PerseasEngine::begin_slot(std::uint32_t slot) {
+  check_slot(slot);
+  if (slots_[slot]) throw core::UsageError("PerseasEngine: slot already has an open transaction");
+  slots_[slot].emplace(db_.begin_transaction());
 }
 
-void PerseasEngine::commit() {
-  if (!txn_) throw core::UsageError("PerseasEngine: commit outside a transaction");
-  txn_->commit();
-  txn_.reset();
+void PerseasEngine::set_range_slot(std::uint32_t slot, std::uint64_t offset,
+                                   std::uint64_t size) {
+  check_slot(slot);
+  if (!slots_[slot]) throw core::UsageError("PerseasEngine: set_range outside a transaction");
+  slots_[slot]->set_range(record_, offset, size);
 }
 
-void PerseasEngine::abort() {
-  if (!txn_) throw core::UsageError("PerseasEngine: abort outside a transaction");
-  txn_->abort();
-  txn_.reset();
+void PerseasEngine::commit_slot(std::uint32_t slot) {
+  check_slot(slot);
+  if (!slots_[slot]) throw core::UsageError("PerseasEngine: commit outside a transaction");
+  slots_[slot]->commit();
+  slots_[slot].reset();
+}
+
+void PerseasEngine::abort_slot(std::uint32_t slot) {
+  check_slot(slot);
+  if (!slots_[slot]) throw core::UsageError("PerseasEngine: abort outside a transaction");
+  slots_[slot]->abort();
+  slots_[slot].reset();
 }
 
 RvmEngine::RvmEngine(std::string name, netram::Cluster& cluster, netram::NodeId node,

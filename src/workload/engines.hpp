@@ -3,6 +3,7 @@
 // simulated substrate an engine needs.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,10 +37,24 @@ class PerseasEngine final : public TxnEngine {
   [[nodiscard]] std::span<std::byte> db() override { return record_.bytes(); }
   [[nodiscard]] std::uint64_t db_size() const noexcept override { return record_.size(); }
 
-  void begin() override;
-  void set_range(std::uint64_t offset, std::uint64_t size) override;
-  void commit() override;
-  void abort() override;
+  void begin() override { begin_slot(0); }
+  void set_range(std::uint64_t offset, std::uint64_t size) override {
+    set_range_slot(0, offset, size);
+  }
+  void commit() override { commit_slot(0); }
+  void abort() override { abort_slot(0); }
+
+  /// PERSEAS transactions run concurrently (disjoint write sets); the
+  /// engine exposes a fixed number of slots, each holding one open
+  /// core::Transaction.  An overlapping set_range_slot raises
+  /// core::TxnConflict with the slot's transaction still open — the
+  /// workload aborts the slot and retries.
+  static constexpr std::uint32_t kTxnSlots = 8;
+  [[nodiscard]] std::uint32_t max_open_txns() const noexcept override { return kTxnSlots; }
+  void begin_slot(std::uint32_t slot) override;
+  void set_range_slot(std::uint32_t slot, std::uint64_t offset, std::uint64_t size) override;
+  void commit_slot(std::uint32_t slot) override;
+  void abort_slot(std::uint32_t slot) override;
 
   // PERSEAS is traced via PerseasConfig::trace (observer installed at
   // construction), so set_trace stays the no-op default here.
@@ -51,7 +66,7 @@ class PerseasEngine final : public TxnEngine {
   netram::Cluster* cluster_;
   core::Perseas db_;
   core::RecordHandle record_;
-  std::optional<core::Transaction> txn_;
+  std::array<std::optional<core::Transaction>, kTxnSlots> slots_;
 };
 
 /// RVM over any stable store (disk -> "rvm-disk", Rio -> "rvm-rio").

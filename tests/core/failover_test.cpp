@@ -11,11 +11,12 @@ class FailoverTest : public ::testing::Test {
  protected:
   FailoverTest() : cluster_(sim::HardwareProfile::forth_1997(), 5), server_(cluster_, 1) {}
 
-  Perseas make_db() {
-    Perseas db(cluster_, 0, {&server_}, {});
-    auto rec = db.persistent_malloc(128);
-    db.init_remote_db();
-    auto txn = db.begin_transaction();
+  std::unique_ptr<Perseas> make_db() {
+    auto db = std::make_unique<Perseas>(cluster_, 0,
+                                        std::vector<netram::RemoteMemoryServer*>{&server_});
+    auto rec = db->persistent_malloc(128);
+    db->init_remote_db();
+    auto txn = db->begin_transaction();
     txn.set_range(rec, 0, 8);
     std::memcpy(rec.bytes().data(), "PRIMARY!", 8);
     txn.commit();
@@ -36,8 +37,8 @@ TEST_F(FailoverTest, FailsOverToFirstStandby) {
   FailoverManager manager(cluster_, {2, 3, 4}, {&server_});
   cluster_.crash_node(0);
   auto replacement = manager.fail_over();
-  EXPECT_EQ(replacement.local_node(), 2u);
-  EXPECT_EQ(prefix(replacement), "PRIMARY!");
+  EXPECT_EQ(replacement->local_node(), 2u);
+  EXPECT_EQ(prefix(*replacement), "PRIMARY!");
   EXPECT_EQ(manager.stats().failovers, 1u);
   EXPECT_EQ(manager.stats().last_target, 2u);
   EXPECT_GT(manager.stats().last_duration, 0);
@@ -50,7 +51,7 @@ TEST_F(FailoverTest, SkipsDeadStandbys) {
   cluster_.crash_node(2);
   cluster_.crash_node(3);
   auto replacement = manager.fail_over();
-  EXPECT_EQ(replacement.local_node(), 4u);
+  EXPECT_EQ(replacement->local_node(), 4u);
   EXPECT_EQ(manager.stats().standbys_skipped, 2u);
 }
 
@@ -61,7 +62,7 @@ TEST_F(FailoverTest, SkipsStandbyHostingTheOnlyMirror) {
   FailoverManager manager(cluster_, {1, 2}, {&server_});
   cluster_.crash_node(0);
   auto replacement = manager.fail_over();
-  EXPECT_EQ(replacement.local_node(), 2u);
+  EXPECT_EQ(replacement->local_node(), 2u);
 }
 
 TEST_F(FailoverTest, NoViableStandbyThrows) {
@@ -80,16 +81,16 @@ TEST_F(FailoverTest, CascadingFailovers) {
   cluster_.crash_node(0);
   auto second = manager.fail_over();
   {
-    auto txn = second.begin_transaction();
-    txn.set_range(second.record(0), 0, 8);
-    std::memcpy(second.record(0).bytes().data(), "SECOND..", 8);
+    auto txn = second->begin_transaction();
+    txn.set_range(second->record(0), 0, 8);
+    std::memcpy(second->record(0).bytes().data(), "SECOND..", 8);
     txn.commit();
   }
   // The second primary dies too.
   cluster_.crash_node(2);
   auto third = manager.fail_over();
-  EXPECT_EQ(third.local_node(), 3u);
-  EXPECT_EQ(prefix(third), "SECOND..");
+  EXPECT_EQ(third->local_node(), 3u);
+  EXPECT_EQ(prefix(*third), "SECOND..");
   EXPECT_EQ(manager.stats().failovers, 2u);
 }
 
@@ -100,8 +101,8 @@ TEST_F(FailoverTest, FailoverAfterMidCommitCrashIsAtomic) {
     cluster_.crash_node(0, sim::FailureKind::kPowerOutage);
     throw sim::NodeCrashed(0, sim::FailureKind::kPowerOutage, "armed");
   });
-  auto rec = db.record(0);
-  auto txn = db.begin_transaction();
+  auto rec = db->record(0);
+  auto txn = db->begin_transaction();
   EXPECT_THROW(
       {
         txn.set_range(rec, 0, 8);
@@ -110,7 +111,7 @@ TEST_F(FailoverTest, FailoverAfterMidCommitCrashIsAtomic) {
       },
       sim::NodeCrashed);
   auto replacement = manager.fail_over();
-  EXPECT_EQ(prefix(replacement), "PRIMARY!");
+  EXPECT_EQ(prefix(*replacement), "PRIMARY!");
 }
 
 TEST_F(FailoverTest, ConfigValidation) {
@@ -133,7 +134,7 @@ TEST_F(FailoverTest, NamedDatabaseFailsOverByName) {
   FailoverManager manager(cluster_, {2}, {&server_}, config);
   cluster_.crash_node(0);
   auto replacement = manager.fail_over();
-  EXPECT_EQ(prefix(replacement), "NAMED-DB");
+  EXPECT_EQ(prefix(*replacement), "NAMED-DB");
 }
 
 }  // namespace

@@ -116,7 +116,13 @@ TEST_F(PerseasBasicTest, UsageErrors) {
   EXPECT_THROW((void)db.persistent_malloc(0), UsageError);
 
   auto txn = db.begin_transaction();
-  EXPECT_THROW(db.begin_transaction(), UsageError);           // nested
+  {
+    // A second begin_transaction is legal now: transactions run
+    // concurrently, each against its own TxnContext.
+    auto txn2 = db.begin_transaction();
+    EXPECT_EQ(db.open_transactions(), 2u);
+    txn2.abort();
+  }
   EXPECT_THROW((void)db.persistent_malloc(32), UsageError);   // malloc in txn
   EXPECT_THROW(txn.set_range(rec, 60, 8), UsageError);        // out of range
   EXPECT_THROW(txn.set_range(1, 0, 8), UsageError);           // bad record

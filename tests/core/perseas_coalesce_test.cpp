@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,12 +25,14 @@ class PerseasCoalesceTest : public ::testing::Test {
  protected:
   PerseasCoalesceTest() : cluster_(sim::HardwareProfile::forth_1997(), 3), server_(cluster_, 1) {}
 
-  Perseas make_db(PerseasConfig config = {}) {
-    Perseas db(cluster_, 0, {&server_}, config);
-    db.persistent_malloc(kRecSize);
-    db.persistent_malloc(kRecSize);
-    db.init_remote_db();
-    return db;
+  /// Perseas is immovable, so the fixture hosts the instance and hands out
+  /// a reference (one live database per test).
+  Perseas& make_db(PerseasConfig config = {}) {
+    db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&server_}, config);
+    db_->persistent_malloc(kRecSize);
+    db_->persistent_malloc(kRecSize);
+    db_->init_remote_db();
+    return *db_;
   }
 
   /// The overlap-heavy transaction used throughout: five declarations over
@@ -54,10 +57,11 @@ class PerseasCoalesceTest : public ::testing::Test {
 
   netram::Cluster cluster_;
   netram::RemoteMemoryServer server_;
+  std::optional<Perseas> db_;
 };
 
 TEST_F(PerseasCoalesceTest, FullyCoveredSetRangeChargesNothing) {
-  auto db = make_db();
+  auto& db = make_db();
   auto rec = db.record(0);
   auto txn = db.begin_transaction();
   txn.set_range(rec, 0, 64);
@@ -79,7 +83,7 @@ TEST_F(PerseasCoalesceTest, FullyCoveredSetRangeChargesNothing) {
 TEST_F(PerseasCoalesceTest, PartialOverlapLogsOnlyUncoveredBytes) {
   PerseasConfig config;
   config.validate_writes = true;
-  auto db = make_db(config);
+  auto& db = make_db(config);
   auto rec = db.record(0);
   {
     auto txn = db.begin_transaction();
@@ -100,7 +104,7 @@ TEST_F(PerseasCoalesceTest, PartialOverlapLogsOnlyUncoveredBytes) {
 }
 
 TEST_F(PerseasCoalesceTest, AdjacentRangesPropagateAsOneGatheredBurst) {
-  auto db = make_db();
+  auto& db = make_db();
   auto rec = db.record(0);
   auto txn = db.begin_transaction();
   txn.set_range(rec, 0, 16);
@@ -119,7 +123,7 @@ TEST_F(PerseasCoalesceTest, AdjacentRangesPropagateAsOneGatheredBurst) {
 // Satellite: the byte counters must equal the bytes actually moved over the
 // cluster, exactly, for an overlap-heavy transaction with coalescing on.
 TEST_F(PerseasCoalesceTest, ByteCountersMatchClusterTrafficExactly) {
-  auto db = make_db();
+  auto& db = make_db();
   cluster_.reset_stats();
   run_overlap_txn(db, std::byte{0x40});
   const auto& net = cluster_.stats();
@@ -190,7 +194,7 @@ TEST_F(PerseasCoalesceTest, LazyGrowthPathFiresPerEntryHooks) {
   config.eager_remote_undo = false;
   config.undo_capacity = 64;  // forces growth at commit
   config.validate_writes = true;
-  auto db = make_db(config);
+  auto& db = make_db(config);
   auto rec = db.record(0);
   const std::uint64_t before = cluster_.failures().hits("perseas.set_range.after_remote_undo");
   {
@@ -293,7 +297,7 @@ TEST_F(PerseasCoalesceTest, CrashMatrixOverCoalescedCommitIsAtomic) {
 TEST_F(PerseasCoalesceTest, LegacyOverlappingLogStillRollsBackNewestFirst) {
   PerseasConfig config;
   config.coalesce_ranges = false;
-  auto db = make_db(config);
+  auto& db = make_db(config);
   auto rec = db.record(0);
   {  // committed pre-state
     auto txn = db.begin_transaction();

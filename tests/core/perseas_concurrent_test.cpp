@@ -1,0 +1,239 @@
+// Concurrent-transaction tests: several transactions open on one Perseas
+// instance, first-writer-wins conflict detection, conflict bookkeeping in
+// PerseasStats, and crash recovery with multiple transactions in flight.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+
+#include "core/perseas.hpp"
+
+namespace perseas::core {
+namespace {
+
+constexpr std::uint64_t kRecSize = 512;
+
+class PerseasConcurrentTest : public ::testing::Test {
+ protected:
+  PerseasConcurrentTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 2), server_(cluster_, 1) {}
+
+  /// Perseas is immovable; the fixture hosts the instance and hands out a
+  /// reference (one live database per test).
+  Perseas& make_db(PerseasConfig config = {}) {
+    db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&server_}, config);
+    rec_ = db_->persistent_malloc(kRecSize);
+    db_->init_remote_db();
+    return *db_;
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+  std::optional<Perseas> db_;
+  RecordHandle rec_;
+};
+
+TEST_F(PerseasConcurrentTest, DisjointTransactionsBothCommit) {
+  auto& db = make_db();
+  auto a = db.begin_transaction();
+  auto b = db.begin_transaction();
+  EXPECT_EQ(db.open_transactions(), 2u);
+  EXPECT_NE(a.id(), b.id());
+
+  a.set_range(rec_, 0, 16);
+  std::memcpy(rec_.bytes().data(), "FIRST...........", 16);
+  b.set_range(rec_, 256, 16);
+  std::memcpy(rec_.bytes().data() + 256, "SECOND..........", 16);
+
+  // Commit in reverse begin order: transactions are independent.
+  b.commit();
+  EXPECT_EQ(db.open_transactions(), 1u);
+  a.commit();
+  EXPECT_EQ(db.open_transactions(), 0u);
+
+  EXPECT_EQ(db.stats().txns_committed, 2u);
+  EXPECT_EQ(db.stats().txns_conflicted, 0u);
+  EXPECT_EQ(db.stats().max_open_txns, 2u);
+  EXPECT_EQ(std::memcmp(rec_.bytes().data(), "FIRST", 5), 0);
+  EXPECT_EQ(std::memcmp(rec_.bytes().data() + 256, "SECOND", 6), 0);
+}
+
+TEST_F(PerseasConcurrentTest, OverlappingDeclarationRaisesTxnConflict) {
+  auto& db = make_db();
+  auto a = db.begin_transaction();
+  auto b = db.begin_transaction();
+  a.set_range(rec_, 0, 64);
+
+  try {
+    b.set_range(rec_, 32, 16);  // inside a's claim
+    FAIL() << "expected TxnConflict";
+  } catch (const TxnConflict& e) {
+    EXPECT_EQ(e.txn(), b.id());
+    EXPECT_EQ(e.holder(), a.id());
+    EXPECT_EQ(e.record(), rec_.index());
+    EXPECT_EQ(e.offset(), 32u);
+    EXPECT_EQ(e.size(), 16u);
+  }
+  EXPECT_EQ(db.stats().txns_conflicted, 1u);
+
+  // The losing declaration logged nothing; both transactions are still
+  // live, and the loser aborts cleanly.
+  EXPECT_TRUE(b.active());
+  b.abort();
+  std::memset(rec_.bytes().data(), 0x5A, 64);
+  a.commit();
+
+  // Retry after the winner committed: the claim is released.
+  auto retry = db.begin_transaction();
+  retry.set_range(rec_, 32, 16);
+  std::memset(rec_.bytes().data() + 32, 0x66, 16);
+  retry.commit();
+  EXPECT_EQ(db.stats().txns_committed, 2u);
+  EXPECT_EQ(db.stats().txns_aborted, 1u);
+}
+
+TEST_F(PerseasConcurrentTest, OwnOverlapIsNotAConflict) {
+  auto& db = make_db();
+  auto a = db.begin_transaction();
+  auto b = db.begin_transaction();
+  a.set_range(rec_, 0, 64);
+  a.set_range(rec_, 32, 64);  // overlaps a's own claim: fine
+  b.set_range(rec_, 128, 64);
+  EXPECT_EQ(db.stats().txns_conflicted, 0u);
+  a.commit();
+  b.commit();
+}
+
+TEST_F(PerseasConcurrentTest, AbortReleasesClaimsImmediately) {
+  auto& db = make_db();
+  auto a = db.begin_transaction();
+  a.set_range(rec_, 0, 64);
+  a.abort();
+
+  auto b = db.begin_transaction();
+  EXPECT_NO_THROW(b.set_range(rec_, 0, 64));
+  b.abort();
+}
+
+TEST_F(PerseasConcurrentTest, ConflictedDeclarationLogsNothing) {
+  auto& db = make_db();
+  auto a = db.begin_transaction();
+  a.set_range(rec_, 0, 64);
+  const auto set_ranges_before = db.stats().set_ranges;
+  const auto undo_bytes_before = db.stats().bytes_undo_local;
+
+  auto b = db.begin_transaction();
+  EXPECT_THROW(b.set_range(rec_, 0, 8), TxnConflict);
+  EXPECT_EQ(db.stats().set_ranges, set_ranges_before);
+  EXPECT_EQ(db.stats().bytes_undo_local, undo_bytes_before);
+  b.abort();
+  a.abort();
+}
+
+TEST_F(PerseasConcurrentTest, AbortRestoresOnlyTheAbortersBytes) {
+  auto& db = make_db();
+  auto a = db.begin_transaction();
+  auto b = db.begin_transaction();
+  a.set_range(rec_, 0, 16);
+  std::memset(rec_.bytes().data(), 0x11, 16);
+  b.set_range(rec_, 64, 16);
+  std::memset(rec_.bytes().data() + 64, 0x22, 16);
+
+  b.abort();  // b's bytes roll back; a's writes stay
+  EXPECT_EQ(rec_.bytes()[64], std::byte{0});
+  EXPECT_EQ(rec_.bytes()[0], std::byte{0x11});
+  a.commit();
+  EXPECT_EQ(rec_.bytes()[0], std::byte{0x11});
+}
+
+TEST_F(PerseasConcurrentTest, MaxOpenTxnsTracksThePeak) {
+  auto& db = make_db();
+  {
+    auto a = db.begin_transaction();
+    auto b = db.begin_transaction();
+    auto c = db.begin_transaction();
+    c.abort();
+    b.abort();
+    a.abort();
+  }
+  auto d = db.begin_transaction();
+  d.abort();
+  EXPECT_EQ(db.stats().max_open_txns, 3u);
+}
+
+// Crash with two transactions in flight, one of them mid-commit: recovery
+// must roll back the announced transaction's entries AND discard the open
+// neighbour's interleaved undo entries (which never touched the mirror).
+TEST_F(PerseasConcurrentTest, CrashDuringCommitWithOpenNeighbourRecoversCleanly) {
+  auto& db = make_db();
+  {
+    auto setup = db.begin_transaction();
+    setup.set_range(rec_, 0, 32);
+    std::memcpy(rec_.bytes().data(), "STABLE..........STABLE..........", 32);
+    setup.commit();
+  }
+
+  cluster_.failures().arm("perseas.commit.after_flag_set", [this] {
+    cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+    throw sim::NodeCrashed(0, sim::FailureKind::kSoftwareCrash, "armed");
+  });
+
+  {
+    auto neighbour = db.begin_transaction();
+    neighbour.set_range(rec_, 256, 16);
+    std::memset(rec_.bytes().data() + 256, 0x77, 16);
+
+    auto doomed = db.begin_transaction();
+    EXPECT_THROW(
+        {
+          doomed.set_range(rec_, 0, 16);
+          std::memcpy(rec_.bytes().data(), "DIRTY...........", 16);
+          doomed.commit();
+        },
+        sim::NodeCrashed);
+    ASSERT_TRUE(cluster_.node(0).crashed());
+    // Abort-on-destroy is a no-op against the dead node; the handles must
+    // still be dropped before the instance they point into goes away.
+  }
+  db_.reset();
+  cluster_.restart_node(0);
+  std::optional<Perseas> recovered;
+  recovered.emplace(Perseas::RecoverTag{}, cluster_, 0,
+                    std::vector<netram::RemoteMemoryServer*>{&server_});
+  auto rec = recovered->record(0);
+  EXPECT_EQ(std::memcmp(rec.bytes().data(), "STABLE", 6), 0);
+  // The neighbour never committed: its range recovers to the initial zeros.
+  EXPECT_EQ(rec.bytes()[256], std::byte{0});
+  EXPECT_EQ(recovered->open_transactions(), 0u);
+}
+
+// Crash with two transactions open but no commit in flight: neither touched
+// the mirror's database image, so recovery is trivially the stable state.
+TEST_F(PerseasConcurrentTest, CrashWithTwoOpenUncommittedRecoversStableState) {
+  auto& db = make_db();
+  {
+    auto setup = db.begin_transaction();
+    setup.set_range(rec_, 0, 16);
+    std::memcpy(rec_.bytes().data(), "STABLE..........", 16);
+    setup.commit();
+  }
+
+  {
+    auto a = db.begin_transaction();
+    a.set_range(rec_, 0, 16);
+    std::memcpy(rec_.bytes().data(), "DIRTY-A.........", 16);
+    auto b = db.begin_transaction();
+    b.set_range(rec_, 128, 16);
+    std::memset(rec_.bytes().data() + 128, 0x99, 16);
+
+    cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
+  }
+  db_.reset();
+  cluster_.restart_node(0);
+  auto recovered = Perseas::recover(cluster_, 0, {&server_});
+  EXPECT_EQ(std::memcmp(recovered.record(0).bytes().data(), "STABLE", 6), 0);
+  EXPECT_EQ(recovered.record(0).bytes()[128], std::byte{0});
+}
+
+}  // namespace
+}  // namespace perseas::core

@@ -86,7 +86,8 @@ TEST_P(PerseasFuzz, CrashAnywhereRecoverAnywhere) {
       const netram::NodeId target = rng.chance(0.5) ? home : (rng.chance(0.5) ? 2u : 3u);
       if (cluster.node(target).crashed()) cluster.restart_node(target);
       if (target == server.host()) continue;  // not a valid home
-      db = std::make_unique<Perseas>(Perseas::recover(cluster, target, {&server}, config));
+      db = std::make_unique<Perseas>(Perseas::RecoverTag{}, cluster, target,
+                                     std::vector<netram::RemoteMemoryServer*>{&server}, config);
       home = target;
     }
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <optional>
 
 #include "core/perseas.hpp"
 
@@ -15,15 +16,18 @@ class PerseasMirrorTest : public ::testing::Test {
         mirror1_(cluster_, 1),
         mirror2_(cluster_, 2) {}
 
-  Perseas make_db() {
-    Perseas db(cluster_, 0, {&mirror1_, &mirror2_}, {});
-    auto rec = db.persistent_malloc(128);
-    db.init_remote_db();
-    auto txn = db.begin_transaction();
+  /// Perseas is immovable, so the fixture hosts the instance and hands out
+  /// a reference (one live database per test).
+  Perseas& make_db() {
+    db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&mirror1_, &mirror2_},
+                PerseasConfig{});
+    auto rec = db_->persistent_malloc(128);
+    db_->init_remote_db();
+    auto txn = db_->begin_transaction();
     txn.set_range(rec, 0, 8);
     std::memcpy(rec.bytes().data(), "GOLDEN..", 8);
     txn.commit();
-    return db;
+    return *db_;
   }
 
   std::string prefix(Perseas& db) {
@@ -34,10 +38,11 @@ class PerseasMirrorTest : public ::testing::Test {
   netram::Cluster cluster_;
   netram::RemoteMemoryServer mirror1_;
   netram::RemoteMemoryServer mirror2_;
+  std::optional<Perseas> db_;
 };
 
 TEST_F(PerseasMirrorTest, CommitReplicatesToAllMirrors) {
-  auto db = make_db();
+  (void)make_db();
   netram::RemoteMemoryClient peek(cluster_, 3);
   for (auto* server : {&mirror1_, &mirror2_}) {
     const auto seg = peek.sci_connect_segment(*server, db_key(0));
@@ -55,7 +60,7 @@ TEST_F(PerseasMirrorTest, ExtraMirrorCostsProportionalRemoteTraffic) {
   auto rec1 = one.persistent_malloc(128);
   one.init_remote_db();
 
-  auto two = make_db();
+  auto& two = make_db();
   auto rec2 = two.record(0);
 
   single_cluster.reset_stats();
@@ -74,7 +79,7 @@ TEST_F(PerseasMirrorTest, ExtraMirrorCostsProportionalRemoteTraffic) {
 }
 
 TEST_F(PerseasMirrorTest, RecoverFromSecondMirrorWhenFirstIsDown) {
-  auto db = make_db();
+  (void)make_db();
   cluster_.crash_node(0);
   cluster_.crash_node(1);  // first mirror also gone
   auto recovered = Perseas::recover(cluster_, 3, {&mirror1_, &mirror2_});
@@ -83,7 +88,7 @@ TEST_F(PerseasMirrorTest, RecoverFromSecondMirrorWhenFirstIsDown) {
 }
 
 TEST_F(PerseasMirrorTest, RecoveryResynchronizesSecondaryMirrors) {
-  auto db = make_db();
+  auto& db = make_db();
   // Crash mid-commit so mirror states could diverge, then recover.
   cluster_.failures().arm("perseas.commit.before_flag_clear", [this] {
     cluster_.crash_node(0, sim::FailureKind::kSoftwareCrash);
@@ -115,7 +120,7 @@ TEST_F(PerseasMirrorTest, RecoveryResynchronizesSecondaryMirrors) {
 TEST_F(PerseasMirrorTest, PowerOutageOnOneSupplySurvives) {
   // Paper section 1: mirror workstations are connected to different power
   // supplies, which are unlikely to malfunction concurrently.
-  auto db = make_db();
+  (void)make_db();
   cluster_.fail_power_supply(cluster_.node(0).power_supply());
   EXPECT_TRUE(cluster_.node(0).crashed());
   EXPECT_FALSE(cluster_.node(1).crashed());
@@ -144,7 +149,7 @@ TEST_F(PerseasMirrorTest, SharedSupplyIsASinglePointOfFailure) {
 }
 
 TEST_F(PerseasMirrorTest, MirrorCrashDuringCommitIsRecoverableLocally) {
-  auto db = make_db();
+  auto& db = make_db();
   auto rec = db.record(0);
   auto txn = db.begin_transaction();
   txn.set_range(rec, 0, 8);
@@ -167,7 +172,7 @@ TEST_F(PerseasMirrorTest, MirrorCrashDuringCommitIsRecoverableLocally) {
 }
 
 TEST_F(PerseasMirrorTest, RebuildMirrorRestoresReplication) {
-  auto db = make_db();
+  auto& db = make_db();
   cluster_.crash_node(2);
   cluster_.restart_node(2);
   db.rebuild_mirror(1);
@@ -179,14 +184,14 @@ TEST_F(PerseasMirrorTest, RebuildMirrorRestoresReplication) {
 }
 
 TEST_F(PerseasMirrorTest, RebuildMirrorIndexValidated) {
-  auto db = make_db();
+  auto& db = make_db();
   EXPECT_THROW(db.rebuild_mirror(5), UsageError);
 }
 
 TEST_F(PerseasMirrorTest, HungMirrorDelaysCommitButLosesNothing) {
   // Paper section 1: correlated disruptions (e.g. a crashed file server)
   // may affect performance but not correctness.
-  auto db = make_db();
+  auto& db = make_db();
   auto rec = db.record(0);
   cluster_.hang_node(1, sim::ms(200));
   const auto t0 = cluster_.clock().now();

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <optional>
 
 #include "core/perseas.hpp"
 
@@ -17,15 +18,17 @@ class PerseasRecoveryTest : public ::testing::Test {
   PerseasRecoveryTest() : cluster_(sim::HardwareProfile::forth_1997(), 3), server_(cluster_, 1) {}
 
   /// Builds a database whose record holds "COMMITTED" (the stable state).
-  Perseas make_committed_db(PerseasConfig config = {}) {
-    Perseas db(cluster_, 0, {&server_}, config);
-    auto rec = db.persistent_malloc(kRecSize);
-    db.init_remote_db();
-    auto txn = db.begin_transaction();
+  /// Perseas is immovable, so the fixture hosts the instance and hands out
+  /// a reference (one live database per test).
+  Perseas& make_committed_db(PerseasConfig config = {}) {
+    db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&server_}, config);
+    auto rec = db_->persistent_malloc(kRecSize);
+    db_->init_remote_db();
+    auto txn = db_->begin_transaction();
     txn.set_range(rec, 0, 16);
     std::memcpy(rec.bytes().data(), "COMMITTED.......", 16);
     txn.commit();
-    return db;
+    return *db_;
   }
 
   /// Arms a software crash of node 0 at `point`, runs a transaction that
@@ -56,10 +59,11 @@ class PerseasRecoveryTest : public ::testing::Test {
 
   netram::Cluster cluster_;
   netram::RemoteMemoryServer server_;
+  std::optional<Perseas> db_;
 };
 
 TEST_F(PerseasRecoveryTest, RecoverIdleDatabase) {
-  auto db = make_committed_db();
+  (void)make_committed_db();
   cluster_.crash_node(0, sim::FailureKind::kPowerOutage);
   cluster_.restore_power_supply(cluster_.node(0).power_supply());
   cluster_.restart_node(0);
@@ -72,7 +76,7 @@ TEST_F(PerseasRecoveryTest, RecoverIdleDatabase) {
 TEST_F(PerseasRecoveryTest, RecoverOntoADifferentWorkstation) {
   // Paper: "the database may be reconstructed quickly in any workstation of
   // the network ... even if the crashed node remains out-of-order".
-  auto db = make_committed_db();
+  (void)make_committed_db();
   cluster_.crash_node(0, sim::FailureKind::kHardwareFault);  // stays down
   auto recovered = Perseas::recover(cluster_, 2, {&server_});
   EXPECT_EQ(recovered.local_node(), 2u);
@@ -87,7 +91,7 @@ class CrashPointSweep : public PerseasRecoveryTest,
 
 TEST_P(CrashPointSweep, RecoversToAtomicState) {
   const std::string point = GetParam();
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   run_doomed_txn(db, point);
   ASSERT_TRUE(cluster_.node(0).crashed());
   cluster_.restart_node(0);
@@ -119,7 +123,7 @@ class DoubleCrashSweep : public PerseasRecoveryTest,
 
 TEST_P(DoubleCrashSweep, SecondRecoveryCompletes) {
   const std::string point = GetParam();
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   run_doomed_txn(db, "perseas.commit.after_flag_set");  // die mid-propagation
   cluster_.restart_node(0);
   cluster_.failures().arm(point, [this] {
@@ -156,7 +160,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST_F(PerseasRecoveryTest, CrashBetweenRangeCopiesRollsBackPartialPropagation) {
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   // Fire on the SECOND range copy of the commit: the first range has
   // already reached the mirror's database image.
   cluster_.failures().arm("perseas.commit.after_range_copy", 1, [this] {
@@ -182,7 +186,7 @@ TEST_F(PerseasRecoveryTest, CrashBetweenRangeCopiesRollsBackPartialPropagation) 
 }
 
 TEST_F(PerseasRecoveryTest, StaleUndoEntriesFromOlderTransactionsAreIgnored) {
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   auto rec = db.record(0);
   // Transaction X writes a LARGE undo entry, then aborts: its entry stays
   // in the remote undo log beyond what later transactions overwrite.
@@ -201,7 +205,7 @@ TEST_F(PerseasRecoveryTest, StaleUndoEntriesFromOlderTransactionsAreIgnored) {
 }
 
 TEST_F(PerseasRecoveryTest, RecoveryAfterAbortKeepsCommittedState) {
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   auto rec = db.record(0);
   {
     auto txn = db.begin_transaction();
@@ -216,7 +220,7 @@ TEST_F(PerseasRecoveryTest, RecoveryAfterAbortKeepsCommittedState) {
 }
 
 TEST_F(PerseasRecoveryTest, TransactionIdsStayMonotonicAcrossRecovery) {
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   run_doomed_txn(db, "perseas.commit.after_flag_set");
   cluster_.restart_node(0);
   auto recovered = Perseas::recover(cluster_, 0, {&server_});
@@ -228,7 +232,7 @@ TEST_F(PerseasRecoveryTest, TransactionIdsStayMonotonicAcrossRecovery) {
 }
 
 TEST_F(PerseasRecoveryTest, RecoveredDatabaseIsFullyOperational) {
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   run_doomed_txn(db, "perseas.set_range.after_remote_undo");
   cluster_.restart_node(0);
   auto recovered = Perseas::recover(cluster_, 0, {&server_});
@@ -249,7 +253,7 @@ TEST_F(PerseasRecoveryTest, RecoveredDatabaseIsFullyOperational) {
 TEST_F(PerseasRecoveryTest, RecoveryAfterUndoLogGrowth) {
   PerseasConfig config;
   config.undo_capacity = 128;
-  auto db = make_committed_db(config);
+  auto& db = make_committed_db(config);
   auto rec = db.record(0);
   {
     auto txn = db.begin_transaction();
@@ -270,7 +274,7 @@ TEST_F(PerseasRecoveryTest, CrashRightAfterUndoGrowthIsSafe) {
   // set_range always runs with propagating_txn == 0.
   PerseasConfig config;
   config.undo_capacity = 64;
-  auto db = make_committed_db(config);
+  auto& db = make_committed_db(config);
   run_doomed_txn(db, "perseas.undo.after_growth");
   ASSERT_TRUE(cluster_.node(0).crashed());
   cluster_.restart_node(0);
@@ -285,7 +289,7 @@ TEST_P(RecoveryCrashSweep, CrashDuringRecoveryIsRetriableElsewhere) {
   // The recovering workstation itself dies mid-recovery; recovery is
   // idempotent, so a second attempt from another workstation succeeds and
   // still produces a transaction-atomic image.
-  auto db = make_committed_db();
+  auto& db = make_committed_db();
   run_doomed_txn(db, "perseas.commit.after_range_copy");
   ASSERT_TRUE(cluster_.node(0).crashed());
 
@@ -306,7 +310,7 @@ INSTANTIATE_TEST_SUITE_P(RecoveryStages, RecoveryCrashSweep,
                                            "perseas.recover.after_rollback"));
 
 TEST_F(PerseasRecoveryTest, NoMirrorAliveFails) {
-  auto db = make_committed_db();
+  (void)make_committed_db();
   cluster_.crash_node(0);
   cluster_.crash_node(1);
   EXPECT_THROW(Perseas::recover(cluster_, 2, {&server_}), RecoveryError);
@@ -315,7 +319,7 @@ TEST_F(PerseasRecoveryTest, NoMirrorAliveFails) {
 TEST_F(PerseasRecoveryTest, MirrorCrashLosesDatabaseWhenPrimaryAlsoDies) {
   // The paper's admitted limit: data is lost only if ALL mirror nodes crash
   // in the same interval.
-  auto db = make_committed_db();
+  (void)make_committed_db();
   cluster_.crash_node(1);  // mirror gone: exports dropped
   cluster_.crash_node(0);  // then the primary
   cluster_.restart_node(0);
@@ -328,7 +332,7 @@ TEST_F(PerseasRecoveryTest, RecoverWithNoServersFails) {
 }
 
 TEST_F(PerseasRecoveryTest, RecoveryCostScalesWithDatabaseSize) {
-  auto db = make_committed_db();
+  (void)make_committed_db();
   cluster_.crash_node(0);
   cluster_.restart_node(0);
   const auto t0 = cluster_.clock().now();

@@ -1,0 +1,94 @@
+// Use-after-shutdown tests: every library entry point on a shut-down
+// instance raises UsageError, and a graceful (non-decommissioning)
+// shutdown leaves the database recoverable by name.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+
+#include "core/perseas.hpp"
+
+namespace perseas::core {
+namespace {
+
+class PerseasShutdownTest : public ::testing::Test {
+ protected:
+  PerseasShutdownTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 2), server_(cluster_, 1) {}
+
+  /// A committed database, gracefully shut down.
+  Perseas& make_shut_down_db() {
+    db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&server_},
+                PerseasConfig{});
+    auto rec = db_->persistent_malloc(256);
+    db_->init_remote_db();
+    auto txn = db_->begin_transaction();
+    txn.set_range(rec, 0, 16);
+    std::memcpy(rec.bytes().data(), "DURABLE.........", 16);
+    txn.commit();
+    db_->shutdown();
+    return *db_;
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryServer server_;
+  std::optional<Perseas> db_;
+};
+
+TEST_F(PerseasShutdownTest, EveryEntryPointRaisesUsageError) {
+  auto& db = make_shut_down_db();
+  EXPECT_TRUE(db.is_shut_down());
+  EXPECT_THROW((void)db.persistent_malloc(64), UsageError);
+  EXPECT_THROW((void)db.begin_transaction(), UsageError);
+  EXPECT_THROW(db.rebuild_mirror(0), UsageError);
+  EXPECT_THROW(db.init_remote_db(), UsageError);
+}
+
+TEST_F(PerseasShutdownTest, SecondShutdownRaisesUsageError) {
+  auto& db = make_shut_down_db();
+  try {
+    db.shutdown();
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_STREQ(e.what(), "shutdown: instance was already shut down");
+  }
+  // Still shut down, still destructible.
+  EXPECT_TRUE(db.is_shut_down());
+}
+
+TEST_F(PerseasShutdownTest, ShutdownRefusedWhileATransactionIsOpen) {
+  db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&server_},
+              PerseasConfig{});
+  auto rec = db_->persistent_malloc(256);
+  db_->init_remote_db();
+  auto txn = db_->begin_transaction();
+  txn.set_range(rec, 0, 8);
+  EXPECT_THROW(db_->shutdown(), UsageError);
+  txn.abort();
+  EXPECT_NO_THROW(db_->shutdown());
+}
+
+TEST_F(PerseasShutdownTest, GracefulShutdownLeavesDatabaseRecoverable) {
+  (void)make_shut_down_db();
+  db_.reset();  // the primary is gone; only the mirror survives
+  auto recovered = Perseas::recover(cluster_, 0, {&server_});
+  ASSERT_EQ(recovered.record_count(), 1u);
+  EXPECT_EQ(std::memcmp(recovered.record(0).bytes().data(), "DURABLE", 7), 0);
+  // The recovered instance is live, not shut down.
+  EXPECT_FALSE(recovered.is_shut_down());
+  EXPECT_NO_THROW(recovered.begin_transaction().abort());
+}
+
+TEST_F(PerseasShutdownTest, DecommissionFreesTheRemoteSegments) {
+  db_.emplace(cluster_, 0, std::vector<netram::RemoteMemoryServer*>{&server_},
+              PerseasConfig{});
+  (void)db_->persistent_malloc(256);
+  db_->init_remote_db();
+  db_->shutdown(/*decommission=*/true);
+  db_.reset();
+  // Nothing left to recover from.
+  EXPECT_THROW((void)Perseas::recover(cluster_, 0, {&server_}), RecoveryError);
+}
+
+}  // namespace
+}  // namespace perseas::core

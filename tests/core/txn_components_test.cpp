@@ -1,0 +1,236 @@
+// Unit tests for the four components of the concurrent-transaction core:
+// TxnContext (per-transaction state), UndoLog (shared tagged log, scan
+// semantics), ConflictTable (first-writer-wins claims) and the Perseas
+// orchestration layer's compile-time pinning contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <type_traits>
+
+#include "core/conflict_table.hpp"
+#include "core/perseas.hpp"
+#include "core/txn_context.hpp"
+#include "core/undo_log.hpp"
+
+namespace perseas::core {
+namespace {
+
+// Regression for the dangling-owner bug: RecordHandle and Transaction hold
+// raw Perseas* back pointers, so the instance must be pinned.  A future
+// defaulted move constructor would silently reintroduce the bug; fail the
+// build instead.
+static_assert(!std::is_move_constructible_v<Perseas>);
+static_assert(!std::is_move_assignable_v<Perseas>);
+static_assert(!std::is_copy_constructible_v<Perseas>);
+static_assert(!std::is_copy_assignable_v<Perseas>);
+
+// --- TxnContext -------------------------------------------------------
+
+TEST(TxnContextTest, DeclareReturnsOnlyUncoveredSubranges) {
+  TxnContext ctx(7);
+  EXPECT_EQ(ctx.id(), 7u);
+
+  const auto first = ctx.declare(0, 100, 50);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], (ByteRange{100, 50}));
+
+  // Fully covered re-declaration: nothing fresh.
+  EXPECT_TRUE(ctx.declare(0, 110, 20).empty());
+
+  // Straddling declaration: only the tail is fresh.
+  const auto tail = ctx.declare(0, 140, 40);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], (ByteRange{150, 30}));
+
+  // The raw counter counts declared bytes, covered or not.
+  EXPECT_EQ(ctx.declared_bytes(), 50u + 20u + 40u);
+}
+
+TEST(TxnContextTest, WriteSetMergesPerRecordInFirstTouchOrder) {
+  TxnContext ctx(1);
+  (void)ctx.declare(2, 0, 10);
+  (void)ctx.declare(0, 50, 10);
+  (void)ctx.declare(2, 10, 10);  // adjacent: coalesces with [0,10)
+
+  const auto& ws = ctx.write_set();
+  ASSERT_EQ(ws.size(), 2u);
+  EXPECT_EQ(ws[0].first, 2u);
+  ASSERT_EQ(ws[0].second.size(), 1u);
+  EXPECT_EQ(ws[0].second[0], (ByteRange{0, 20}));
+  EXPECT_EQ(ws[1].first, 0u);
+  ASSERT_EQ(ws[1].second.size(), 1u);
+  EXPECT_EQ(ws[1].second[0], (ByteRange{50, 10}));
+}
+
+// --- ConflictTable ----------------------------------------------------
+
+TEST(ConflictTableTest, FirstWriterWins) {
+  ConflictTable table;
+  table.acquire(1, 0, 100, 50);
+  EXPECT_EQ(table.claims_of(1), 1u);
+
+  try {
+    table.acquire(2, 0, 120, 10);
+    FAIL() << "expected TxnConflict";
+  } catch (const TxnConflict& e) {
+    EXPECT_EQ(e.txn(), 2u);
+    EXPECT_EQ(e.holder(), 1u);
+    EXPECT_EQ(e.record(), 0u);
+    EXPECT_EQ(e.offset(), 120u);
+    EXPECT_EQ(e.size(), 10u);
+  }
+  // The table is unchanged by the rejected acquire.
+  EXPECT_EQ(table.claims_of(2), 0u);
+}
+
+TEST(ConflictTableTest, AdjacentAndOtherRecordRangesDoNotConflict) {
+  ConflictTable table;
+  table.acquire(1, 0, 100, 50);
+  // Half-open [100,150): a claim starting at 150 touches but never overlaps.
+  EXPECT_NO_THROW(table.acquire(2, 0, 150, 50));
+  EXPECT_NO_THROW(table.acquire(2, 0, 50, 50));
+  // Same offsets on a different record are unrelated.
+  EXPECT_NO_THROW(table.acquire(2, 1, 100, 50));
+  EXPECT_EQ(table.claims_of(2), 3u);
+}
+
+TEST(ConflictTableTest, OwnOverlapIsAllowed) {
+  ConflictTable table;
+  table.acquire(1, 0, 100, 50);
+  EXPECT_NO_THROW(table.acquire(1, 0, 100, 50));
+  EXPECT_NO_THROW(table.acquire(1, 0, 125, 100));
+}
+
+TEST(ConflictTableTest, ReleaseDropsAllClaimsOfOneTxn) {
+  ConflictTable table;
+  table.acquire(1, 0, 0, 10);
+  table.acquire(1, 1, 0, 10);
+  table.acquire(2, 0, 50, 10);
+  EXPECT_FALSE(table.empty());
+
+  table.release(1);
+  EXPECT_EQ(table.claims_of(1), 0u);
+  EXPECT_EQ(table.claims_of(2), 1u);
+  // 1's ranges are free again; 2's survive.
+  EXPECT_NO_THROW(table.acquire(3, 0, 0, 10));
+  EXPECT_THROW(table.acquire(3, 0, 50, 10), TxnConflict);
+
+  table.release(2);
+  table.release(3);
+  EXPECT_TRUE(table.empty());
+}
+
+// --- UndoLog ----------------------------------------------------------
+
+TEST(UndoLogTest, NextUndoCapacityDoublesUntilItFits) {
+  EXPECT_EQ(next_undo_capacity(64, 64), 64u);
+  EXPECT_EQ(next_undo_capacity(64, 65), 128u);
+  EXPECT_EQ(next_undo_capacity(64, 1000), 1024u);
+  EXPECT_EQ(next_undo_capacity(0, 1), 64u);  // floor
+  EXPECT_THROW((void)next_undo_capacity(64, ~0ULL), OutOfRemoteMemory);
+}
+
+class UndoLogScanTest : public ::testing::Test {
+ protected:
+  UndoLogScanTest()
+      : cluster_(sim::HardwareProfile::forth_1997(), 2),
+        client_(cluster_, 0),
+        log_(cluster_, client_, config_, stats_) {}
+
+  /// Appends one serialized entry for `txn_id` to `bytes_`.
+  void append(std::uint64_t txn_id, std::uint64_t offset, std::byte fill,
+              std::uint64_t size = 8) {
+    UndoImage u;
+    u.record = 0;
+    u.offset = offset;
+    u.before.assign(size, fill);
+    const auto entry = log_.serialize(u, txn_id);
+    bytes_.insert(bytes_.end(), entry.begin(), entry.end());
+  }
+
+  MetaHeader header(std::uint64_t propagating_txn) const {
+    MetaHeader hdr;
+    hdr.record_count = 1;
+    hdr.propagating_txn = propagating_txn;
+    hdr.propagating_undo_bytes = propagating_txn != 0 ? bytes_.size() : 0;
+    return hdr;
+  }
+
+  netram::Cluster cluster_;
+  netram::RemoteMemoryClient client_;
+  PerseasConfig config_;
+  PerseasStats stats_;
+  UndoLog log_;
+  std::vector<std::byte> bytes_;
+  std::vector<std::uint64_t> sizes_{4096};  // record 0's size
+};
+
+TEST_F(UndoLogScanTest, ScanCollectsOnlyTheAnnouncedTxnsEntries) {
+  append(3, 0, std::byte{0xAA});    // doomed
+  append(4, 100, std::byte{0xBB});  // open neighbour, interleaved
+  append(3, 200, std::byte{0xCC});  // doomed again
+
+  const auto result = UndoLog::scan(bytes_, header(3), sizes_);
+  EXPECT_EQ(result.max_txn, 4u);
+  ASSERT_EQ(result.rollbacks.size(), 2u);
+  EXPECT_EQ(result.rollbacks[0].txn_id, 3u);
+  EXPECT_EQ(result.rollbacks[0].offset, 0u);
+  EXPECT_EQ(result.rollbacks[1].txn_id, 3u);
+  EXPECT_EQ(result.rollbacks[1].offset, 200u);
+}
+
+TEST_F(UndoLogScanTest, ScanWithNoCommitInFlightRollsBackNothing) {
+  append(1, 0, std::byte{0x11});
+  append(2, 64, std::byte{0x22});
+  const auto result = UndoLog::scan(bytes_, header(0), sizes_);
+  EXPECT_TRUE(result.rollbacks.empty());
+  // Ids still surface so the recovered instance keeps them monotonic.
+  EXPECT_EQ(result.max_txn, 2u);
+}
+
+TEST_F(UndoLogScanTest, CorruptEntryInsideAnnouncedPrefixThrows) {
+  append(5, 0, std::byte{0x55});
+  append(6, 64, std::byte{0x66});
+  const auto hdr = header(5);
+  // Flip one before-image byte of the *neighbour's* entry: inside the
+  // announced prefix even a foreign entry must checksum cleanly.
+  bytes_[bytes_.size() - 1] ^= std::byte{0xFF};
+  EXPECT_THROW((void)UndoLog::scan(bytes_, hdr, sizes_), RecoveryError);
+}
+
+TEST_F(UndoLogScanTest, GarbageBeyondAnnouncedPrefixIsTheCleanEnd) {
+  append(7, 0, std::byte{0x77});
+  const auto hdr = header(7);  // announces only the first entry
+  // Garbage past the announced tail: the scan must stop, not throw.
+  bytes_.insert(bytes_.end(), 64, std::byte{0xFE});
+  const auto result = UndoLog::scan(bytes_, hdr, sizes_);
+  ASSERT_EQ(result.rollbacks.size(), 1u);
+  EXPECT_EQ(result.rollbacks[0].txn_id, 7u);
+}
+
+TEST_F(UndoLogScanTest, ChecksumCoversHeaderFieldsAndImage) {
+  UndoImage u;
+  u.record = 3;
+  u.offset = 40;
+  u.before.assign(16, std::byte{0x42});
+  UndoEntryHeader hdr;
+  hdr.record = u.record;
+  hdr.txn_id = 9;
+  hdr.offset = u.offset;
+  hdr.size = u.before.size();
+  const auto base = undo_entry_checksum(hdr, u.before);
+  hdr.txn_id = 10;
+  EXPECT_NE(undo_entry_checksum(hdr, u.before), base);
+  hdr.txn_id = 9;
+  u.before[0] = std::byte{0x43};
+  EXPECT_NE(undo_entry_checksum(hdr, u.before), base);
+}
+
+TEST_F(UndoLogScanTest, SerializePadsEntriesToEightBytes) {
+  append(1, 0, std::byte{0x01}, 5);  // 5-byte image pads to 8
+  EXPECT_EQ(bytes_.size(), undo_entry_bytes(5));
+  EXPECT_EQ(bytes_.size(), sizeof(UndoEntryHeader) + 8);
+}
+
+}  // namespace
+}  // namespace perseas::core

@@ -144,7 +144,8 @@ TEST(FailureScenarios, RepeatedCrashRecoverCyclesStayConsistent) {
                                          : sim::FailureKind::kHardwareFault);
     cluster.restart_node(0);
     db = std::make_unique<core::Perseas>(
-        core::Perseas::recover(cluster, 0, {&server}));
+        core::Perseas::RecoverTag{}, cluster, 0,
+        std::vector<netram::RemoteMemoryServer*>{&server});
     std::uint64_t seen = 0;
     std::memcpy(&seen, db->record(0).bytes().data(), sizeof seen);
     ASSERT_EQ(seen, committed_value) << "cycle " << cycle;

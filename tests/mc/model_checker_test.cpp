@@ -91,6 +91,34 @@ TEST(McExplore, PerseasExhaustiveNestedIsClean) {
   EXPECT_TRUE(has_point(result.recovery_points, "perseas.recover.after_rollback"));
 }
 
+// The interleaved workload keeps transaction pairs open concurrently on
+// two fixture slots: a crash during either open transaction (or either
+// commit) must still recover to a whole-transaction boundary, with the
+// neighbour's interleaved undo entries discarded.
+TEST(McExplore, PerseasInterleavedExhaustiveIsClean) {
+  McOptions options;
+  options.engine = "perseas";
+  options.workload = "interleaved";
+  options.txns = 4;
+  options.kinds = {sim::FailureKind::kSoftwareCrash};
+  const McResult result = ModelChecker(options).run();
+  EXPECT_TRUE(result.ok()) << (result.violations.empty()
+                                   ? std::string("?")
+                                   : result.violations.front().invariant + ": " +
+                                         result.violations.front().detail);
+  EXPECT_GT(result.crashed, 0u);
+}
+
+// Single-slot comparison engines cannot run the interleaved schedule; the
+// capability probe must reject them up front, not mid-exploration.
+TEST(McExplore, InterleavedRejectsSingleSlotEngines) {
+  McOptions options;
+  options.engine = "vista";
+  options.workload = "interleaved";
+  options.txns = 2;
+  EXPECT_THROW((void)ModelChecker(options).run(), std::invalid_argument);
+}
+
 // Every comparison engine must also survive its sampled sweep.
 TEST(McExplore, ComparisonEnginesSampledAreClean) {
   for (const std::string engine : {"rvm-disk", "rvm-rio", "rvm-nvram", "vista"}) {
@@ -160,7 +188,7 @@ TEST(McReport, SchemaShape) {
 
 TEST(McFixtureTest, KnownEnginesAndWorkloadsAreExposed) {
   EXPECT_EQ(known_engines().size(), 5u);
-  EXPECT_EQ(known_workloads().size(), 3u);
+  EXPECT_EQ(known_workloads().size(), 4u);
   EXPECT_THROW(make_fixture("no-such-engine", {}), std::invalid_argument);
 }
 

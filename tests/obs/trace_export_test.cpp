@@ -182,6 +182,18 @@ TEST_F(TraceExportTest, ExportedMetricsEqualAuthoritativeStatsExactly) {
   EXPECT_EQ(counter("perseas_phase_ns_total", db_label + ",phase=\"commit_flags\""),
             static_cast<std::uint64_t>(s.time_commit_flags));
 
+  // Concurrency bookkeeping: this workload is strictly one-transaction-at-
+  // a-time, so the conflict counter stays zero and the open-transaction
+  // peak is exactly one.
+  EXPECT_EQ(counter("perseas_txn_conflicts_total", db_label), s.txns_conflicted);
+  EXPECT_EQ(s.txns_conflicted, 0u);
+  EXPECT_EQ(reg.gauge("perseas_open_txns_peak", "", db_label).value(), 1.0);
+  EXPECT_EQ(s.max_open_txns, 1u);
+  // The undo-occupancy gauge documents the shared (multi-transaction) log.
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("Undo-log bytes occupied by the open transactions"), std::string::npos);
+  EXPECT_NE(prom.find("High-water mark of concurrently open transactions"), std::string::npos);
+
   const netram::NetworkStats& n = cluster_.stats();
   EXPECT_EQ(counter("netram_remote_writes_total", ""), n.remote_writes);
   EXPECT_EQ(counter("netram_bytes_total", "channel=\"remote_write\""), n.remote_write_bytes);

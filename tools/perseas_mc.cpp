@@ -28,7 +28,9 @@ an executable reference model.
 
   --engine=NAME       perseas | rvm-disk | rvm-rio | rvm-nvram | vista
                       (default perseas)
-  --workload=NAME     debit-credit | synthetic | scripted (default debit-credit)
+  --workload=NAME     debit-credit | synthetic | interleaved | scripted
+                      (default debit-credit; interleaved keeps transaction
+                      pairs open concurrently on two slots)
   --script-file=PATH  workload script for --workload=scripted
   --txns=N            transactions per exploration (default 4)
   --db-size=N         database bytes (default 1024)
