@@ -19,6 +19,7 @@ TxnConflict::TxnConflict(std::uint64_t txn, std::uint64_t holder, std::uint32_t 
 
 void ConflictTable::acquire(std::uint64_t txn, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) {
+  sync::LockGuard lock(mu_);
   std::vector<Claim>* claims = nullptr;
   for (auto& [rec, cs] : records_) {
     if (rec == record) {
@@ -40,6 +41,7 @@ void ConflictTable::acquire(std::uint64_t txn, std::uint32_t record, std::uint64
 }
 
 void ConflictTable::release(std::uint64_t txn) noexcept {
+  sync::LockGuard lock(mu_);
   for (auto& [rec, claims] : records_) {
     claims.erase(std::remove_if(claims.begin(), claims.end(),
                                 [txn](const Claim& c) { return c.owner == txn; }),
@@ -50,9 +52,13 @@ void ConflictTable::release(std::uint64_t txn) noexcept {
                  records_.end());
 }
 
-bool ConflictTable::empty() const noexcept { return records_.empty(); }
+bool ConflictTable::empty() const noexcept {
+  sync::LockGuard lock(mu_);
+  return records_.empty();
+}
 
 std::size_t ConflictTable::claims_of(std::uint64_t txn) const noexcept {
+  sync::LockGuard lock(mu_);
   std::size_t n = 0;
   for (const auto& [rec, claims] : records_) {
     for (const Claim& c : claims) n += c.owner == txn ? 1 : 0;

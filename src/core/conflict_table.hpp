@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/errors.hpp"
+#include "core/sync.hpp"
 
 namespace perseas::core {
 
@@ -64,10 +65,14 @@ class ConflictTable {
     std::uint64_t size = 0;
     std::uint64_t owner = 0;
   };
+  /// Guards the claim map: acquire/release race between concurrently open
+  /// transactions, and first-writer-wins is only meaningful if the
+  /// overlap-scan-then-insert in acquire() is atomic.
+  mutable sync::Mutex mu_;
   /// Per touched record (first-touch order): its claims, unordered — the
   /// table holds a handful of ranges per record, so a linear overlap scan
   /// beats maintaining sorted invariants across owners.
-  std::vector<std::pair<std::uint32_t, std::vector<Claim>>> records_;
+  std::vector<std::pair<std::uint32_t, std::vector<Claim>>> records_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::core

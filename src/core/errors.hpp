@@ -1,4 +1,29 @@
-// Exception types of the PERSEAS library.
+// Exception types of the PERSEAS library, plus the declared throw surface
+// of the whole source tree.
+//
+// The table below is machine-readable: tools/perseas-lint.py (rule D)
+// collects every `throw T(...)` expression under src/ and fails if the
+// type is not listed here.  Adding a throw of a new type is an API-surface
+// change and must be declared in this table (one line per type, first
+// token after the `//` is the unqualified type name).
+//
+// PERSEAS-THROW-SURFACE-BEGIN
+//   PerseasError           core/errors.hpp        base: any library-level failure
+//   UsageError             core/errors.hpp        API misuse (nested txn, bad range, ...)
+//   OutOfRemoteMemory      core/errors.hpp        mirror arena exhausted
+//   RecoveryError          core/errors.hpp        recovery could not complete
+//   TxnConflict            core/conflict_table.hpp  range claimed by another open txn
+//   NodeCrashed            sim/failure.hpp        simulated machine failure (never caught)
+//   ValidationError        check/txn_validator.hpp  base: validator veto
+//   CoverageError          check/txn_validator.hpp  write outside declared ranges
+//   UndoMismatchError      check/txn_validator.hpp  remote undo != local before-image
+//   SnapshotMismatchError  check/txn_validator.hpp  abort left the database changed
+//   invalid_argument       <stdexcept>            constructor argument validation
+//   logic_error            <stdexcept>            comparator-engine misuse (non-PERSEAS)
+//   out_of_range           <stdexcept>            range/index validation
+//   runtime_error          <stdexcept>            comparator/tool environment failures
+//   bad_alloc              <new>                  simulated local arena exhausted
+// PERSEAS-THROW-SURFACE-END
 #pragma once
 
 #include <stdexcept>

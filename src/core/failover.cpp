@@ -1,5 +1,7 @@
 #include "core/failover.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace perseas::core {
 
 FailoverManager::FailoverManager(netram::Cluster& cluster, std::vector<netram::NodeId> standbys,
@@ -34,6 +36,16 @@ std::unique_ptr<Perseas> FailoverManager::fail_over() {
     }
   }
   throw RecoveryError("fail_over: no standby workstation could recover the database");
+}
+
+void FailoverManager::export_metrics(obs::MetricsRegistry& reg) const {
+  reg.counter("failover_total", "Completed fail-overs").add(stats_.failovers);
+  reg.counter("failover_standbys_skipped_total", "Standbys skipped (crashed or no mirror)")
+      .add(stats_.standbys_skipped);
+  reg.gauge("failover_last_duration_ns", "Simulated duration of the most recent fail-over")
+      .set(static_cast<double>(stats_.last_duration));
+  reg.gauge("failover_last_target", "Node hosting the primary after the last fail-over")
+      .set(static_cast<double>(stats_.last_target));
 }
 
 }  // namespace perseas::core

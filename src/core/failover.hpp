@@ -49,6 +49,8 @@ class FailoverManager {
     return standbys_;
   }
 
+  void export_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   netram::Cluster* cluster_;
   std::vector<netram::NodeId> standbys_;

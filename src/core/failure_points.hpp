@@ -1,0 +1,128 @@
+// The central failure-point registry: every crash point any engine ever
+// notifies, in one constexpr table.
+//
+// sim::FailureInjector::notify() takes a free-form string, which is
+// exactly how a typo'd point silently never fires.  This table closes
+// that hole from three directions:
+//   * source: the engines name their points via the constants below (the
+//     perseas.* ones live in protocol_points.hpp; rvm/vista/netram alias
+//     theirs from here), so an unregistered literal cannot exist;
+//   * lint: tools/perseas-lint.py rule A checks every dotted point
+//     literal in src/ against this table AND against the table in
+//     docs/ANALYSIS.md §6, in both directions;
+//   * runtime: perseas::mc's discovery sweep flags any notified point
+//     missing from the registry as a "registry" violation, and
+//     tools/check-mc-report.py --registry enforces that an exhaustive
+//     sweep fired every row marked mc-reachable.
+//
+// Columns: `engine` is the namespace that owns the point (first dotted
+// component), `phase` the protocol step (second component), and `mc`
+// whether the canonical exhaustive perseas-mc sweep for that engine
+// (debit-credit workload, --nested 1) reaches the point.  Rows with
+// mc=false document why in a trailing comment — they need substrate the
+// mc fixtures don't assemble (extra mirrors, tiny undo logs) and are
+// exercised by targeted tier-1 tests instead.
+#pragma once
+
+#include <string_view>
+
+#include "core/protocol_points.hpp"
+
+namespace perseas::core::points {
+
+// --- non-core engines' points (aliased by their .cpp files) --------------
+
+inline constexpr const char* kSciWritevBeforeBurst = "netram.sci_writev.before_burst";
+
+inline constexpr const char* kRvmAfterUndo = "rvm.set_range.after_undo";
+inline constexpr const char* kRvmAfterBuffer = "rvm.commit.after_buffer";
+inline constexpr const char* kRvmCommitDone = "rvm.commit.done";
+inline constexpr const char* kRvmForceAfterBody = "rvm.force.after_body";
+inline constexpr const char* kRvmForceAfterMark = "rvm.force.after_mark";
+inline constexpr const char* kRvmTruncateAfterPages = "rvm.truncate.after_pages";
+inline constexpr const char* kRvmTruncateDone = "rvm.truncate.done";
+inline constexpr const char* kRvmRecoverAfterImage = "rvm.recover.after_image";
+inline constexpr const char* kRvmRecoverAfterReplay = "rvm.recover.after_replay";
+inline constexpr const char* kRvmRecoverDone = "rvm.recover.done";
+
+inline constexpr const char* kVistaAfterEntry = "vista.set_range.after_entry";
+inline constexpr const char* kVistaAfterHeader = "vista.set_range.after_header";
+inline constexpr const char* kVistaCommitDone = "vista.commit.done";
+inline constexpr const char* kVistaRecoverAfterScan = "vista.recover.after_scan";
+inline constexpr const char* kVistaRecoverAfterApply = "vista.recover.after_apply";
+inline constexpr const char* kVistaRecoverDone = "vista.recover.done";
+
+// --- the registry --------------------------------------------------------
+
+struct FailurePoint {
+  const char* name;
+  const char* engine;  ///< owning namespace: perseas | netram | rvm | vista
+  const char* phase;   ///< protocol step (second dotted component)
+  bool mc;             ///< reached by the canonical exhaustive mc sweep
+};
+
+inline constexpr FailurePoint kFailurePoints[] = {
+    // PERSEAS protocol (three-copy commit; core/perseas.cpp + components).
+    {kAfterLocalUndo, "perseas", "set_range", true},
+    {kAfterRemoteUndo, "perseas", "set_range", true},
+    {kAfterFlagSet, "perseas", "commit", true},
+    {kAfterRangeCopy, "perseas", "commit", true},
+    {kBeforeFlagClear, "perseas", "commit", true},
+    {kAfterFlagClear, "perseas", "commit", true},
+    {kCommitDone, "perseas", "commit", true},
+    {kAbortDone, "perseas", "abort", false},  // debit-credit never aborts
+    {kUndoAfterGrowth, "perseas", "undo", false},  // needs a deliberately tiny undo log
+    {kRecoverAfterMeta, "perseas", "recover", true},
+    {kRecoverConnected, "perseas", "recover", true},
+    {kRecoverAfterUndoScan, "perseas", "recover", true},
+    {kRecoverAfterRollback, "perseas", "recover", true},
+    {kRecoverAfterFlagClear, "perseas", "recover", true},
+    {kRecoverAfterPull, "perseas", "recover", true},
+    {kRebuildSegments, "perseas", "rebuild", false},  // needs >= 2 mirror servers
+    {kRebuildDone, "perseas", "rebuild", false},      // needs >= 2 mirror servers
+    {kRecoverDone, "perseas", "recover", true},
+
+    // Gathered SCI store sequences (netram/remote_memory.cpp); fires on the
+    // PERSEAS engine's commit path, so it belongs to the perseas sweep.
+    {kSciWritevBeforeBurst, "netram", "sci_writev", true},
+
+    // RVM write-ahead log (wal/rvm.cpp; rvm-disk / rvm-rio / rvm-nvram).
+    {kRvmAfterUndo, "rvm", "set_range", true},
+    {kRvmAfterBuffer, "rvm", "commit", true},
+    {kRvmCommitDone, "rvm", "commit", true},
+    {kRvmForceAfterBody, "rvm", "force", true},
+    {kRvmForceAfterMark, "rvm", "force", true},
+    {kRvmTruncateAfterPages, "rvm", "truncate", true},
+    {kRvmTruncateDone, "rvm", "truncate", true},
+    {kRvmRecoverAfterImage, "rvm", "recover", true},
+    {kRvmRecoverAfterReplay, "rvm", "recover", true},
+    {kRvmRecoverDone, "rvm", "recover", true},
+
+    // Vista over the Rio cache (wal/vista.cpp).
+    {kVistaAfterEntry, "vista", "set_range", true},
+    {kVistaAfterHeader, "vista", "set_range", true},
+    {kVistaCommitDone, "vista", "commit", true},
+    {kVistaRecoverAfterScan, "vista", "recover", true},
+    {kVistaRecoverAfterApply, "vista", "recover", true},
+    {kVistaRecoverDone, "vista", "recover", true},
+};
+
+inline constexpr std::size_t kFailurePointCount =
+    sizeof(kFailurePoints) / sizeof(kFailurePoints[0]);
+
+/// The registry row for `name`, or nullptr when the point is unregistered.
+[[nodiscard]] constexpr const FailurePoint* find_point(std::string_view name) noexcept {
+  for (const FailurePoint& p : kFailurePoints) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] constexpr bool is_registered(std::string_view name) noexcept {
+  return find_point(name) != nullptr;
+}
+
+static_assert(is_registered("perseas.commit.done"));
+static_assert(!is_registered("perseas.commit.dome"));
+
+}  // namespace perseas::core::points

@@ -20,6 +20,7 @@
 
 #include "core/perseas_config.hpp"
 #include "core/range_set.hpp"
+#include "core/sync.hpp"
 #include "core/txn_context.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
@@ -58,12 +59,34 @@ class MirrorSet {
   /// Appends a mirror whose segments were already connected (recovery).
   Mirror& adopt(Mirror&& m);
 
-  [[nodiscard]] std::size_t size() const noexcept { return mirrors_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return mirrors_.empty(); }
-  [[nodiscard]] Mirror& operator[](std::size_t i) noexcept { return mirrors_[i]; }
-  [[nodiscard]] const Mirror& operator[](std::size_t i) const noexcept { return mirrors_[i]; }
-  [[nodiscard]] std::vector<Mirror>& mirrors() noexcept { return mirrors_; }
-  void clear() noexcept { mirrors_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    sync::LockGuard lock(mu_);
+    return mirrors_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    sync::LockGuard lock(mu_);
+    return mirrors_.empty();
+  }
+  [[nodiscard]] Mirror& operator[](std::size_t i) noexcept {
+    sync::LockGuard lock(mu_);
+    return mirrors_[i];
+  }
+  [[nodiscard]] const Mirror& operator[](std::size_t i) const noexcept {
+    sync::LockGuard lock(mu_);
+    return mirrors_[i];
+  }
+  /// The mirror list itself.  Membership is guarded by mu_, but the
+  /// returned reference escapes it: callers iterate mirrors while the set
+  /// is stable (membership only changes in attach/recovery/decommission,
+  /// never mid-transaction).
+  [[nodiscard]] std::vector<Mirror>& mirrors() noexcept {
+    sync::LockGuard lock(mu_);
+    return mirrors_;
+  }
+  void clear() noexcept {
+    sync::LockGuard lock(mu_);
+    mirrors_.clear();
+  }
 
   /// Reserves record `index`'s mirror segment (`size` bytes) on mirror `m`.
   /// `who` names the caller in the OutOfRemoteMemory message.
@@ -113,7 +136,11 @@ class MirrorSet {
   netram::NodeId local_;
   const PerseasConfig* config_;
   PerseasStats* stats_;
-  std::vector<Mirror> mirrors_;
+  /// Guards mirror-set *membership* (add/adopt/rebuild/clear).  The data
+  /// pushes that take a Mirror& operate on one mirror's remote segments
+  /// and are serialized by the caller's transaction locking, not by mu_.
+  mutable sync::Mutex mu_;
+  std::vector<Mirror> mirrors_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::core

@@ -43,7 +43,7 @@ std::vector<TxnRecordView> Perseas::observer_views() {
   std::vector<TxnRecordView> views;
   views.reserve(records_.size());
   for (std::uint32_t i = 0; i < records_.size(); ++i) {
-    views.push_back(TxnRecordView{i, record_bytes(i)});
+    views.push_back(TxnRecordView{i, record_bytes_locked(i)});
   }
   return views;
 }
@@ -88,8 +88,9 @@ Perseas::Perseas(RecoverTag, netram::Cluster& cluster, netram::NodeId new_local,
 }
 
 RecordHandle Perseas::persistent_malloc(std::uint64_t size) {
+  sync::LockGuard lock(mu_);
   if (shut_down_) throw UsageError("persistent_malloc: instance was shut down");
-  if (in_transaction()) throw UsageError("persistent_malloc: not allowed inside a transaction");
+  if (!open_.empty()) throw UsageError("persistent_malloc: not allowed inside a transaction");
   if (size == 0) throw UsageError("persistent_malloc: zero-sized record");
   if (records_.size() >= config_.max_records) {
     throw UsageError("persistent_malloc: metadata directory full (max_records=" +
@@ -121,19 +122,26 @@ RecordHandle Perseas::persistent_malloc(std::uint64_t size) {
 }
 
 std::span<std::byte> Perseas::record_bytes(std::uint32_t index) {
+  sync::LockGuard lock(mu_);
+  return record_bytes_locked(index);
+}
+
+std::span<std::byte> Perseas::record_bytes_locked(std::uint32_t index) {
   if (index >= records_.size()) throw UsageError("record: index out of range");
   const auto& r = records_[index];
   return cluster_->node(local_).mem(r.local_offset, r.size);
 }
 
 RecordHandle Perseas::record(std::uint32_t index) {
+  sync::LockGuard lock(mu_);
   if (index >= records_.size()) throw UsageError("record: index out of range");
   return RecordHandle{this, index, records_[index].size};
 }
 
 void Perseas::init_remote_db() {
+  sync::LockGuard lock(mu_);
   if (shut_down_) throw UsageError("init_remote_db: instance was shut down");
-  if (in_transaction()) throw UsageError("init_remote_db: not allowed inside a transaction");
+  if (!open_.empty()) throw UsageError("init_remote_db: not allowed inside a transaction");
   for (auto& m : mirror_set_.mirrors()) {
     mirror_set_.push_meta(m, records_, undo_log_.gen());
     for (std::uint32_t i = 0; i < records_.size(); ++i) {
@@ -144,7 +152,8 @@ void Perseas::init_remote_db() {
 }
 
 void Perseas::shutdown(bool decommission) {
-  if (in_transaction()) throw UsageError("shutdown: a transaction is still active");
+  sync::LockGuard lock(mu_);
+  if (!open_.empty()) throw UsageError("shutdown: a transaction is still active");
   if (shut_down_) throw UsageError("shutdown: instance was already shut down");
   for (auto& m : mirror_set_.mirrors()) {
     if (cluster_->node(m.server->host()).crashed()) continue;
@@ -168,6 +177,7 @@ void Perseas::shutdown(bool decommission) {
 }
 
 Transaction Perseas::begin_transaction() {
+  sync::LockGuard lock(mu_);
   if (shut_down_) throw UsageError("begin_transaction: instance was shut down");
   const bool all_mirrored =
       std::all_of(records_.begin(), records_.end(), [](const LocalRecord& r) { return r.mirrored; });
@@ -217,6 +227,7 @@ void Perseas::close_context(std::uint64_t txn_id) noexcept {
 
 void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) {
+  sync::LockGuard lock(mu_);
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_set_range);
   TxnContext* ctx = find_context(txn_id);
   if (ctx == nullptr) throw UsageError("set_range: transaction is not active");
@@ -260,7 +271,7 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
     UndoImage u;
     u.record = record;
     u.offset = r.offset;
-    const auto src = record_bytes(record).subspan(r.offset, r.size);
+    const auto src = record_bytes_locked(record).subspan(r.offset, r.size);
     u.before.assign(src.begin(), src.end());
     fresh_bytes += r.size;
     entries.push_back(std::move(u));
@@ -304,6 +315,7 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
 }
 
 void Perseas::txn_commit(std::uint64_t txn_id) {
+  sync::LockGuard lock(mu_);
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_commit);
   TxnContext* ctx = find_context(txn_id);
   if (ctx == nullptr) throw UsageError("commit: no active transaction");
@@ -419,6 +431,7 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
 }
 
 void Perseas::txn_abort(std::uint64_t txn_id) {
+  sync::LockGuard lock(mu_);
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_abort);
   TxnContext* ctx = find_context(txn_id);
   if (ctx == nullptr) throw UsageError("abort: no active transaction");
@@ -430,7 +443,7 @@ void Perseas::txn_abort(std::uint64_t txn_id) {
   std::uint64_t bytes = 0;
   const auto& undo = ctx->undo();
   for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
-    auto dst = record_bytes(it->record).subspan(it->offset, it->before.size());
+    auto dst = record_bytes_locked(it->record).subspan(it->offset, it->before.size());
     std::memcpy(dst.data(), it->before.data(), it->before.size());
     bytes += it->before.size();
   }

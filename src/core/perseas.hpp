@@ -50,6 +50,7 @@
 #include "core/mirror_set.hpp"
 #include "core/perseas_config.hpp"
 #include "core/range_set.hpp"
+#include "core/sync.hpp"
 #include "core/txn_context.hpp"
 #include "core/txn_hooks.hpp"
 #include "core/undo_log.hpp"
@@ -197,6 +198,7 @@ class Perseas {
   Transaction begin_transaction();
 
   [[nodiscard]] std::uint32_t record_count() const noexcept {
+    sync::LockGuard lock(mu_);
     return static_cast<std::uint32_t>(records_.size());
   }
   [[nodiscard]] RecordHandle record(std::uint32_t index);
@@ -204,11 +206,22 @@ class Perseas {
   [[nodiscard]] std::uint32_t mirror_count() const noexcept {
     return static_cast<std::uint32_t>(mirror_set_.size());
   }
-  [[nodiscard]] const PerseasStats& stats() const noexcept { return stats_; }
+  /// The accumulated counters.  The reference escapes mu_ by design: it is
+  /// read by tests and exporters between transactions, when no writer runs.
+  [[nodiscard]] const PerseasStats& stats() const noexcept {
+    sync::LockGuard lock(mu_);
+    return stats_;
+  }
   [[nodiscard]] const PerseasConfig& config() const noexcept { return config_; }
-  [[nodiscard]] bool in_transaction() const noexcept { return !open_.empty(); }
+  [[nodiscard]] bool in_transaction() const noexcept {
+    sync::LockGuard lock(mu_);
+    return !open_.empty();
+  }
   /// Number of currently open transactions.
-  [[nodiscard]] std::size_t open_transactions() const noexcept { return open_.size(); }
+  [[nodiscard]] std::size_t open_transactions() const noexcept {
+    sync::LockGuard lock(mu_);
+    return open_.size();
+  }
 
   /// True when any transaction observer (validator and/or tracer) is
   /// installed; see PerseasConfig::validate_writes / trace / metrics.
@@ -243,7 +256,10 @@ class Perseas {
   /// raises UsageError.
   void shutdown(bool decommission = false);
 
-  [[nodiscard]] bool is_shut_down() const noexcept { return shut_down_; }
+  [[nodiscard]] bool is_shut_down() const noexcept {
+    sync::LockGuard lock(mu_);
+    return shut_down_;
+  }
 
   /// Recovers the database onto `new_local` (any workstation of the
   /// network) from the first reachable mirror in `servers`.  Rolls the
@@ -266,10 +282,15 @@ class Perseas {
   /// the database, roll back, pull records, re-sync extra mirrors.
   void attach_recover(const std::vector<netram::RemoteMemoryServer*>& servers);
 
+  /// RecordHandle::bytes' entry point: locks and forwards.
   [[nodiscard]] std::span<std::byte> record_bytes(std::uint32_t index);
+  [[nodiscard]] std::span<std::byte> record_bytes_locked(std::uint32_t index)
+      PERSEAS_REQUIRES(mu_);
+  /// rebuild_mirror's body, shared with the recovery re-sync loop.
+  void rebuild_mirror_locked(std::uint32_t index) PERSEAS_REQUIRES(mu_);
   /// Builds the record views handed to the observer (observer installed
   /// only: never called on the validation-off path).
-  [[nodiscard]] std::vector<TxnRecordView> observer_views();
+  [[nodiscard]] std::vector<TxnRecordView> observer_views() PERSEAS_REQUIRES(mu_);
   /// Installs the configured observers: check::TxnValidator when
   /// validate_writes (or PERSEAS_VALIDATE_WRITES) asks for it,
   /// obs::TxnTracer when trace/metrics (or PERSEAS_TRACE/PERSEAS_METRICS)
@@ -279,11 +300,11 @@ class Perseas {
   void flush_owned_observability() noexcept;
 
   /// The open transaction with this id, or nullptr.
-  [[nodiscard]] TxnContext* find_context(std::uint64_t txn_id) noexcept;
+  [[nodiscard]] TxnContext* find_context(std::uint64_t txn_id) noexcept PERSEAS_REQUIRES(mu_);
   /// Views of every open context in begin order (undo-log growth input).
-  [[nodiscard]] std::vector<const TxnContext*> open_contexts() const;
+  [[nodiscard]] std::vector<const TxnContext*> open_contexts() const PERSEAS_REQUIRES(mu_);
   /// Drops `txn_id`'s context and conflict-table claims (commit/abort).
-  void close_context(std::uint64_t txn_id) noexcept;
+  void close_context(std::uint64_t txn_id) noexcept PERSEAS_REQUIRES(mu_);
 
   // Transaction backends.
   void txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
@@ -295,25 +316,34 @@ class Perseas {
   netram::NodeId local_ = 0;
   PerseasConfig config_;
   netram::RemoteMemoryClient client_;
-  PerseasStats stats_;
+
+  /// The orchestration lock: every library entry point (transaction
+  /// backends, allocation, shutdown, recovery) runs under it, so the
+  /// members below mutate atomically per operation.  Lock order is always
+  /// Perseas::mu_ first, component mutexes second; components never call
+  /// back into Perseas.
+  mutable sync::Mutex mu_;
+  PerseasStats stats_ PERSEAS_GUARDED_BY(mu_);
 
   // The components (construction order matters: they hold references to
-  // client_, config_ and stats_ above).
+  // client_, config_ and stats_ above).  They guard their own state; the
+  // stats_ reference they mutate through is covered by mu_ because every
+  // component call is downstream of an entry point holding it.
   MirrorSet mirror_set_;
   UndoLog undo_log_;
   ConflictTable conflicts_;
 
-  std::vector<LocalRecord> records_;
+  std::vector<LocalRecord> records_ PERSEAS_GUARDED_BY(mu_);
   /// Open transactions in begin order; each owns its TxnContext at a
   /// stable address (Transaction handles name them by id).
-  std::vector<std::unique_ptr<TxnContext>> open_;
+  std::vector<std::unique_ptr<TxnContext>> open_ PERSEAS_GUARDED_BY(mu_);
 
-  bool shut_down_ = false;
+  bool shut_down_ PERSEAS_GUARDED_BY(mu_) = false;
   /// PERSEAS_MC_SEED_BUG=skip-flag-clear (model-checker self-test only):
   /// deliberately skip the commit-point store so perseas-mc can prove it
   /// catches real protocol violations.
   bool mc_skip_flag_clear_ = false;
-  std::uint64_t txn_counter_ = 0;
+  std::uint64_t txn_counter_ PERSEAS_GUARDED_BY(mu_) = 0;
 
   /// Installed by maybe_install_observers; hooks fire only when non-null.
   std::unique_ptr<TxnObserver> observer_;

@@ -82,12 +82,13 @@ void Perseas::flush_owned_observability() noexcept {
       owned_trace_->save(owned_trace_path_);
       owned_trace_.reset();
     }
-  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  } catch (...) {
     // Destructor path: a failed dump must not terminate the program.
   }
 }
 
 void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
+  sync::LockGuard lock(mu_);
   const std::string db = "db=\"" + config_.name + "\"";
   const auto count = [&](std::string_view name, std::string_view help, std::uint64_t v,
                          const std::string& labels) { reg.counter(name, help, labels).add(v); };
@@ -155,12 +156,24 @@ void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
 
   if (observer_) {
     const TxnObserverStats v = validator_stats();
-    count("perseas_validator_commits_checked_total", "Commits diffed by check::TxnValidator",
-          v.commits_checked, db);
-    count("perseas_validator_uncovered_writes_total", "CoverageErrors raised",
-          v.uncovered_writes, db);
+    count("perseas_validator_txns_observed_total", "Transactions seen by the observer chain",
+          v.txns_observed, db);
+    count("perseas_validator_snapshots_total", "Records snapshotted at begin",
+          v.snapshots_taken, db);
     count("perseas_validator_snapshot_bytes_total", "Bytes snapshotted by the validator",
           v.snapshot_bytes, db);
+    count("perseas_validator_ranges_tracked_total", "set_range declarations observed",
+          v.ranges_tracked, db);
+    count("perseas_validator_commits_checked_total", "Commits diffed by check::TxnValidator",
+          v.commits_checked, db);
+    count("perseas_validator_aborts_checked_total", "Aborts verified byte-identical",
+          v.aborts_checked, db);
+    count("perseas_validator_undo_crosschecks_total", "Remote undo entries byte-compared",
+          v.undo_crosschecks, db);
+    count("perseas_validator_uncovered_writes_total", "CoverageErrors raised",
+          v.uncovered_writes, db);
+    count("perseas_validator_unused_ranges_total", "Declared-but-untouched range warnings",
+          v.unused_ranges, db);
   }
 }
 

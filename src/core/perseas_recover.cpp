@@ -12,11 +12,17 @@
 namespace perseas::core {
 
 void Perseas::rebuild_mirror(std::uint32_t index) {
+  sync::LockGuard lock(mu_);
+  rebuild_mirror_locked(index);
+}
+
+void Perseas::rebuild_mirror_locked(std::uint32_t index) {
   if (shut_down_) throw UsageError("rebuild_mirror: instance was shut down");
   mirror_set_.rebuild(index, records_, undo_log_.capacity(), undo_log_.gen());
 }
 
 void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& servers) {
+  sync::LockGuard lock(mu_);
   // Find any reachable mirror that holds the database (paper section 3:
   // "the database may be reconstructed quickly in any workstation").
   netram::RemoteMemoryServer* primary = nullptr;
@@ -117,7 +123,7 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
     MirrorSet::Mirror extra;
     extra.server = srv;
     mirror_set_.adopt(std::move(extra));
-    rebuild_mirror(static_cast<std::uint32_t>(mirror_set_.size() - 1));
+    rebuild_mirror_locked(static_cast<std::uint32_t>(mirror_set_.size() - 1));
   }
   cluster_->failures().notify(points::kRecoverDone);
 }

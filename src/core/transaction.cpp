@@ -19,7 +19,7 @@ Transaction& Transaction::operator=(Transaction&& other) noexcept {
     if (owner_ != nullptr) {
       try {
         owner_->txn_abort(id_);
-      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      } catch (...) {
         // A crashed node during cleanup leaves recovery to the caller.
       }
     }
@@ -34,7 +34,7 @@ Transaction::~Transaction() {
   if (owner_ != nullptr) {
     try {
       owner_->txn_abort(id_);
-    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    } catch (...) {
       // Destructors must not throw; a node crash here surfaces at the next
       // library call or through recovery.
     }

@@ -81,11 +81,13 @@ std::vector<std::byte> UndoLog::serialize(const UndoImage& u, std::uint64_t txn_
 
 void UndoLog::ensure_capacity(MirrorSet& mirrors, std::uint64_t needed,
                               std::span<const TxnContext* const> open) {
+  sync::LockGuard lock(mu_);
   if (tail_ + needed > capacity_) grow(mirrors, needed, open);
 }
 
 void UndoLog::push(MirrorSet& mirrors, const UndoImage& u, std::uint64_t txn_id,
                    netram::StreamHint hint, TxnObserver* observer) {
+  sync::LockGuard lock(mu_);
   const auto buf = serialize(u, txn_id);
   for (auto& m : mirrors.mirrors()) {
     client_->sci_memcpy_write(m.undo, tail_, buf, hint, config_->optimized_sci_memcpy);

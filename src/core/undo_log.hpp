@@ -24,6 +24,7 @@
 
 #include "core/mirror_set.hpp"
 #include "core/perseas_config.hpp"
+#include "core/sync.hpp"
 #include "core/txn_context.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
@@ -55,15 +56,28 @@ class UndoLog {
   UndoLog(const UndoLog&) = delete;
   UndoLog& operator=(const UndoLog&) = delete;
 
-  [[nodiscard]] std::uint64_t gen() const noexcept { return gen_; }
-  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t gen() const noexcept {
+    sync::LockGuard lock(mu_);
+    return gen_;
+  }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    sync::LockGuard lock(mu_);
+    return capacity_;
+  }
   /// Bytes occupied by pushed entries (the value the commit announcement
   /// carries: recovery parses exactly this prefix).
-  [[nodiscard]] std::uint64_t tail() const noexcept { return tail_; }
+  [[nodiscard]] std::uint64_t tail() const noexcept {
+    sync::LockGuard lock(mu_);
+    return tail_;
+  }
 
-  void set_capacity(std::uint64_t capacity) noexcept { capacity_ = capacity; }
+  void set_capacity(std::uint64_t capacity) noexcept {
+    sync::LockGuard lock(mu_);
+    capacity_ = capacity;
+  }
   /// Adopts the generation + capacity of a recovered segment.
   void attach(std::uint64_t gen, std::uint64_t capacity) noexcept {
+    sync::LockGuard lock(mu_);
     gen_ = gen;
     capacity_ = capacity;
     tail_ = 0;
@@ -71,7 +85,10 @@ class UndoLog {
   /// Truncates the log (legal only while no pushed entry is live: the
   /// first begin with no other transaction open, or the start of a lazy
   /// commit — lazy mode pushes only inside the synchronous commit itself).
-  void reset_tail() noexcept { tail_ = 0; }
+  void reset_tail() noexcept {
+    sync::LockGuard lock(mu_);
+    tail_ = 0;
+  }
 
   /// Serializes one undo entry (header + padded image) for txn `txn_id`.
   [[nodiscard]] std::vector<std::byte> serialize(const UndoImage& u,
@@ -128,16 +145,19 @@ class UndoLog {
 
  private:
   void grow(MirrorSet& mirrors, std::uint64_t needed_bytes,
-            std::span<const TxnContext* const> open);
+            std::span<const TxnContext* const> open) PERSEAS_REQUIRES(mu_);
 
   netram::Cluster* cluster_;
   netram::RemoteMemoryClient* client_;
   const PerseasConfig* config_;
   PerseasStats* stats_;
 
-  std::uint64_t gen_ = 0;
-  std::uint64_t capacity_ = 0;
-  std::uint64_t tail_ = 0;
+  /// Guards the shared log cursor: several open transactions' eager pushes
+  /// interleave at tail_, and growth republishes gen_/capacity_ together.
+  mutable sync::Mutex mu_;
+  std::uint64_t gen_ PERSEAS_GUARDED_BY(mu_) = 0;
+  std::uint64_t capacity_ PERSEAS_GUARDED_BY(mu_) = 0;
+  std::uint64_t tail_ PERSEAS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace perseas::core

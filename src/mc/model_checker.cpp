@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/failure_points.hpp"
 #include "mc/reference_model.hpp"
 #include "sim/random.hpp"
 
@@ -13,6 +14,22 @@ namespace perseas::mc {
 namespace {
 
 using PointHits = sim::FailureInjector::PointHits;
+
+/// Every discovered point must be a row of the central registry
+/// (core/failure_points.hpp) — a notify() of an unregistered name is a
+/// point the lint/docs/mc triad cannot see, so it surfaces as a
+/// "registry" violation instead of silently widening the state space.
+void check_registered(McResult& result, const std::vector<PointHits>& window) {
+  for (const PointHits& row : window) {
+    if (core::points::is_registered(row.point)) continue;
+    McViolation v;
+    v.invariant = "registry";
+    v.point = row.point;
+    v.detail = "failure point \"" + row.point +
+               "\" is not in core/failure_points.hpp's registry";
+    result.violations.push_back(std::move(v));
+  }
+}
 
 /// Scopes the PERSEAS_MC_SEED_BUG knob to one checker run (self-test mode),
 /// restoring whatever the process had before.
@@ -188,6 +205,7 @@ void ModelChecker::discover(McResult& result) {
   run_workload(*fixture, options_.txns, ignored);
 
   result.points = window_delta(baseline, injector.snapshot());
+  check_registered(result, result.points);
   const auto db = fixture->db();
   if (const auto mm = first_mismatch(states_.back(), db)) {
     McViolation v;
@@ -466,6 +484,10 @@ McResult ModelChecker::run() {
       record_violation(result, job.combo, &job.point, job.hit, std::move(*out.violation));
     }
   }
+
+  // Recovery-path points only appear during exploration, so they get the
+  // same registry screen as the discovery window.
+  check_registered(result, result.recovery_points);
 
   return result;
 }

@@ -72,7 +72,8 @@ struct McViolation {
   std::uint64_t nested_hit = 0;
   /// Transaction in flight when the crash fired (== txns for post-workload).
   std::uint64_t txn = 0;
-  /// "atomicity" | "durability" | "recovery" | "hygiene" | "model"
+  /// "atomicity" | "durability" | "recovery" | "hygiene" | "model" |
+  /// "registry" (a notified point missing from core/failure_points.hpp)
   std::string invariant;
   std::string detail;
   /// Shortest workload prefix reproducing this violation (0 = not minimized).

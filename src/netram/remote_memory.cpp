@@ -4,6 +4,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "core/failure_points.hpp"
+
 namespace perseas::netram {
 
 RemoteMemoryServer::RemoteMemoryServer(Cluster& cluster, NodeId host)
@@ -151,7 +153,7 @@ sim::SimDuration RemoteMemoryClient::sci_memcpy_writev(
     // remote, this one has not — the finest-grained torn state a gathered
     // store sequence can leave behind (slices merged into one burst are a
     // single simulated store and cannot tear further).
-    cluster_->failures().notify("netram.sci_writev.before_burst");
+    cluster_->failures().notify(core::points::kSciWritevBeforeBurst);
     total += cluster_->remote_write(local_, segment.server_node,
                                     segment.offset + slices[i].offset, burst, h, optimized);
     first_burst = false;

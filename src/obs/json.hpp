@@ -23,14 +23,14 @@ class Json {
   [[nodiscard]] static Json object();
   [[nodiscard]] static Json array();
 
-  Json(bool v);                 // NOLINT(google-explicit-constructor)
-  Json(double v);               // NOLINT(google-explicit-constructor)
-  Json(std::int64_t v);         // NOLINT(google-explicit-constructor)
-  Json(std::uint64_t v);        // NOLINT(google-explicit-constructor)
-  Json(int v) : Json(static_cast<std::int64_t>(v)) {}  // NOLINT(google-explicit-constructor)
-  Json(std::string v);          // NOLINT(google-explicit-constructor)
-  Json(const char* v) : Json(std::string(v)) {}  // NOLINT(google-explicit-constructor)
-  Json(std::string_view v) : Json(std::string(v)) {}  // NOLINT(google-explicit-constructor)
+  Json(bool v);
+  Json(double v);
+  Json(std::int64_t v);
+  Json(std::uint64_t v);
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::string v);
+  Json(const char* v) : Json(std::string(v)) {}
+  Json(std::string_view v) : Json(std::string(v)) {}
 
   /// Object member insert/overwrite (keeps first-insert order).  Returns
   /// *this for chaining; throws std::logic_error on non-objects.

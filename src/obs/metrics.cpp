@@ -32,16 +32,19 @@ MetricsRegistry::Metric& MetricsRegistry::find_or_create(Kind kind, std::string_
 
 Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
                                   std::string_view labels) {
+  sync::LockGuard lock(mu_);
   return find_or_create(Kind::kCounter, name, help, labels).counter;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
                               std::string_view labels) {
+  sync::LockGuard lock(mu_);
   return find_or_create(Kind::kGauge, name, help, labels).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help,
                                       std::string_view labels) {
+  sync::LockGuard lock(mu_);
   return *find_or_create(Kind::kHistogram, name, help, labels).histogram;
 }
 
@@ -74,6 +77,7 @@ Json quantile_json(const sim::Summary& s, double q) {
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
+  sync::LockGuard lock(mu_);
   std::string out;
   std::string last_family;
   for (const auto& m : metrics_) {
@@ -111,6 +115,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 Json MetricsRegistry::to_json() const {
+  sync::LockGuard lock(mu_);
   Json counters = Json::object();
   Json gauges = Json::object();
   Json histograms = Json::object();

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "obs/json.hpp"
 #include "sim/stats.hpp"
 
@@ -69,6 +70,12 @@ class Histogram {
   sim::Log2Histogram log2_;
 };
 
+/// The metric table is guarded by mu_: registration (find-or-create) and
+/// serialization may race once worker threads arrive.  The *returned*
+/// Counter/Gauge/Histogram references are deliberately outside the lock's
+/// scope — they are stable for the registry's lifetime and each belongs to
+/// exactly one instrumenting component, per the export-on-dump contract
+/// above.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -86,7 +93,10 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name, std::string_view help = "",
                        std::string_view labels = "");
 
-  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    sync::LockGuard lock(mu_);
+    return metrics_.size();
+  }
 
   /// Prometheus text exposition format (one HELP/TYPE block per family).
   [[nodiscard]] std::string to_prometheus() const;
@@ -114,10 +124,11 @@ class MetricsRegistry {
   };
 
   Metric& find_or_create(Kind kind, std::string_view name, std::string_view help,
-                         std::string_view labels);
+                         std::string_view labels) PERSEAS_REQUIRES(mu_);
 
+  mutable sync::Mutex mu_;
   /// Registration order; unique_ptr keeps returned references stable.
-  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::vector<std::unique_ptr<Metric>> metrics_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::obs

@@ -10,11 +10,13 @@
 namespace perseas::obs {
 
 std::uint32_t TraceRecorder::register_track(std::string name) {
+  sync::LockGuard lock(mu_);
   tracks_.push_back(std::move(name));
   return static_cast<std::uint32_t>(tracks_.size());
 }
 
 void TraceRecorder::set_thread_name(std::uint32_t track, std::uint32_t tid, std::string name) {
+  sync::LockGuard lock(mu_);
   thread_names_.push_back(ThreadName{track, tid, std::move(name)});
 }
 
@@ -30,6 +32,7 @@ void TraceRecorder::complete(std::uint32_t track, std::uint32_t tid, std::string
   e.ts = start;
   e.dur = dur;
   e.args.assign(args.begin(), args.end());
+  sync::LockGuard lock(mu_);
   events_.push_back(std::move(e));
 }
 
@@ -43,10 +46,12 @@ void TraceRecorder::instant(std::uint32_t track, std::uint32_t tid, std::string_
   e.name = name;
   e.ts = ts;
   e.args.assign(args.begin(), args.end());
+  sync::LockGuard lock(mu_);
   events_.push_back(std::move(e));
 }
 
 void TraceRecorder::clear() {
+  sync::LockGuard lock(mu_);
   tracks_.clear();
   thread_names_.clear();
   events_.clear();
@@ -65,6 +70,7 @@ void append_us(std::string& out, sim::SimTime ns_value) {
 }  // namespace
 
 void TraceRecorder::write_json(std::ostream& out) const {
+  sync::LockGuard lock(mu_);
   std::string buf;
   buf += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
   bool first = true;

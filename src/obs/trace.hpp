@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "sim/sim_time.hpp"
 
 namespace perseas::obs {
@@ -71,9 +72,21 @@ class TraceRecorder {
   void instant(std::uint32_t track, std::uint32_t tid, std::string_view cat,
                std::string_view name, sim::SimTime ts, Args args = {});
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  [[nodiscard]] std::size_t event_count() const noexcept { return events_.size(); }
-  [[nodiscard]] std::size_t track_count() const noexcept { return tracks_.size(); }
+  /// The recorded events, in append order.  Only for after-the-run readers
+  /// (exporters, tests): the reference bypasses mu_, so reading it while
+  /// instrumented code is still appending is a race by contract.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    sync::LockGuard lock(mu_);
+    return events_;
+  }
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    sync::LockGuard lock(mu_);
+    return events_.size();
+  }
+  [[nodiscard]] std::size_t track_count() const noexcept {
+    sync::LockGuard lock(mu_);
+    return tracks_.size();
+  }
 
   void clear();
 
@@ -93,9 +106,10 @@ class TraceRecorder {
     std::string name;
   };
 
-  std::vector<std::string> tracks_;  // index + 1 == track id
-  std::vector<ThreadName> thread_names_;
-  std::vector<TraceEvent> events_;
+  mutable sync::Mutex mu_;
+  std::vector<std::string> tracks_ PERSEAS_GUARDED_BY(mu_);  // index + 1 == track id
+  std::vector<ThreadName> thread_names_ PERSEAS_GUARDED_BY(mu_);
+  std::vector<TraceEvent> events_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::obs

@@ -23,37 +23,42 @@ NodeCrashed::NodeCrashed(std::uint32_t node_id, FailureKind kind, std::string po
       point_(std::move(point)) {}
 
 void FailureInjector::arm(std::string point, std::uint64_t after_hits, Action action) {
+  sync::LockGuard lock(mu_);
   const std::uint64_t current = count_for(point).hits;
   armed_.push_back(Armed{std::move(point), current + after_hits + 1, std::move(action)});
 }
 
 void FailureInjector::notify(std::string_view point) {
-  auto& pc = count_for(point);
-  ++pc.hits;
-  if (armed_.empty()) return;
-
-  // Collect due actions first: an action may crash a node and throw, and we
-  // must have already removed it from the armed list so that recovery code
-  // re-entering the same point does not re-fire it.
+  // Collect due actions under the lock, fire them outside it: an action may
+  // crash a node and throw, and must already be off the armed list so that
+  // recovery code re-entering the same point does not re-fire it — and it
+  // may itself call arm()/notify(), which would self-deadlock under mu_.
   std::vector<Action> due;
-  for (auto it = armed_.begin(); it != armed_.end();) {
-    if (it->point == point && pc.hits >= it->fire_at_hit) {
-      due.push_back(std::move(it->action));
-      it = armed_.erase(it);
-    } else {
-      ++it;
+  {
+    sync::LockGuard lock(mu_);
+    auto& pc = count_for(point);
+    ++pc.hits;
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (it->point == point && pc.hits >= it->fire_at_hit) {
+        due.push_back(std::move(it->action));
+        it = armed_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   for (auto& action : due) action();
 }
 
 std::uint64_t FailureInjector::hits(std::string_view point) const noexcept {
+  sync::LockGuard lock(mu_);
   const auto it = std::find_if(counts_.begin(), counts_.end(),
                                [&](const PointCount& pc) { return pc.point == point; });
   return it == counts_.end() ? 0 : it->hits;
 }
 
 std::vector<std::string> FailureInjector::seen_points() const {
+  sync::LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(counts_.size());
   for (const auto& pc : counts_) out.push_back(pc.point);
@@ -62,6 +67,7 @@ std::vector<std::string> FailureInjector::seen_points() const {
 }
 
 std::vector<FailureInjector::PointHits> FailureInjector::snapshot() const {
+  sync::LockGuard lock(mu_);
   std::vector<PointHits> out;
   out.reserve(counts_.size());
   for (const auto& pc : counts_) out.push_back(PointHits{pc.point, pc.hits});

@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/sync.hpp"
+
 namespace perseas::sim {
 
 /// Why a node went down.
@@ -59,10 +61,16 @@ struct PowerSupply {
 
 /// Scriptable failure points.
 ///
-/// Library code calls notify("perseas.commit.before_db_copy") at each
-/// interesting step; a test arms an action at that point with an optional
-/// countdown ("crash on the 3rd commit").  Actions typically crash a node
+/// Library code calls notify("perseas.commit.after_flag_set") at each
+/// interesting step (the full set lives in core/failure_points.hpp); a
+/// test arms an action at that point with an optional countdown ("crash
+/// on the 3rd commit").  Actions typically crash a node
 /// and therefore throw NodeCrashed through the library operation.
+///
+/// Thread-safe: arm lists and hit counts are guarded by mu_, so
+/// instrumented library code on several worker threads can notify()
+/// concurrently.  Armed actions run *outside* the lock (they may crash
+/// nodes, throw, or re-enter arm()/notify()).
 class FailureInjector {
  public:
   using Action = std::function<void()>;
@@ -77,13 +85,17 @@ class FailureInjector {
   /// Disarms everything.  Hit counts are deliberately kept: coverage
   /// assertions (hits() / seen_points()) keep working after a scenario
   /// disarms its pending actions.  Use reset() for a pristine injector.
-  void clear() noexcept { armed_.clear(); }
+  void clear() noexcept {
+    sync::LockGuard lock(mu_);
+    armed_.clear();
+  }
 
   /// Disarms everything *and* forgets all hit counts, as if freshly
   /// constructed.  Scenarios that reuse one injector across independent
   /// runs must call this, or arm(point, after_hits, ...) countdowns will
   /// be offset by the previous run's hits.
   void reset() noexcept {
+    sync::LockGuard lock(mu_);
     armed_.clear();
     counts_.clear();
   }
@@ -113,7 +125,10 @@ class FailureInjector {
 
   /// Number of actions still armed (fired actions remove themselves); lets
   /// explorers detect an armed crash whose point was never reached.
-  [[nodiscard]] std::size_t armed_count() const noexcept { return armed_.size(); }
+  [[nodiscard]] std::size_t armed_count() const noexcept {
+    sync::LockGuard lock(mu_);
+    return armed_.size();
+  }
 
  private:
   struct Armed {
@@ -126,10 +141,11 @@ class FailureInjector {
     std::uint64_t hits = 0;
   };
 
-  PointCount& count_for(std::string_view point);
+  PointCount& count_for(std::string_view point) PERSEAS_REQUIRES(mu_);
 
-  std::vector<Armed> armed_;
-  std::vector<PointCount> counts_;
+  mutable sync::Mutex mu_;
+  std::vector<Armed> armed_ PERSEAS_GUARDED_BY(mu_);
+  std::vector<PointCount> counts_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::sim

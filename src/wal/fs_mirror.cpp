@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace perseas::wal {
 
@@ -92,6 +95,21 @@ void FsMirror::recover() {
   undo_.clear();
   dirty_blocks_.clear();
   client_.sci_memcpy_read(mirror_, 0, db());
+}
+
+void FsMirror::export_metrics(obs::MetricsRegistry& reg, std::string_view label) const {
+  const std::string l = "engine=\"" + std::string(label) + "\"";
+  reg.counter("wal_commits_total", "WAL-engine commits", l).add(stats_.commits);
+  reg.counter("wal_aborts_total", "WAL-engine aborts", l).add(stats_.aborts);
+  reg.counter("fsmirror_blocks_shipped_total", "Whole blocks shipped to the file server", l)
+      .add(stats_.blocks_shipped);
+  // Shipped vs useful is the block-granularity overhead the comparator
+  // exists to measure (section 2's file-system remark).
+  const char* bytes_help = "Bytes shipped to the file server, by accounting";
+  reg.counter("fsmirror_bytes_total", bytes_help, l + ",kind=\"shipped\"")
+      .add(stats_.bytes_shipped);
+  reg.counter("fsmirror_bytes_total", bytes_help, l + ",kind=\"useful\"")
+      .add(stats_.useful_bytes);
 }
 
 }  // namespace perseas::wal

@@ -14,10 +14,15 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
+
+namespace perseas::obs {
+class MetricsRegistry;
+}  // namespace perseas::obs
 
 namespace perseas::wal {
 
@@ -56,6 +61,8 @@ class FsMirror {
   void recover();
 
   [[nodiscard]] const FsMirrorStats& stats() const noexcept { return stats_; }
+
+  void export_metrics(obs::MetricsRegistry& reg, std::string_view label) const;
 
  private:
   struct UndoEntry {

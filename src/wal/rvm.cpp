@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/failure_points.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -15,16 +16,17 @@ constexpr std::uint64_t kCommitMarkBytes = 64;
 
 /// Failure points instrumented through the WAL protocol; the model checker
 /// (perseas::mc) discovers these mechanically and crashes the host at each.
-constexpr const char* kAfterUndo = "rvm.set_range.after_undo";
-constexpr const char* kAfterBuffer = "rvm.commit.after_buffer";
-constexpr const char* kCommitDone = "rvm.commit.done";
-constexpr const char* kForceAfterBody = "rvm.force.after_body";
-constexpr const char* kForceAfterMark = "rvm.force.after_mark";
-constexpr const char* kTruncateAfterPages = "rvm.truncate.after_pages";
-constexpr const char* kTruncateDone = "rvm.truncate.done";
-constexpr const char* kRecoverAfterImage = "rvm.recover.after_image";
-constexpr const char* kRecoverAfterReplay = "rvm.recover.after_replay";
-constexpr const char* kRecoverDone = "rvm.recover.done";
+/// The names live in the central registry (core/failure_points.hpp).
+constexpr const char* kAfterUndo = core::points::kRvmAfterUndo;
+constexpr const char* kAfterBuffer = core::points::kRvmAfterBuffer;
+constexpr const char* kCommitDone = core::points::kRvmCommitDone;
+constexpr const char* kForceAfterBody = core::points::kRvmForceAfterBody;
+constexpr const char* kForceAfterMark = core::points::kRvmForceAfterMark;
+constexpr const char* kTruncateAfterPages = core::points::kRvmTruncateAfterPages;
+constexpr const char* kTruncateDone = core::points::kRvmTruncateDone;
+constexpr const char* kRecoverAfterImage = core::points::kRvmRecoverAfterImage;
+constexpr const char* kRecoverAfterReplay = core::points::kRvmRecoverAfterReplay;
+constexpr const char* kRecoverDone = core::points::kRvmRecoverDone;
 }  // namespace
 
 Rvm::Rvm(netram::Cluster& cluster, netram::NodeId node, disk::StableStore& store,

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/failure_points.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -11,13 +12,14 @@ namespace perseas::wal {
 
 namespace {
 /// Failure points instrumented through the Vista protocol; the model
-/// checker (perseas::mc) discovers these mechanically.
-constexpr const char* kAfterEntry = "vista.set_range.after_entry";
-constexpr const char* kAfterHeader = "vista.set_range.after_header";
-constexpr const char* kCommitDone = "vista.commit.done";
-constexpr const char* kRecoverAfterScan = "vista.recover.after_scan";
-constexpr const char* kRecoverAfterApply = "vista.recover.after_apply";
-constexpr const char* kRecoverDone = "vista.recover.done";
+/// checker (perseas::mc) discovers these mechanically.  The names live in
+/// the central registry (core/failure_points.hpp).
+constexpr const char* kAfterEntry = core::points::kVistaAfterEntry;
+constexpr const char* kAfterHeader = core::points::kVistaAfterHeader;
+constexpr const char* kCommitDone = core::points::kVistaCommitDone;
+constexpr const char* kRecoverAfterScan = core::points::kVistaRecoverAfterScan;
+constexpr const char* kRecoverAfterApply = core::points::kVistaRecoverAfterApply;
+constexpr const char* kRecoverDone = core::points::kVistaRecoverDone;
 }  // namespace
 
 Vista::Vista(netram::Cluster& cluster, netram::NodeId node, rio::RioCache& rio,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/perseas.hpp"
+#include "core/sync.hpp"
 #include "disk/disk_model.hpp"
 #include "disk/disk_store.hpp"
 #include "disk/nvram_store.hpp"
@@ -66,7 +67,12 @@ class PerseasEngine final : public TxnEngine {
   netram::Cluster* cluster_;
   core::Perseas db_;
   core::RecordHandle record_;
-  std::array<std::optional<core::Transaction>, kTxnSlots> slots_;
+  /// Guards the slot table itself (which slots hold an open Transaction);
+  /// held across the forwarded operation, so a slot cannot be re-targeted
+  /// while its transaction is mid-commit.  Lock order: mu_ before the
+  /// Perseas orchestration lock (db_ never calls back into the engine).
+  sync::Mutex mu_;
+  std::array<std::optional<core::Transaction>, kTxnSlots> slots_ PERSEAS_GUARDED_BY(mu_);
 };
 
 /// RVM over any stable store (disk -> "rvm-disk", Rio -> "rvm-rio").
@@ -188,6 +194,10 @@ class FsMirrorEngine final : public TxnEngine {
   }
   void commit() override { mirror_.commit_transaction(); }
   void abort() override { mirror_.abort_transaction(); }
+
+  void export_metrics(obs::MetricsRegistry& reg) const override {
+    mirror_.export_metrics(reg, name());
+  }
 
   [[nodiscard]] wal::FsMirror& fs_mirror() noexcept { return mirror_; }
 

@@ -1,0 +1,29 @@
+// Deliberate locking-discipline violation: a PERSEAS_GUARDED_BY member is
+// read and written without holding its mutex.
+//
+// This file is NOT part of any library or test target.  tests/
+// CMakeLists.txt feeds it straight to the compiler with
+// `-fsyntax-only -Wthread-safety -Werror` (clang only) under a ctest
+// entry marked WILL_FAIL: the test PASSES precisely when this file FAILS
+// to compile, proving the annotations in src/core/sync.hpp have teeth
+// rather than being decorative.  If you "fix" this file so it compiles,
+// the negative-compile test starts failing — that is the point.
+#include "core/sync.hpp"
+
+class UnguardedAccess {
+ public:
+  // Neither method takes mu_: clang's thread-safety analysis must reject
+  // both the write and the read of the guarded member.
+  void bump() { ++value_; }
+  [[nodiscard]] int read() const { return value_; }
+
+ private:
+  mutable perseas::sync::Mutex mu_;
+  int value_ PERSEAS_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  UnguardedAccess u;
+  u.bump();
+  return u.read();
+}

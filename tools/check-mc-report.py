@@ -2,7 +2,7 @@
 """Validate a perseas-mc/1 model-checker report (tools/perseas-mc --report).
 
 Usage:
-    check-mc-report.py <report.json>
+    check-mc-report.py [--registry] <report.json>
     check-mc-report.py --expect-violations <report.json>
 
 Checks the stable schema perseas::mc::mc_report_json emits and fails (exit
@@ -11,18 +11,87 @@ polarity flips: the report must contain at least one *minimized* violation —
 this is how CI validates the --selftest artifact, proving the checker can
 actually see bugs rather than just printing green.
 
+With --registry the report is additionally cross-checked against the
+central failure-point registry (src/core/failure_points.hpp): every
+registry row owned by the report's engine and marked mc-reachable must
+appear in the fired window (points plus recovery_points), and every fired
+point must be registered.  Pass it only on the canonical exhaustive leg —
+a sampled or narrowed sweep legitimately misses points.
+
 Exits 0 on success, 1 with a diagnostic otherwise, 2 on usage errors.
 Stdlib only: runs on any CI python3 without installs.
 """
 
 import json
+import re
 import sys
+from pathlib import Path
 
 import ci_json
 
 SCHEMA = "perseas-mc/1"
-INVARIANTS = {"atomicity", "durability", "recovery", "hygiene", "model"}
+INVARIANTS = {"atomicity", "durability", "recovery", "hygiene", "model", "registry"}
 KINDS = {"software-crash", "power-outage", "hardware-fault"}
+
+# Which registry engines a perseas-mc engine's sweep is responsible for:
+# the netram point fires on the PERSEAS commit path, so the perseas sweep
+# owns it; every rvm-* store variant drives the same WAL code.
+ENGINE_DOMAINS = {
+    "perseas": {"perseas", "netram"},
+    "vista": {"vista"},
+    "rvm-disk": {"rvm"},
+    "rvm-disk-group": {"rvm"},
+    "rvm-rio": {"rvm"},
+    "rvm-nvram": {"rvm"},
+}
+
+
+def load_registry():
+    """Parses src/core/failure_points.hpp relative to this script.
+
+    Returns {point-name: (engine, mc_reachable)}."""
+    core = Path(__file__).resolve().parent.parent / "src" / "core"
+    constants = {}
+    for name in ("protocol_points.hpp", "failure_points.hpp"):
+        path = core / name
+        if not path.is_file():
+            fail(f"--registry: {path} not found")
+        constants.update(re.findall(
+            r'inline\s+constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]+)"\s*;',
+            path.read_text()))
+    rows = re.findall(
+        r'\{\s*(k\w+)\s*,\s*"(\w+)"\s*,\s*"\w+"\s*,\s*(true|false)\s*\}',
+        (core / "failure_points.hpp").read_text())
+    if not rows:
+        fail("--registry: no rows parsed from failure_points.hpp")
+    registry = {}
+    for ident, engine, mc in rows:
+        if ident not in constants:
+            fail(f"--registry: row references undefined constant {ident}")
+        registry[constants[ident]] = (engine, mc == "true")
+    return registry
+
+
+def check_registry_coverage(doc):
+    engine = doc["engine"]
+    domains = ENGINE_DOMAINS.get(engine)
+    if domains is None:
+        fail(f"--registry: no registry domain known for engine {engine!r}")
+    registry = load_registry()
+    fired = {row["point"] for row in doc["points"]}
+    fired |= {row["point"] for row in doc.get("recovery_points", [])}
+
+    unregistered = sorted(p for p in fired if p not in registry)
+    if unregistered:
+        fail(f"fired point(s) missing from the registry: {', '.join(unregistered)}")
+
+    expected = {p for p, (eng, mc) in registry.items() if eng in domains and mc}
+    never_fired = sorted(expected - fired)
+    if never_fired:
+        fail(f"registry marks {len(never_fired)} point(s) mc-reachable for "
+             f"engine {engine} but the sweep never fired them: "
+             f"{', '.join(never_fired)}")
+    return len(expected)
 
 
 def fail(msg):
@@ -114,10 +183,17 @@ def check(doc):
 def main():
     args = sys.argv[1:]
     expect_violations = False
-    if args and args[0] == "--expect-violations":
-        expect_violations = True
+    registry = False
+    while args and args[0].startswith("--"):
+        if args[0] == "--expect-violations":
+            expect_violations = True
+        elif args[0] == "--registry":
+            registry = True
+        else:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
         args = args[1:]
-    if len(args) != 1:
+    if len(args) != 1 or (expect_violations and registry):
         print(__doc__, file=sys.stderr)
         sys.exit(2)
 
@@ -141,9 +217,15 @@ def main():
         fail(f"{nviol} violation(s); first: [{worst['invariant']}] "
              f"point={worst['point']} hit={worst['hit']} kind={worst['kind']} "
              f"— {worst['detail']}")
+    covered = ""
+    if registry:
+        if doc["mode"] != "exhaustive":
+            fail("--registry requires an exhaustive report (sampled sweeps "
+                 "legitimately miss points)")
+        covered = f" registry-covered={check_registry_coverage(doc)}"
     print(f"check-mc-report: OK: engine={doc['engine']} mode={doc['mode']} "
           f"points={len(doc['points'])} explorations={doc['exploration']['total']} "
-          f"(nested {doc['exploration']['nested']})")
+          f"(nested {doc['exploration']['nested']}){covered}")
 
 
 if __name__ == "__main__":

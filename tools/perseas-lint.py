@@ -1,0 +1,530 @@
+#!/usr/bin/env python3
+"""perseas-lint: protocol-invariant linter for the PERSEAS tree.
+
+Pure std-library Python over the sources named by compile_commands.json
+(plus every header under src/); no libclang required, so the gate runs on
+any machine that can run the build.  A tiny lexer strips comments and
+string literals so the rules see token streams, not prose.
+
+Rules (each failure names its rule):
+
+  A  failure-points   Every dotted failure-point literal in src/ is a row
+                      of the registry (src/core/failure_points.hpp), every
+                      registry row appears in docs/ANALYSIS.md's table and
+                      vice versa, every point constant is referenced by
+                      engine code, and the engine/phase columns match the
+                      dotted name.
+  B  stats-export     Every field of every *Stats struct in src/ is
+                      exported by the matching export_metrics function.
+  C  sync-discipline  No raw std::mutex / std::thread / condition
+                      variables / wall-clock reads outside src/core/
+                      sync.hpp and src/sim/ — library code must use
+                      perseas::sync and the simulated clock.
+  D  throw-surface    Every exception type thrown in src/ is declared in
+                      the throw-surface table of src/core/errors.hpp.
+  E  nolint-budget    src/ carries zero inline NOLINT suppressions; a
+                      clang-tidy finding is fixed or its check is disabled
+                      (with rationale) in .clang-tidy.
+
+Exit status: 0 clean, 1 violations, 2 internal/usage error.
+
+--selftest seeds one violation of each rule into an in-memory copy of the
+tree and fails unless every seed is caught (the linter linting itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+REGISTRY_HPP = "src/core/failure_points.hpp"
+PROTOCOL_HPP = "src/core/protocol_points.hpp"
+ERRORS_HPP = "src/core/errors.hpp"
+ANALYSIS_MD = "docs/ANALYSIS.md"
+
+# Files where raw threading/clock primitives are legitimate: the annotated
+# wrapper itself and the simulation layer (which *models* time).
+SYNC_ALLOWED = ("src/core/sync.hpp", "src/sim/")
+
+POINT_RE = re.compile(r"^(perseas|netram|rvm|vista)\.[a-z0-9_]+\.[a-z0-9_]+$")
+
+FORBIDDEN_SYNC = [
+    "std::mutex",
+    "std::recursive_mutex",
+    "std::shared_mutex",
+    "std::timed_mutex",
+    "std::condition_variable",
+    "std::thread",
+    "std::jthread",
+    "std::chrono",
+    "gettimeofday",
+    "clock_gettime",
+]
+
+
+class Violation:
+    def __init__(self, rule: str, path: str, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Lexing: split C++ text into code (comments/strings blanked, newlines
+# preserved) and the string literals with their line numbers.
+
+
+def lex(text: str):
+    """Returns (code, strings) where `code` has comments and string/char
+    literals replaced by spaces (newlines kept, so line numbers survive)
+    and `strings` is a list of (line, literal-contents)."""
+    code = []
+    strings = []
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            code.append(c)
+            line += 1
+            i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    code.append("\n")
+                    line += 1
+                i += 1
+            i += 2
+        elif c == '"':
+            start_line = line
+            i += 1
+            lit = []
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n:
+                    lit.append(text[i : i + 2])
+                    i += 2
+                else:
+                    if text[i] == "\n":
+                        line += 1
+                    lit.append(text[i])
+                    i += 1
+            i += 1
+            strings.append((start_line, "".join(lit)))
+            code.append('""')
+        elif c == "'":
+            i += 1
+            while i < n and text[i] != "'":
+                i += 2 if text[i] == "\\" else 1
+            i += 1
+            code.append("' '")
+        else:
+            code.append(c)
+            i += 1
+    return "".join(code), strings
+
+
+# --------------------------------------------------------------------------
+# Tree: path -> text for every first-party source the rules look at.
+
+
+def load_tree(repo: Path):
+    tree = {}
+    files = set()
+    ccdb = repo / "compile_commands.json"
+    if ccdb.is_file():
+        try:
+            for entry in json.loads(ccdb.read_text()):
+                p = Path(entry["file"])
+                if not p.is_absolute():
+                    p = Path(entry.get("directory", ".")) / p
+                p = p.resolve()
+                if p.is_file() and repo in p.parents:
+                    files.add(p)
+        except (json.JSONDecodeError, KeyError) as e:
+            print(f"perseas-lint: warning: unreadable compile_commands.json ({e})",
+                  file=sys.stderr)
+    # Headers never appear in the compilation database, and the database
+    # itself may be missing (unconfigured checkout): always union with a
+    # walk of the first-party directories.
+    for sub in ("src", "bench", "examples", "tools", "tests"):
+        root = repo / sub
+        if root.is_dir():
+            for ext in ("*.cpp", "*.hpp", "*.h", "*.cc"):
+                files.update(root.rglob(ext))
+    for p in sorted(files):
+        rel = p.relative_to(repo).as_posix()
+        tree[rel] = p.read_text(encoding="utf-8", errors="replace")
+    for extra in (ANALYSIS_MD, ".clang-tidy"):
+        p = repo / extra
+        if p.is_file():
+            tree[extra] = p.read_text(encoding="utf-8")
+    return tree
+
+
+def src_files(tree):
+    return {p: t for p, t in tree.items() if p.startswith("src/") and
+            p.endswith((".cpp", ".hpp", ".h", ".cc"))}
+
+
+# --------------------------------------------------------------------------
+# Rule A: failure-point registry consistency.
+
+CONST_RE = re.compile(
+    r'inline\s+constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]+)"\s*;')
+ROW_RE = re.compile(
+    r'\{\s*(k\w+)\s*,\s*"(\w+)"\s*,\s*"(\w+)"\s*,\s*(true|false)\s*\}')
+DOC_ROW_RE = re.compile(
+    r'^\|\s*`([a-z0-9_.]+)`\s*\|\s*(\w+)\s*\|\s*(\w+)\s*\|\s*(yes|no)\s*\|')
+
+
+def parse_registry(tree):
+    """Returns (constants {ident: literal}, rows [(literal, engine, phase, mc)])."""
+    constants = {}
+    for path in (PROTOCOL_HPP, REGISTRY_HPP):
+        for ident, literal in CONST_RE.findall(tree.get(path, "")):
+            constants[ident] = literal
+    rows = []
+    for ident, engine, phase, mc in ROW_RE.findall(tree.get(REGISTRY_HPP, "")):
+        rows.append((constants.get(ident), ident, engine, phase, mc == "true"))
+    return constants, rows
+
+
+def rule_a(tree, out):
+    constants, rows = parse_registry(tree)
+    if not rows:
+        out.append(Violation("A", REGISTRY_HPP, 0, "failure-point registry not found"))
+        return
+    registered = {name for name, *_ in rows if name}
+
+    # Registry self-consistency: rows resolve, columns match the name.
+    for name, ident, engine, phase, _mc in rows:
+        if name is None:
+            out.append(Violation("A", REGISTRY_HPP, 0,
+                                 f"registry row references undefined constant {ident}"))
+            continue
+        parts = name.split(".")
+        if parts[0] != engine or parts[1] != phase:
+            out.append(Violation(
+                "A", REGISTRY_HPP, 0,
+                f"registry row {name}: engine/phase columns ({engine}, {phase}) "
+                f"do not match the dotted name"))
+
+    # Every point constant has a registry row (a constant added to
+    # protocol_points.hpp without a row would otherwise escape the scan).
+    row_idents = {ident for _, ident, *_ in rows}
+    for ident, literal in constants.items():
+        if POINT_RE.match(literal) and ident not in row_idents:
+            out.append(Violation("A", REGISTRY_HPP, 0,
+                                 f"point constant {ident} (\"{literal}\") has no registry row"))
+
+    # Every dotted literal in src/ (outside the registry headers, whose
+    # literals *define* the registry and include a deliberate static_assert
+    # typo) is registered.
+    for path, text in src_files(tree).items():
+        if path in (PROTOCOL_HPP, REGISTRY_HPP):
+            continue
+        _, strings = lex(text)
+        for line, lit in strings:
+            if POINT_RE.match(lit) and lit not in registered:
+                out.append(Violation("A", path, line,
+                                     f"unregistered failure point \"{lit}\""))
+
+    # Every registered point is referenced by engine code (dead rows are
+    # stale documentation).  Constants are the only legal way to name a
+    # point, so a reference to the identifier suffices.
+    for name, ident, *_ in rows:
+        if name is None:
+            continue
+        pattern = re.compile(rf"\b{re.escape(ident)}\b")
+        if not any(pattern.search(lex(text)[0])
+                   for path, text in src_files(tree).items()
+                   if path not in (PROTOCOL_HPP, REGISTRY_HPP)):
+            out.append(Violation("A", REGISTRY_HPP, 0,
+                                 f"registered point {name} ({ident}) is never notified"))
+
+    # The docs table and the registry agree in both directions.
+    doc_rows = {}
+    for m in (DOC_ROW_RE.match(line) for line in tree.get(ANALYSIS_MD, "").splitlines()):
+        if m:
+            doc_rows[m.group(1)] = (m.group(2), m.group(3), m.group(4) == "yes")
+    if not doc_rows:
+        out.append(Violation("A", ANALYSIS_MD, 0, "failure-point table not found"))
+        return
+    for name, _ident, engine, phase, mc in rows:
+        if name is None:
+            continue
+        if name not in doc_rows:
+            out.append(Violation("A", ANALYSIS_MD, 0,
+                                 f"registered point {name} missing from the docs table"))
+        elif doc_rows[name] != (engine, phase, mc):
+            out.append(Violation("A", ANALYSIS_MD, 0,
+                                 f"docs table row {name} disagrees with the registry"))
+    for name in doc_rows:
+        if name not in registered:
+            out.append(Violation("A", ANALYSIS_MD, 0,
+                                 f"docs table lists unregistered point {name}"))
+
+
+# --------------------------------------------------------------------------
+# Rule B: every *Stats field is exported by the matching export_metrics.
+
+STRUCT_RE = re.compile(r"struct\s+(\w*Stats)\s*\{")
+FIELD_RE = re.compile(r"^\s*[\w:<>]+\s+(\w+)\s*(?:=[^;]*)?;")
+
+
+def struct_fields(code: str, start: int):
+    """Field names of the struct whose '{' is at `start`."""
+    depth, i = 0, start
+    while i < len(code):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    fields = []
+    for line in code[start + 1 : i].splitlines():
+        m = FIELD_RE.match(line)
+        if m:
+            fields.append(m.group(1))
+    return fields
+
+
+def exporter_bodies(code: str):
+    """Concatenated bodies of every export_metrics definition in `code`."""
+    bodies = []
+    for m in re.finditer(r"\bexport_metrics\s*\(", code):
+        i = code.find("{", m.end())
+        semi = code.find(";", m.end())
+        if i == -1 or (semi != -1 and semi < i):
+            continue  # declaration, not definition
+        depth, j = 0, i
+        while j < len(code):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        bodies.append(code[i : j + 1])
+    return "\n".join(bodies)
+
+
+def rule_b(tree, out):
+    sources = src_files(tree)
+    lexed = {p: lex(t)[0] for p, t in sources.items()}
+    for path, code in lexed.items():
+        for m in STRUCT_RE.finditer(code):
+            struct = m.group(1)
+            brace = code.find("{", m.start())
+            fields = struct_fields(code, brace)
+            if not fields:
+                continue
+            # The matching exporter: same file stem first (wal/rvm.hpp ->
+            # wal/rvm.cpp), then any file in the same directory (core/
+            # perseas_config.hpp -> core/perseas_observe.cpp).
+            stem = Path(path).stem
+            directory = str(Path(path).parent)
+            candidates = [p for p in lexed if Path(p).stem == stem and p != path]
+            body = "\n".join(exporter_bodies(lexed[p]) for p in [path] + candidates)
+            if not body.strip():
+                candidates = [p for p in lexed if str(Path(p).parent) == directory]
+                body = "\n".join(exporter_bodies(lexed[p]) for p in candidates)
+            line = code[: m.start()].count("\n") + 1
+            if not body.strip():
+                out.append(Violation("B", path, line,
+                                     f"{struct} has no export_metrics exporter"))
+                continue
+            for field in fields:
+                if not re.search(rf"\b{re.escape(field)}\b", body):
+                    out.append(Violation(
+                        "B", path, line,
+                        f"{struct}.{field} is not exported by export_metrics"))
+
+
+# --------------------------------------------------------------------------
+# Rule C: concurrency/clock primitives only via perseas::sync and sim::.
+
+
+def rule_c(tree, out):
+    for path, text in src_files(tree).items():
+        if path.startswith(SYNC_ALLOWED[1]) or path == SYNC_ALLOWED[0]:
+            continue
+        code, _ = lex(text)
+        for token in FORBIDDEN_SYNC:
+            for m in re.finditer(re.escape(token) + r"\b", code):
+                line = code[: m.start()].count("\n") + 1
+                out.append(Violation(
+                    "C", path, line,
+                    f"raw {token} outside {SYNC_ALLOWED[0]} / {SYNC_ALLOWED[1]} "
+                    f"(use perseas::sync / the simulated clock)"))
+
+
+# --------------------------------------------------------------------------
+# Rule D: thrown exception types are declared in core/errors.hpp.
+
+THROW_RE = re.compile(r"\bthrow\s+([A-Za-z_][\w:]*)\s*[({]")
+SURFACE_RE = re.compile(r"PERSEAS-THROW-SURFACE-BEGIN(.*?)PERSEAS-THROW-SURFACE-END",
+                        re.DOTALL)
+
+
+def parse_throw_surface(tree):
+    m = SURFACE_RE.search(tree.get(ERRORS_HPP, ""))
+    if not m:
+        return None
+    types = set()
+    for line in m.group(1).splitlines():
+        tokens = line.lstrip("/ \t").split()
+        if tokens and re.fullmatch(r"\w+", tokens[0]):
+            types.add(tokens[0])
+    return types
+
+
+def rule_d(tree, out):
+    surface = parse_throw_surface(tree)
+    if not surface:
+        out.append(Violation("D", ERRORS_HPP, 0, "throw-surface table not found"))
+        return
+    for path, text in src_files(tree).items():
+        code, _ = lex(text)
+        for m in THROW_RE.finditer(code):
+            name = m.group(1).split("::")[-1]
+            if name not in surface:
+                line = code[: m.start()].count("\n") + 1
+                out.append(Violation(
+                    "D", path, line,
+                    f"throw of undeclared type {m.group(1)} "
+                    f"(declare it in {ERRORS_HPP})"))
+
+
+# --------------------------------------------------------------------------
+# Rule E: zero NOLINT budget in src/.
+
+
+def rule_e(tree, out):
+    for path, text in src_files(tree).items():
+        for i, line in enumerate(text.splitlines(), 1):
+            if "NOLINT" in line:
+                out.append(Violation(
+                    "E", path, i,
+                    "inline NOLINT in src/ (fix the finding or disable the "
+                    "check in .clang-tidy with a rationale)"))
+
+
+RULES = [rule_a, rule_b, rule_c, rule_d, rule_e]
+
+
+def run_rules(tree):
+    out = []
+    for rule in RULES:
+        rule(tree, out)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Selftest: seed one violation per rule, require every seed to be caught.
+
+
+def selftest(tree) -> int:
+    seeds = {
+        # A: a typo'd failure point in engine code.
+        "A": ("src/selftest_a.cpp",
+              'void f(perseas::sim::FailureInjector& inj) {\n'
+              '  inj.notify("perseas.commit.dome");\n}\n'),
+        # C: a raw mutex outside sync.hpp / sim/.
+        "C": ("src/selftest_c.cpp",
+              "#include <mutex>\nstd::mutex selftest_mu;\n"),
+        # D: a throw of a type the surface table does not declare.
+        "D": ("src/selftest_d.cpp",
+              'void g() { throw SelftestUndeclaredError("boom"); }\n'),
+        # E: an inline suppression.
+        "E": ("src/selftest_e.cpp",
+              "int selftest_e;  // NOLINT(bugprone-selftest)\n"),
+    }
+    mutated = dict(tree)
+    for _rule, (path, text) in seeds.items():
+        mutated[path] = text
+    # B: a Stats field the exporter does not mention.
+    target = "src/wal/rvm.hpp"
+    mutated[target] = mutated[target].replace(
+        "struct RvmStats {",
+        "struct RvmStats {\n  std::uint64_t selftest_unexported = 0;", 1)
+
+    found = run_rules(mutated)
+    expected = {
+        "A": ("src/selftest_a.cpp", "perseas.commit.dome"),
+        "B": (target, "selftest_unexported"),
+        "C": ("src/selftest_c.cpp", "std::mutex"),
+        "D": ("src/selftest_d.cpp", "SelftestUndeclaredError"),
+        "E": ("src/selftest_e.cpp", "NOLINT"),
+    }
+    status = 0
+    for rule, (path, needle) in sorted(expected.items()):
+        hits = [v for v in found
+                if v.rule == rule and v.path == path and needle in v.message]
+        if hits:
+            print(f"selftest: rule {rule}: caught seeded violation ({hits[0]})")
+        else:
+            print(f"selftest: rule {rule}: MISSED seeded violation in {path}",
+                  file=sys.stderr)
+            status = 1
+    # The seeds must be the *only* difference: a violation in a seeded file
+    # set is expected, anything else means the tree itself is dirty, which
+    # would mask future regressions of the selftest.
+    seeded_paths = {p for p, _ in expected.values()}
+    stray = [v for v in found if v.path not in seeded_paths]
+    for v in stray:
+        print(f"selftest: unexpected pre-existing violation: {v}", file=sys.stderr)
+        status = 1
+    print("selftest: " + ("OK (5/5 rules fire)" if status == 0 else "FAILED"))
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=Path, default=REPO,
+                        help="repository root (default: the checkout containing this script)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="seed one violation per rule and verify each is caught")
+    args = parser.parse_args()
+
+    try:
+        tree = load_tree(args.repo.resolve())
+    except OSError as e:
+        print(f"perseas-lint: cannot read tree: {e}", file=sys.stderr)
+        return 2
+    if not any(p.startswith("src/") for p in tree):
+        print(f"perseas-lint: no src/ files under {args.repo}", file=sys.stderr)
+        return 2
+
+    if args.selftest:
+        return selftest(tree)
+
+    violations = run_rules(tree)
+    for v in violations:
+        print(v)
+    n = len(violations)
+    if n:
+        print(f"perseas-lint: {n} violation{'s' if n != 1 else ''}")
+        return 1
+    print(f"perseas-lint: clean ({len(src_files(tree))} source files, 5 rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
