@@ -77,21 +77,36 @@ class Harness {
     if (metrics_) rows_.push(std::move(row));
   }
 
+  /// Attaches the per-transaction cost-ledger section
+  /// (obs::CostLedger::to_json() plus any bench-added fields such as
+  /// "clock_delta_ns") to the result document.  No-op when metrics off.
+  void set_ledger(obs::Json ledger) {
+    if (!metrics_) return;
+    ledger_ = std::move(ledger);
+    has_ledger_ = true;
+  }
+
   /// Writes the trace and metrics outputs.  Returns false if a file could
   /// not be written (the bench should exit nonzero so CI notices).
   bool finish() {
     bool ok = true;
-    if (trace_ && !trace_->save(trace_path_)) {
-      std::fprintf(stderr, "bench: cannot write trace to %s\n", trace_path_.c_str());
-      ok = false;
+    if (trace_) {
+      try {
+        trace_->save(trace_path_);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench: %s\n", e.what());
+        ok = false;
+      }
     }
     if (metrics_) {
       obs::Json doc = obs::Json::object();
       doc.set("schema", "perseas-bench/1");
       doc.set("bench", name_);
       doc.set("rows", std::move(rows_));
+      if (has_ledger_) doc.set("ledger", std::move(ledger_));
       doc.set("metrics", metrics_->to_json());
       rows_ = obs::Json::array();
+      has_ledger_ = false;
       if (metrics_path_ == "-") {
         std::printf("BENCH_JSON %s\n", doc.dump().c_str());
       } else if (FILE* f = std::fopen(metrics_path_.c_str(), "w"); f != nullptr) {
@@ -115,6 +130,8 @@ class Harness {
   std::optional<obs::TraceRecorder> trace_;
   std::optional<obs::MetricsRegistry> metrics_;
   obs::Json rows_;
+  obs::Json ledger_;
+  bool has_ledger_ = false;
 };
 
 inline void print_header(const char* title, const char* paper_ref) {

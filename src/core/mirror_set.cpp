@@ -6,8 +6,10 @@
 #include <string>
 
 #include "core/errors.hpp"
+#include "core/event_registry.hpp"
 #include "core/layout.hpp"
 #include "core/protocol_points.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace perseas::core {
 
@@ -106,6 +108,11 @@ void MirrorSet::store_flag(Mirror& m, std::uint64_t txn_id, std::uint64_t undo_b
                            netram::StreamHint hint) {
   const std::uint64_t flag[2] = {txn_id, undo_bytes};
   client_->sci_memcpy_write(m.meta, kPropagatingOffset, as_flag_bytes(flag), hint, false);
+  if (txn_id != 0) {
+    cluster_->flight().record(EventKind::kFlagSet, txn_id, m.meta.server_node, undo_bytes);
+  } else {
+    cluster_->flight().record(EventKind::kFlagClear, 0, m.meta.server_node);
+  }
 }
 
 std::uint64_t MirrorSet::propagate_ranges(

@@ -6,7 +6,10 @@
 #include <limits>
 #include <string>
 
+#include "core/event_registry.hpp"
 #include "core/protocol_points.hpp"
+#include "obs/cost_ledger.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/clock.hpp"
 
 namespace perseas::core {
@@ -184,6 +187,8 @@ Transaction Perseas::begin_transaction() {
   if (!all_mirrored) {
     throw UsageError("begin_transaction: call init_remote_db() after persistent_malloc");
   }
+  const obs::ScopedCost cost_scope(cluster_->ledger(), txn_counter_ + 1, "begin", "core",
+                                   "cpu");
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_begin);
   // The shared log's tail can only rewind when no pushed entry is live;
   // with one transaction at a time this resets at every begin, exactly the
@@ -192,6 +197,7 @@ Transaction Perseas::begin_transaction() {
   ++txn_counter_;
   open_.push_back(std::make_unique<TxnContext>(txn_counter_));
   stats_.max_open_txns = std::max<std::uint64_t>(stats_.max_open_txns, open_.size());
+  cluster_->flight().record(EventKind::kTxnBegin, txn_counter_, open_.size());
   if (observer_) {
     const auto views = observer_views();
     observer_->on_begin(txn_counter_, views);
@@ -225,9 +231,50 @@ void Perseas::close_context(std::uint64_t txn_id) noexcept {
 
 // --- transaction backends ---------------------------------------------------
 
+// The anomaly funnel: a PerseasError escaping a transaction backend is a
+// contract violation or a protocol defect, so it is noted on the flight
+// recorder (triggering a PERSEAS_BLACKBOX dump when configured) on its way
+// out.  TxnConflict is rethrown untouched: losing first-writer-wins is
+// ordinary protocol behaviour the caller is expected to handle by aborting.
+// No lock is held here — the *_impl bodies take mu_ themselves.
 void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) {
+  try {
+    txn_set_range_impl(txn_id, record, offset, size);
+  } catch (const TxnConflict&) {
+    throw;
+  } catch (const PerseasError& e) {
+    cluster_->flight().note_anomaly(e.what());
+    throw;
+  }
+}
+
+void Perseas::txn_commit(std::uint64_t txn_id) {
+  try {
+    txn_commit_impl(txn_id);
+  } catch (const TxnConflict&) {
+    throw;
+  } catch (const PerseasError& e) {
+    cluster_->flight().note_anomaly(e.what());
+    throw;
+  }
+}
+
+void Perseas::txn_abort(std::uint64_t txn_id) {
+  try {
+    txn_abort_impl(txn_id);
+  } catch (const TxnConflict&) {
+    throw;
+  } catch (const PerseasError& e) {
+    cluster_->flight().note_anomaly(e.what());
+    throw;
+  }
+}
+
+void Perseas::txn_set_range_impl(std::uint64_t txn_id, std::uint32_t record,
+                                 std::uint64_t offset, std::uint64_t size) {
   sync::LockGuard lock(mu_);
+  const obs::ScopedCost cost_scope(cluster_->ledger(), txn_id, "set_range", "core", "cpu");
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_set_range);
   TxnContext* ctx = find_context(txn_id);
   if (ctx == nullptr) throw UsageError("set_range: transaction is not active");
@@ -241,12 +288,14 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   // as they were, so the caller can abort and retry.
   try {
     conflicts_.acquire(txn_id, record, offset, size);
-  } catch (const TxnConflict&) {
+  } catch (const TxnConflict& e) {
     ++stats_.txns_conflicted;
+    cluster_->flight().record(EventKind::kTxnConflict, txn_id, e.holder(), record, offset);
     throw;
   }
   if (observer_) observer_->on_set_range(txn_id, record, offset, size);
   ++stats_.set_ranges;
+  cluster_->flight().record(EventKind::kSetRange, txn_id, record, offset, size);
 
   // Merge the declaration into the per-record union.  Only the sub-ranges
   // not already declared ("fresh") need before-images: the covered bytes
@@ -263,6 +312,8 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
     ++stats_.ranges_coalesced;
   }
 
+  const obs::ScopedCost local_scope(cluster_->ledger(), txn_id, "local_undo", "core",
+                                    "local");
   const sim::StopWatch local_watch(cluster_->clock());
   std::vector<UndoImage> entries;
   entries.reserve(fresh.size());
@@ -277,6 +328,9 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
     entries.push_back(std::move(u));
   }
   if (fresh_bytes > 0) cluster_->charge_local_memcpy(local_, fresh_bytes);
+  if (config_.coalesce_ranges && fresh_bytes < size) {
+    cluster_->flight().record(EventKind::kCoalesce, txn_id, record, size, fresh_bytes);
+  }
   stats_.time_local_undo += local_watch.elapsed();
   ctx->times().local_undo += local_watch.elapsed();
   stats_.bytes_undo_local += fresh_bytes;
@@ -290,6 +344,8 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   cluster_->failures().notify(points::kAfterLocalUndo);
 
   if (config_.eager_remote_undo && !entries.empty()) {
+    const obs::ScopedCost remote_scope(cluster_->ledger(), txn_id, "remote_undo", "core",
+                                       "undo");
     const sim::StopWatch remote_watch(cluster_->clock());
     const auto open = open_contexts();
     std::uint64_t pushed = 0;
@@ -314,11 +370,14 @@ void Perseas::txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uin
   }
 }
 
-void Perseas::txn_commit(std::uint64_t txn_id) {
+void Perseas::txn_commit_impl(std::uint64_t txn_id) {
   sync::LockGuard lock(mu_);
+  const obs::ScopedCost cost_scope(cluster_->ledger(), txn_id, "commit", "core", "cpu");
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_commit);
   TxnContext* ctx = find_context(txn_id);
   if (ctx == nullptr) throw UsageError("commit: no active transaction");
+  cluster_->flight().record(EventKind::kTxnCommitRequest, txn_id, ctx->undo().size(),
+                            ctx->declared_bytes());
 
   if (observer_) {
     // Nothing has been propagated yet: a CoverageError here leaves the
@@ -334,6 +393,8 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     // tail is safe here because lazy pushes happen only inside this
     // synchronous commit — no other open transaction has live entries.
     undo_log_.reset_tail();
+    const obs::ScopedCost remote_scope(cluster_->ledger(), txn_id, "remote_undo", "core",
+                                       "undo");
     const sim::StopWatch remote_watch(cluster_->clock());
     std::uint64_t total = 0;
     for (const auto& u : ctx->undo()) {
@@ -368,6 +429,7 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
   if (ctx->undo().empty()) {  // read-only transaction: nothing to propagate
     close_context(txn_id);
     ++stats_.txns_committed;
+    cluster_->flight().record(EventKind::kTxnCommitted, txn_id, 1);
     if (observer_) observer_->on_commit_complete(txn_id);
     cluster_->failures().notify(points::kCommitDone);
     return;
@@ -381,7 +443,11 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     // shared log's exact tail, so recovery can prove it parsed every entry
     // — this transaction's and any open neighbour's interleaved with them.
     const sim::StopWatch set_watch(cluster_->clock());
-    mirror_set_.store_flag(m, txn_id, undo_log_.tail(), netram::StreamHint::kNewBurst);
+    {
+      const obs::ScopedCost flag_scope(cluster_->ledger(), txn_id, "flag_set", "core",
+                                       "flag");
+      mirror_set_.store_flag(m, txn_id, undo_log_.tail(), netram::StreamHint::kNewBurst);
+    }
     stats_.time_commit_flags += set_watch.elapsed();
     ctx->times().commit_flags += set_watch.elapsed();
     if (observer_) {
@@ -390,6 +456,8 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     }
     cluster_->failures().notify(points::kAfterFlagSet);
 
+    const obs::ScopedCost propagate_scope(cluster_->ledger(), txn_id, "propagate", "core",
+                                          "propagate");
     const sim::StopWatch propagate_watch(cluster_->clock());
     std::uint64_t mirror_bytes = 0;
     const auto after_copy = [this] { cluster_->failures().notify(points::kAfterRangeCopy); };
@@ -413,6 +481,8 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
     // THE commit point (for this mirror): the store clearing the flag.
     const sim::StopWatch clear_watch(cluster_->clock());
     if (!mc_skip_flag_clear_) {
+      const obs::ScopedCost clear_scope(cluster_->ledger(), txn_id, "flag_clear", "core",
+                                        "flag");
       mirror_set_.store_flag(m, 0, 0, netram::StreamHint::kContinuation);
     }
     stats_.time_commit_flags += clear_watch.elapsed();
@@ -426,12 +496,14 @@ void Perseas::txn_commit(std::uint64_t txn_id) {
 
   close_context(txn_id);
   ++stats_.txns_committed;
+  cluster_->flight().record(EventKind::kTxnCommitted, txn_id, 0);
   if (observer_) observer_->on_commit_complete(txn_id);
   cluster_->failures().notify(points::kCommitDone);
 }
 
-void Perseas::txn_abort(std::uint64_t txn_id) {
+void Perseas::txn_abort_impl(std::uint64_t txn_id) {
   sync::LockGuard lock(mu_);
+  const obs::ScopedCost cost_scope(cluster_->ledger(), txn_id, "abort", "core", "local");
   cluster_->charge_cpu(local_, cluster_->profile().library.txn_abort);
   TxnContext* ctx = find_context(txn_id);
   if (ctx == nullptr) throw UsageError("abort: no active transaction");
@@ -450,6 +522,7 @@ void Perseas::txn_abort(std::uint64_t txn_id) {
   cluster_->charge_local_memcpy(local_, bytes);
   close_context(txn_id);
   ++stats_.txns_aborted;
+  cluster_->flight().record(EventKind::kTxnAborted, txn_id, bytes);
   if (observer_) {
     // The declared before-images are restored; every record must now be
     // byte-identical to its begin snapshot or an uncovered write leaked

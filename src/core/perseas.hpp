@@ -154,6 +154,23 @@ class Transaction {
   std::uint64_t id_ = 0;
 };
 
+/// Structured self-report of the last recovery (attach_recover) run: which
+/// transaction the metadata announced, whether the announced undo prefix
+/// parsed and checksummed cleanly, and what the scan did with each
+/// transaction's entries.  Mirrored into the flight recorder (recover.*
+/// events) and exported as perseas_recovery_* metrics.
+struct RecoveryReport {
+  bool ran = false;               ///< attach_recover reached the undo scan
+  std::uint64_t announced_txn = 0;  ///< hdr.propagating_txn (0 = clean shutdown)
+  bool checksum_ok = false;       ///< announced prefix parsed + checksummed cleanly
+  std::uint64_t entries_scanned = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t entries_applied = 0;    ///< rolled back (the doomed transaction)
+  std::uint64_t entries_discarded = 0;  ///< committed / never-announced neighbours
+  /// Per-transaction scan tallies in first-seen order.
+  std::vector<UndoLog::TxnScanTally> per_txn;
+};
+
 class Perseas {
  public:
   /// PERSEAS_init: attaches to the cluster on `local` and prepares mirror
@@ -261,6 +278,13 @@ class Perseas {
     return shut_down_;
   }
 
+  /// The self-report of the recovery that built this instance; `ran` is
+  /// false for instances constructed fresh (no recovery happened).
+  [[nodiscard]] RecoveryReport recovery_report() const {
+    sync::LockGuard lock(mu_);
+    return recovery_;
+  }
+
   /// Recovers the database onto `new_local` (any workstation of the
   /// network) from the first reachable mirror in `servers`.  Rolls the
   /// mirror's database back if a commit was propagating when the primary
@@ -306,11 +330,19 @@ class Perseas {
   /// Drops `txn_id`'s context and conflict-table claims (commit/abort).
   void close_context(std::uint64_t txn_id) noexcept PERSEAS_REQUIRES(mu_);
 
-  // Transaction backends.
+  // Transaction backends.  The public-facing three are thin anomaly
+  // funnels: any PerseasError escaping the protocol body is noted on the
+  // flight recorder (which dumps the blackbox when PERSEAS_BLACKBOX is
+  // set) before it propagates.  TxnConflict is exempt — a first-writer-
+  // wins loss is protocol behaviour, not an anomaly.
   void txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                      std::uint64_t size);
   void txn_commit(std::uint64_t txn_id);
   void txn_abort(std::uint64_t txn_id);
+  void txn_set_range_impl(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                          std::uint64_t size);
+  void txn_commit_impl(std::uint64_t txn_id);
+  void txn_abort_impl(std::uint64_t txn_id);
 
   netram::Cluster* cluster_ = nullptr;
   netram::NodeId local_ = 0;
@@ -339,6 +371,7 @@ class Perseas {
   std::vector<std::unique_ptr<TxnContext>> open_ PERSEAS_GUARDED_BY(mu_);
 
   bool shut_down_ PERSEAS_GUARDED_BY(mu_) = false;
+  RecoveryReport recovery_ PERSEAS_GUARDED_BY(mu_);
   /// PERSEAS_MC_SEED_BUG=skip-flag-clear (model-checker self-test only):
   /// deliberately skip the commit-point store so perseas-mc can prove it
   /// catches real protocol violations.

@@ -154,6 +154,25 @@ void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
   reg.gauge("perseas_records", "Persistent records allocated", db)
       .set(static_cast<double>(records_.size()));
 
+  // Recovery self-report (all-zero / absent gauges for fresh instances):
+  // what the undo scan announced, verified and decided.
+  if (recovery_.ran) {
+    reg.gauge("perseas_recovery_announced_txn",
+              "Transaction id the recovered metadata announced (0 = clean)", db)
+        .set(static_cast<double>(recovery_.announced_txn));
+    reg.gauge("perseas_recovery_checksum_ok",
+              "1 when the announced undo prefix parsed and checksummed cleanly", db)
+        .set(recovery_.checksum_ok ? 1.0 : 0.0);
+    count("perseas_recovery_entries_total", "Undo entries per recovery-scan verdict",
+          recovery_.entries_scanned, db + ",verdict=\"scanned\"");
+    count("perseas_recovery_entries_total", "Undo entries per recovery-scan verdict",
+          recovery_.entries_applied, db + ",verdict=\"applied\"");
+    count("perseas_recovery_entries_total", "Undo entries per recovery-scan verdict",
+          recovery_.entries_discarded, db + ",verdict=\"discarded\"");
+    count("perseas_recovery_bytes_scanned_total", "Undo-log bytes the recovery scan parsed",
+          recovery_.bytes_scanned, db);
+  }
+
   if (observer_) {
     const TxnObserverStats v = validator_stats();
     count("perseas_validator_txns_observed_total", "Transactions seen by the observer chain",

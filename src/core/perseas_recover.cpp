@@ -5,9 +5,13 @@
 // readable on its own.
 #include <cstring>
 #include <string>
+#include <string_view>
 
+#include "core/event_registry.hpp"
 #include "core/perseas.hpp"
 #include "core/protocol_points.hpp"
+#include "obs/cost_ledger.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace perseas::core {
 
@@ -23,6 +27,17 @@ void Perseas::rebuild_mirror_locked(std::uint32_t index) {
 
 void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& servers) {
   sync::LockGuard lock(mu_);
+  // Every recovery charge is one ledger bucket: recovery is not part of any
+  // transaction's phase breakdown, but its cost must still balance the clock.
+  const obs::ScopedCost recover_scope(cluster_->ledger(), 0, "recover", "core", "cpu");
+  obs::FlightRecorder& flight = cluster_->flight();
+  // Narrated milestones (recover.step events) at each protocol checkpoint;
+  // together with the recover.scan/rollback/discard events below they form
+  // the structured self-report the blackbox renders after a crash.
+  const auto step = [&flight](std::string_view what, std::uint64_t announced_txn = 0,
+                              std::uint64_t undo_bytes = 0) {
+    flight.record(EventKind::kRecoverStep, 0, flight.intern(what), announced_txn, undo_bytes);
+  };
   // Find any reachable mirror that holds the database (paper section 3:
   // "the database may be reconstructed quickly in any workstation").
   netram::RemoteMemoryServer* primary = nullptr;
@@ -37,6 +52,7 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
     }
   }
   if (primary == nullptr) {
+    flight.note_anomaly("recover: no reachable mirror exports a PERSEAS database");
     throw RecoveryError("recover: no reachable mirror exports a PERSEAS database");
   }
 
@@ -61,6 +77,7 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
     client_.sci_memcpy_read(meta_seg, sizeof(MetaHeader), buf);
     std::memcpy(sizes.data(), buf.data(), buf.size());
   }
+  step("meta", hdr.propagating_txn, hdr.propagating_undo_bytes);
   cluster_->failures().notify(points::kRecoverAfterMeta);
 
   MirrorSet::Mirror m;
@@ -78,6 +95,7 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
     if (db->size < sizes[i]) throw RecoveryError("recover: record segment smaller than metadata");
     m.db.push_back(*db);
   }
+  step("connected", hdr.propagating_txn);
   cluster_->failures().notify(points::kRecoverConnected);
 
   // Scan the remote undo log: find the highest transaction id ever logged
@@ -89,16 +107,47 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
   // them vanish atomically.
   std::vector<std::byte> undo_bytes(m.undo.size);
   client_.sci_memcpy_read(m.undo, 0, undo_bytes);
-  const UndoLog::ScanResult scan = UndoLog::scan(undo_bytes, hdr, sizes);
+  recovery_ = RecoveryReport{};
+  recovery_.ran = true;
+  recovery_.announced_txn = hdr.propagating_txn;
+  UndoLog::ScanResult scan;
+  try {
+    scan = UndoLog::scan(undo_bytes, hdr, sizes);
+  } catch (const RecoveryError& e) {
+    // A corrupt announced prefix is exactly the forensic case the blackbox
+    // exists for: put the verdict on record (and auto-dump) before failing.
+    flight.record(EventKind::kRecoverScan, hdr.propagating_txn, 0, 0, 0);
+    flight.note_anomaly(e.what());
+    throw;
+  }
+  recovery_.checksum_ok = true;
+  recovery_.entries_scanned = scan.entries_scanned;
+  recovery_.bytes_scanned = scan.bytes_scanned;
+  recovery_.per_txn = scan.per_txn;
+  for (const auto& t : scan.per_txn) {
+    recovery_.entries_applied += t.applied;
+    recovery_.entries_discarded += t.discarded;
+  }
+  flight.record(EventKind::kRecoverScan, hdr.propagating_txn, scan.entries_scanned,
+                scan.bytes_scanned, 1);
+  step("undo_scan", hdr.propagating_txn, scan.bytes_scanned);
   cluster_->failures().notify(points::kRecoverAfterUndoScan);
 
   // Discard the illegal (partially propagated) update on the mirror,
   // newest transaction first.
+  for (const auto& rb : scan.rollbacks) {
+    flight.record(EventKind::kRecoverRollback, rb.txn_id, rb.record, rb.offset, rb.size);
+  }
+  if (recovery_.entries_discarded != 0) {
+    flight.record(EventKind::kRecoverDiscard, 0, recovery_.entries_discarded);
+  }
   undo_log_.apply_rollbacks(m, scan.rollbacks, undo_bytes);
+  step("rollback", hdr.propagating_txn, scan.rollbacks.size());
   cluster_->failures().notify(points::kRecoverAfterRollback);
   if (hdr.propagating_txn != 0) {
     mirror_set_.store_flag(m, 0, 0, netram::StreamHint::kNewBurst);
   }
+  step("flag_clear", hdr.propagating_txn);
   cluster_->failures().notify(points::kRecoverAfterFlagClear);
 
   undo_log_.attach(hdr.undo_gen, m.undo.size);
@@ -113,6 +162,7 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
     auto span = cluster_->node(local_).mem(*local_offset, sizes[i]);
     client_.sci_memcpy_read(mirror_set_[0].db[i], 0, span);
   }
+  step("pull", 0, hdr.record_count);
   cluster_->failures().notify(points::kRecoverAfterPull);
 
   // Re-synchronize every other reachable mirror from the recovered image so
@@ -125,6 +175,7 @@ void Perseas::attach_recover(const std::vector<netram::RemoteMemoryServer*>& ser
     mirror_set_.adopt(std::move(extra));
     rebuild_mirror_locked(static_cast<std::uint32_t>(mirror_set_.size() - 1));
   }
+  step("done");
   cluster_->failures().notify(points::kRecoverDone);
 }
 

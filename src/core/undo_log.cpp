@@ -102,6 +102,7 @@ void UndoLog::push(MirrorSet& mirrors, const UndoImage& u, std::uint64_t txn_id,
     }
   }
   tail_ += undo_entry_bytes(u.before.size());
+  cluster_->flight().record(EventKind::kUndoPush, txn_id, tail_, buf.size());
 }
 
 void UndoLog::grow(MirrorSet& mirrors, std::uint64_t needed_bytes,
@@ -146,6 +147,7 @@ void UndoLog::grow(MirrorSet& mirrors, std::uint64_t needed_bytes,
     client_->sci_free_segment(*m.server, m.undo);
     m.undo = fresh;
   }
+  cluster_->flight().record(EventKind::kUndoGrow, 0, capacity_, new_capacity);
   gen_ = new_gen;
   capacity_ = new_capacity;
   tail_ = all.size();
@@ -169,6 +171,13 @@ UndoLog::ScanResult UndoLog::scan(std::span<const std::byte> log, const MetaHead
   }
   ScanResult result;
   result.max_txn = hdr.propagating_txn;
+  const auto tally = [&result](std::uint64_t txn_id) -> TxnScanTally& {
+    for (auto& t : result.per_txn) {
+      if (t.txn_id == txn_id) return t;
+    }
+    result.per_txn.push_back(TxnScanTally{txn_id, 0, 0, 0});
+    return result.per_txn.back();
+  };
   std::uint64_t pos = 0;
   while (pos + sizeof(UndoEntryHeader) <= log.size()) {
     const bool required = pos < must_parse;
@@ -195,9 +204,16 @@ UndoLog::ScanResult UndoLog::scan(std::span<const std::byte> log, const MetaHead
       break;
     }
     result.max_txn = std::max(result.max_txn, e.txn_id);
+    ++result.entries_scanned;
+    result.bytes_scanned += undo_entry_bytes(e.size);
+    TxnScanTally& t = tally(e.txn_id);
+    ++t.scanned;
     if (required && e.txn_id == hdr.propagating_txn) {
       result.rollbacks.push_back(
           RollbackEntry{e.record, e.offset, pos + sizeof e, e.size, e.txn_id});
+      ++t.applied;
+    } else {
+      ++t.discarded;
     }
     pos += undo_entry_bytes(e.size);
   }

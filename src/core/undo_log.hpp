@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "core/event_registry.hpp"
 #include "core/mirror_set.hpp"
 #include "core/perseas_config.hpp"
 #include "core/sync.hpp"
@@ -87,6 +88,9 @@ class UndoLog {
   /// commit — lazy mode pushes only inside the synchronous commit itself).
   void reset_tail() noexcept {
     sync::LockGuard lock(mu_);
+    if (tail_ != 0) {
+      cluster_->flight().record(EventKind::kUndoTruncate, 0, tail_);
+    }
     tail_ = 0;
   }
 
@@ -116,6 +120,16 @@ class UndoLog {
     std::uint64_t size = 0;
     std::uint64_t txn_id = 0;
   };
+  /// Per-transaction scan tally, the heart of recovery's structured
+  /// self-report: how many of this transaction's entries the scan parsed,
+  /// how many were collected for rollback (the doomed transaction), and
+  /// how many were discarded (committed or never-propagated neighbours).
+  struct TxnScanTally {
+    std::uint64_t txn_id = 0;
+    std::uint64_t scanned = 0;
+    std::uint64_t applied = 0;
+    std::uint64_t discarded = 0;
+  };
   struct ScanResult {
     /// Highest transaction id ever logged (keeps ids monotonic across
     /// incarnations).
@@ -123,6 +137,12 @@ class UndoLog {
     /// Entries of the doomed (announced, never-cleared) transaction, in
     /// log order.
     std::vector<RollbackEntry> rollbacks;
+    /// Entries parsed and checksummed cleanly (prefix + clean tail).
+    std::uint64_t entries_scanned = 0;
+    /// Log bytes those entries occupy.
+    std::uint64_t bytes_scanned = 0;
+    /// Per-transaction tallies in first-seen order.
+    std::vector<TxnScanTally> per_txn;
   };
 
   /// Scans a mirror's undo-log bytes.  When a commit was in flight

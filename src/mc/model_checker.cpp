@@ -7,6 +7,7 @@
 
 #include "core/failure_points.hpp"
 #include "mc/reference_model.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/random.hpp"
 
 namespace perseas::mc {
@@ -14,6 +15,19 @@ namespace perseas::mc {
 namespace {
 
 using PointHits = sim::FailureInjector::PointHits;
+
+/// Flight-recorder events embedded in a counterexample's timeline (the
+/// last N before the invariant check fired).
+constexpr std::size_t kTimelineEvents = 64;
+
+/// Captures the failing exploration's blackbox narrative into `v` and puts
+/// the violation itself on record (which also auto-dumps the blackbox when
+/// PERSEAS_BLACKBOX is set — the CI artifact for a red mc run).
+void attach_timeline(McViolation& v, McFixture& fixture) {
+  obs::FlightRecorder& flight = fixture.cluster().flight();
+  v.timeline = flight.narrative(kTimelineEvents);
+  flight.note_anomaly("mc " + v.invariant + " violation: " + v.detail);
+}
 
 /// Every discovered point must be a row of the central registry
 /// (core/failure_points.hpp) — a notify() of an unregistered name is a
@@ -212,6 +226,7 @@ void ModelChecker::discover(McResult& result) {
     v.invariant = "model";
     v.txn = options_.txns;
     v.detail = "crash-free run diverges from the reference model at " + describe_mismatch(*mm);
+    attach_timeline(v, *fixture);
     result.violations.push_back(std::move(v));
   }
 }
@@ -275,6 +290,7 @@ ModelChecker::Outcome ModelChecker::explore(const Combo& combo, std::uint64_t tx
     v.invariant = "recovery";
     v.txn = crash_txn;
     v.detail = std::string("recovery failed: ") + e.what();
+    attach_timeline(v, *fixture);
     out.violation = std::move(v);
     return out;
   }
@@ -318,7 +334,10 @@ ModelChecker::Outcome ModelChecker::explore(const Combo& combo, std::uint64_t tx
       out.violation = std::move(v);
     }
   }
-  if (out.violation) return out;
+  if (out.violation) {
+    attach_timeline(*out.violation, *fixture);
+    return out;
+  }
 
   try {
     fixture->check_hygiene();
@@ -327,6 +346,7 @@ ModelChecker::Outcome ModelChecker::explore(const Combo& combo, std::uint64_t tx
     v.invariant = "hygiene";
     v.txn = crash_txn;
     v.detail = e.what();
+    attach_timeline(v, *fixture);
     out.violation = std::move(v);
   }
   injector.clear();

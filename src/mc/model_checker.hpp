@@ -78,6 +78,10 @@ struct McViolation {
   std::string detail;
   /// Shortest workload prefix reproducing this violation (0 = not minimized).
   std::uint64_t minimized_txns = 0;
+  /// Flight-recorder narrative of the failing exploration (last events
+  /// before the invariant check fired), oldest-first.  Empty only for
+  /// violations with no execution behind them (registry rows).
+  std::vector<std::string> timeline;
 };
 
 struct McResult {

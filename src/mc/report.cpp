@@ -50,6 +50,9 @@ obs::Json mc_report_json(const McResult& result) {
       row.set("nested_point", v.nested_point).set("nested_hit", v.nested_hit);
     }
     row.set("txn", v.txn).set("detail", v.detail).set("minimized_txns", v.minimized_txns);
+    obs::Json timeline = obs::Json::array();
+    for (const std::string& line : v.timeline) timeline.push(line);
+    row.set("timeline", std::move(timeline));
     violations.push(std::move(row));
   }
   doc.set("violations", std::move(violations));

@@ -1,16 +1,18 @@
 #include "netram/cluster.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
+#include "core/event_registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace perseas::netram {
 
 Cluster::Cluster(const sim::HardwareProfile& profile, const ClusterConfig& config)
-    : profile_(profile), link_(profile.sci), rng_(config.seed) {
+    : profile_(profile), link_(profile.sci), rng_(config.seed), flight_(clock_) {
   if (config.node_count == 0) throw std::invalid_argument("Cluster: need at least one node");
   nodes_.reserve(config.node_count);
   for (std::uint32_t i = 0; i < config.node_count; ++i) {
@@ -20,6 +22,15 @@ Cluster::Cluster(const sim::HardwareProfile& profile, const ClusterConfig& confi
     }
     nodes_.push_back(std::make_unique<Node>(i, "node-" + std::to_string(i),
                                             config.arena_bytes_per_node, supply));
+  }
+  // Every injector firing — any engine, any layer — lands in the blackbox.
+  // The observer runs before armed actions, so a crash-injecting action
+  // still leaves its firing on record.
+  failures_.set_observer([this](std::string_view point, std::uint64_t hits) {
+    flight_.record(core::EventKind::kFailurePoint, 0, flight_.intern(point), hits);
+  });
+  if (const char* path = std::getenv("PERSEAS_BLACKBOX"); path != nullptr && *path != '\0') {
+    flight_.set_dump_path(path);
   }
 }
 
@@ -52,6 +63,8 @@ void Cluster::fail_power_supply(std::uint32_t supply) {
   for (auto& n : nodes_) {
     if (n->power_supply() == supply && !n->crashed()) {
       n->crash(sim::FailureKind::kPowerOutage);
+      flight_.record(core::EventKind::kNodeCrash, 0, n->id(),
+                     static_cast<std::uint64_t>(sim::FailureKind::kPowerOutage));
     }
   }
 }
@@ -61,7 +74,10 @@ void Cluster::restore_power_supply(std::uint32_t supply) {
   supplies_[supply].failed = false;
 }
 
-void Cluster::crash_node(NodeId id, sim::FailureKind kind) { node(id).crash(kind); }
+void Cluster::crash_node(NodeId id, sim::FailureKind kind) {
+  node(id).crash(kind);
+  flight_.record(core::EventKind::kNodeCrash, 0, id, static_cast<std::uint64_t>(kind));
+}
 
 void Cluster::restart_node(NodeId id) {
   Node& n = node(id);
@@ -105,6 +121,8 @@ sim::SimDuration Cluster::remote_write(NodeId local, NodeId remote, std::uint64_
   stats_.remote_write_bytes += data.size();
   stats_.full_packets += b.full_packets;
   stats_.partial_packets += b.partial_packets;
+  flight_.record(core::EventKind::kSciBurst, 0, remote, data.size(), 1);
+  if (ledger_ != nullptr) ledger_->add_bytes(data.size());
   if (trace_ != nullptr) {
     // Per-store SciStoreBreakdown: how the burst split into full/partial
     // SCI packets, the quantity figure 4's cost model is built on.
@@ -134,6 +152,8 @@ sim::SimDuration Cluster::remote_read(NodeId local, NodeId remote, std::uint64_t
 
   ++stats_.remote_reads;
   stats_.remote_read_bytes += out.size();
+  flight_.record(core::EventKind::kSciBurst, 0, remote, out.size(), 0);
+  if (ledger_ != nullptr) ledger_->add_bytes(out.size());
   if (trace_ != nullptr) {
     trace_->complete(trace_track_, static_cast<std::uint32_t>(local), "net", "sci.read", start,
                      cost, {{"from", remote}, {"offset", remote_offset}, {"bytes", out.size()}});
@@ -173,6 +193,11 @@ sim::SimDuration Cluster::charge_local_memcpy(NodeId node_id, std::uint64_t byte
 void Cluster::charge_cpu(NodeId node_id, sim::SimDuration d) {
   require_alive(node_id);
   clock_.advance(d);
+}
+
+void Cluster::set_ledger(obs::CostLedger* ledger) noexcept {
+  ledger_ = ledger;
+  clock_.set_observer(ledger);
 }
 
 void Cluster::set_trace(obs::TraceRecorder* trace, std::uint32_t track) {

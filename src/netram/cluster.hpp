@@ -14,6 +14,8 @@
 
 #include "netram/node.hpp"
 #include "netram/sci_link.hpp"
+#include "obs/cost_ledger.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/clock.hpp"
 #include "sim/failure.hpp"
 #include "sim/hardware_profile.hpp"
@@ -84,6 +86,22 @@ class Cluster {
   [[nodiscard]] obs::TraceRecorder* trace() const noexcept { return trace_; }
   [[nodiscard]] std::uint32_t trace_track() const noexcept { return trace_track_; }
 
+  /// The always-on blackbox: a bounded ring of protocol events from every
+  /// engine on this cluster (SCI bursts, node crashes, every failure-point
+  /// firing; the PERSEAS core adds its own lifecycle events).  Recording
+  /// charges no simulated time.  When the PERSEAS_BLACKBOX environment
+  /// variable names a path, any note_anomaly() auto-dumps the ring there
+  /// for tools/perseas-blackbox.py.
+  [[nodiscard]] obs::FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const obs::FlightRecorder& flight() const noexcept { return flight_; }
+
+  /// Attaches a cost ledger (or detaches with nullptr): the ledger becomes
+  /// the clock's charge observer, so EVERY simulated nanosecond charged on
+  /// this cluster lands in it (sum(ledger) == clock delta by construction),
+  /// and the charged SCI movers attribute their payload bytes.  Not owned.
+  void set_ledger(obs::CostLedger* ledger) noexcept;
+  [[nodiscard]] obs::CostLedger* ledger() const noexcept { return ledger_; }
+
   /// Folds NetworkStats (plus the simulated clock) into `reg` as netram_*
   /// metrics.  Call once per cluster per registry, at dump time.
   void export_metrics(obs::MetricsRegistry& reg) const;
@@ -143,8 +161,10 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<sim::PowerSupply> supplies_;
   NetworkStats stats_;
+  obs::FlightRecorder flight_;           ///< always-on; reads clock_ only
   obs::TraceRecorder* trace_ = nullptr;  ///< not owned; null = tracing off
   std::uint32_t trace_track_ = 0;
+  obs::CostLedger* ledger_ = nullptr;  ///< not owned; null = no attribution
 };
 
 }  // namespace perseas::netram

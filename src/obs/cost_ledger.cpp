@@ -1,0 +1,116 @@
+#include "obs/cost_ledger.hpp"
+
+#include <utility>
+
+namespace perseas::obs {
+
+CostEntry& CostLedger::entry_for_top() {
+  static const CostKey kRoot{};
+  const CostKey& key = scopes_.empty() ? kRoot : scopes_.back();
+  if (last_hit_ < entries_.size() && entries_[last_hit_].key == key) {
+    return entries_[last_hit_];
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].key == key) {
+      last_hit_ = i;
+      return entries_[i];
+    }
+  }
+  entries_.push_back(CostEntry{key, 0, 0});
+  last_hit_ = entries_.size() - 1;
+  return entries_.back();
+}
+
+void CostLedger::on_advance(sim::SimDuration d) noexcept {
+  sync::LockGuard lock(mu_);
+  entry_for_top().ns += d;
+}
+
+void CostLedger::add_bytes(std::uint64_t n) noexcept {
+  sync::LockGuard lock(mu_);
+  entry_for_top().bytes += n;
+}
+
+void CostLedger::push_scope(CostKey key) {
+  sync::LockGuard lock(mu_);
+  scopes_.push_back(std::move(key));
+}
+
+void CostLedger::pop_scope() noexcept {
+  sync::LockGuard lock(mu_);
+  if (!scopes_.empty()) scopes_.pop_back();
+}
+
+std::vector<CostEntry> CostLedger::entries() const {
+  sync::LockGuard lock(mu_);
+  return entries_;
+}
+
+sim::SimDuration CostLedger::total_ns() const noexcept {
+  sync::LockGuard lock(mu_);
+  sim::SimDuration total = 0;
+  for (const CostEntry& e : entries_) total += e.ns;
+  return total;
+}
+
+std::uint64_t CostLedger::total_bytes() const noexcept {
+  sync::LockGuard lock(mu_);
+  std::uint64_t total = 0;
+  for (const CostEntry& e : entries_) total += e.bytes;
+  return total;
+}
+
+std::vector<std::pair<std::string, sim::SimDuration>> CostLedger::by_phase() const {
+  sync::LockGuard lock(mu_);
+  std::vector<std::pair<std::string, sim::SimDuration>> out;
+  for (const CostEntry& e : entries_) {
+    bool found = false;
+    for (auto& [phase, ns] : out) {
+      if (phase == e.key.phase) {
+        ns += e.ns;
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.emplace_back(e.key.phase, e.ns);
+  }
+  return out;
+}
+
+Json CostLedger::to_json() const {
+  Json rows = Json::array();
+  sim::SimDuration total_ns = 0;
+  std::uint64_t total_bytes = 0;
+  {
+    sync::LockGuard lock(mu_);
+    for (const CostEntry& e : entries_) {
+      rows.push(Json::object()
+                    .set("txn", e.key.txn)
+                    .set("phase", e.key.phase)
+                    .set("layer", e.key.layer)
+                    .set("channel", e.key.channel)
+                    .set("ns", static_cast<std::uint64_t>(e.ns))
+                    .set("bytes", e.bytes));
+      total_ns += e.ns;
+      total_bytes += e.bytes;
+    }
+  }
+  Json phases = Json::array();
+  for (const auto& [phase, ns] : by_phase()) {
+    phases.push(Json::object().set("phase", phase).set("ns", static_cast<std::uint64_t>(ns)));
+  }
+  return Json::object()
+      .set("rows", std::move(rows))
+      .set("by_phase", std::move(phases))
+      .set("total_ns", static_cast<std::uint64_t>(total_ns))
+      .set("total_bytes", total_bytes);
+}
+
+void CostLedger::clear() noexcept {
+  sync::LockGuard lock(mu_);
+  entries_.clear();
+  scopes_.clear();
+  last_hit_ = 0;
+}
+
+}  // namespace perseas::obs

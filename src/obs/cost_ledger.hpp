@@ -1,0 +1,130 @@
+// obs::CostLedger — per-transaction cost attribution with a conservation
+// law.
+//
+// The paper's whole argument is a cost model: every simulated microsecond
+// of commit latency is charged somewhere by the netram layer.  The ledger
+// makes that attribution explicit: every charged nanosecond and every SCI
+// byte lands under a (txn, phase, layer, channel) key, and because the
+// ledger observes sim::SimClock::advance() itself (not the individual
+// charge sites), the conservation check
+//
+//     sum over keys of ns  ==  clock.now() - installation time
+//
+// holds EXACTLY, by construction — there is no way for a new charge site
+// to escape the books.  Charges that arrive outside any scope are booked
+// under the root key {txn=0, phase="unattributed", layer="sim",
+// channel="-"}; a growing unattributed row is the signal that a code path
+// needs a ScopedCost.
+//
+// Attribution is scoped RAII-style: the protocol pushes a scope around
+// each phase (core/perseas.cpp brackets local-undo, remote-undo,
+// flag-set, propagate, flag-clear, abort, recovery), and every charge the
+// netram layer makes while the scope is live is booked to it.  Bytes are
+// attributed explicitly by the cluster's charged ops via add_bytes().
+//
+// Like all of perseas::obs, the ledger charges no simulated time and no
+// simulated traffic of its own; with no ledger installed the clock hook
+// is a null-pointer check and runs are bit-for-bit cost-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sync.hpp"
+#include "obs/json.hpp"
+#include "sim/clock.hpp"
+
+namespace perseas::obs {
+
+/// One attribution scope / ledger row key.  txn 0 means "not
+/// transaction-scoped" (recovery, setup, background traffic).
+struct CostKey {
+  std::uint64_t txn = 0;
+  std::string phase = "unattributed";
+  std::string layer = "sim";
+  std::string channel = "-";
+
+  [[nodiscard]] bool operator==(const CostKey& o) const noexcept {
+    return txn == o.txn && phase == o.phase && layer == o.layer && channel == o.channel;
+  }
+};
+
+/// One ledger row: the accumulated simulated time and SCI bytes of a key.
+struct CostEntry {
+  CostKey key;
+  sim::SimDuration ns = 0;
+  std::uint64_t bytes = 0;
+};
+
+class CostLedger final : public sim::SimClock::ChargeObserver {
+ public:
+  CostLedger() = default;
+  CostLedger(const CostLedger&) = delete;
+  CostLedger& operator=(const CostLedger&) = delete;
+
+  /// sim::SimClock::ChargeObserver: books `d` under the current scope.
+  void on_advance(sim::SimDuration d) noexcept override;
+
+  /// Books `n` SCI bytes under the current scope (called by the cluster's
+  /// charged data movers; control RPCs move no payload bytes).
+  void add_bytes(std::uint64_t n) noexcept;
+
+  /// Scope stack (prefer the ScopedCost RAII wrapper).
+  void push_scope(CostKey key);
+  void pop_scope() noexcept;
+
+  /// Rows in first-charge order.
+  [[nodiscard]] std::vector<CostEntry> entries() const;
+
+  /// Conservation left-hand side: total nanoseconds across every row.
+  /// Equals the clock delta since installation, exactly.
+  [[nodiscard]] sim::SimDuration total_ns() const noexcept;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
+  /// Aggregated ns per phase, first-charge order — the fig6-style
+  /// breakdown (local undo / remote undo / flags / propagation / ...).
+  [[nodiscard]] std::vector<std::pair<std::string, sim::SimDuration>> by_phase() const;
+
+  /// The "ledger" section of the perseas-bench/1 document: row list plus
+  /// the by-phase aggregation and conservation totals.
+  [[nodiscard]] Json to_json() const;
+
+  void clear() noexcept;
+
+ private:
+  [[nodiscard]] CostEntry& entry_for_top() PERSEAS_REQUIRES(mu_);
+
+  mutable sync::Mutex mu_;
+  std::vector<CostEntry> entries_ PERSEAS_GUARDED_BY(mu_);
+  std::vector<CostKey> scopes_ PERSEAS_GUARDED_BY(mu_);
+  /// Consecutive charges usually hit one key; remember the last row.
+  std::size_t last_hit_ PERSEAS_GUARDED_BY(mu_) = 0;
+};
+
+/// RAII attribution scope.  Null-safe: with `ledger == nullptr` (the
+/// recorder-off configuration) construction and destruction are no-ops,
+/// so call sites need no branching.
+class ScopedCost {
+ public:
+  ScopedCost(CostLedger* ledger, std::uint64_t txn, std::string_view phase,
+             std::string_view layer, std::string_view channel)
+      : ledger_(ledger) {
+    if (ledger_ != nullptr) {
+      ledger_->push_scope(
+          CostKey{txn, std::string(phase), std::string(layer), std::string(channel)});
+    }
+  }
+  ~ScopedCost() {
+    if (ledger_ != nullptr) ledger_->pop_scope();
+  }
+
+  ScopedCost(const ScopedCost&) = delete;
+  ScopedCost& operator=(const ScopedCost&) = delete;
+
+ private:
+  CostLedger* ledger_;
+};
+
+}  // namespace perseas::obs

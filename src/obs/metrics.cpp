@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
@@ -146,20 +148,29 @@ Json MetricsRegistry::to_json() const {
   return doc;
 }
 
-bool MetricsRegistry::save(const std::string& path) const {
+void MetricsRegistry::save(const std::string& path) const {
   if (path == "-") {
     std::cout << to_json().dump(2) << "\n";
-    return true;
+    return;
   }
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::save: cannot open '" + path +
+                             "': " + std::strerror(errno) +
+                             " (parent directories are not created)");
+  }
   const bool prometheus = path.ends_with(".prom") || path.ends_with(".txt");
   if (prometheus) {
     out << to_prometheus();
   } else {
     out << to_json().dump(2) << "\n";
   }
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry::save: write to '" + path +
+                             "' failed: " + std::strerror(errno));
+  }
 }
 
 }  // namespace perseas::obs

@@ -107,8 +107,10 @@ class MetricsRegistry {
 
   /// Writes the registry to `path`: Prometheus text when the path ends in
   /// ".prom" or ".txt", pretty JSON otherwise ("-" = JSON on stdout).
-  /// Returns false when the file cannot be opened.
-  bool save(const std::string& path) const;
+  /// Parent directories are NOT created — the caller picks (and prepares)
+  /// the destination.  Throws std::runtime_error carrying the errno string
+  /// when the file cannot be opened or fully written.
+  void save(const std::string& path) const;
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

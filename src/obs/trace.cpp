@@ -1,9 +1,12 @@
 #include "obs/trace.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "obs/json.hpp"
 
@@ -123,15 +126,24 @@ std::string TraceRecorder::to_json() const {
   return out.str();
 }
 
-bool TraceRecorder::save(const std::string& path) const {
+void TraceRecorder::save(const std::string& path) const {
   if (path == "-") {
     write_json(std::cout);
-    return true;
+    return;
   }
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    throw std::runtime_error("TraceRecorder::save: cannot open '" + path +
+                             "': " + std::strerror(errno) +
+                             " (parent directories are not created)");
+  }
   write_json(out);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("TraceRecorder::save: write to '" + path +
+                             "' failed: " + std::strerror(errno));
+  }
 }
 
 }  // namespace perseas::obs

@@ -95,9 +95,11 @@ class TraceRecorder {
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string to_json() const;
 
-  /// Writes the JSON to `path` ("-" = stdout).  Returns false (after
-  /// printing nothing) when the file cannot be opened.
-  bool save(const std::string& path) const;
+  /// Writes the JSON to `path` ("-" = stdout).  Parent directories are NOT
+  /// created — the caller picks (and prepares) the destination.  Throws
+  /// std::runtime_error carrying the errno string when the file cannot be
+  /// opened or fully written.
+  void save(const std::string& path) const;
 
  private:
   struct ThreadName {

@@ -16,6 +16,18 @@ namespace perseas::sim {
 /// samples now() around a region of interest.
 class SimClock {
  public:
+  /// Sees every advance() as it happens.  The hook exists so a cost
+  /// accountant (obs::CostLedger) can attribute each charged nanosecond
+  /// to whatever scope is current at charge time — making the ledger's
+  /// conservation law `sum(ledger) == clock delta` true by construction
+  /// rather than by auditing every charge site.  The observer must not
+  /// call back into the clock.
+  class ChargeObserver {
+   public:
+    virtual ~ChargeObserver() = default;
+    virtual void on_advance(SimDuration d) noexcept = 0;
+  };
+
   SimClock() = default;
 
   /// Current simulated time.
@@ -26,7 +38,12 @@ class SimClock {
     assert(d >= 0);
     now_ += d;
     ++advance_count_;
+    if (observer_ != nullptr) observer_->on_advance(d);
   }
+
+  /// Installs (or with nullptr removes) the charge observer; not owned.
+  void set_observer(ChargeObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] ChargeObserver* observer() const noexcept { return observer_; }
 
   /// Number of advance() calls so far; useful for asserting that an
   /// operation touched the modelled hardware an expected number of times.
@@ -41,6 +58,7 @@ class SimClock {
  private:
   SimTime now_ = 0;
   std::uint64_t advance_count_ = 0;
+  ChargeObserver* observer_ = nullptr;
 };
 
 /// Measures the simulated duration of a scoped region.

@@ -34,10 +34,14 @@ void FailureInjector::notify(std::string_view point) {
   // recovery code re-entering the same point does not re-fire it — and it
   // may itself call arm()/notify(), which would self-deadlock under mu_.
   std::vector<Action> due;
+  Observer observer;
+  std::uint64_t hits = 0;
   {
     sync::LockGuard lock(mu_);
     auto& pc = count_for(point);
     ++pc.hits;
+    hits = pc.hits;
+    observer = observer_;
     for (auto it = armed_.begin(); it != armed_.end();) {
       if (it->point == point && pc.hits >= it->fire_at_hit) {
         due.push_back(std::move(it->action));
@@ -47,7 +51,15 @@ void FailureInjector::notify(std::string_view point) {
       }
     }
   }
+  // The observer runs before the armed actions: a crash action throws
+  // through this frame, and the firing must already be on record.
+  if (observer) observer(point, hits);
   for (auto& action : due) action();
+}
+
+void FailureInjector::set_observer(Observer observer) {
+  sync::LockGuard lock(mu_);
+  observer_ = std::move(observer);
 }
 
 std::uint64_t FailureInjector::hits(std::string_view point) const noexcept {

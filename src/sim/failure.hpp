@@ -75,6 +75,14 @@ class FailureInjector {
  public:
   using Action = std::function<void()>;
 
+  /// Sees every notify() with the point's name and its new hit count,
+  /// *before* any armed action fires (so a crash action still leaves the
+  /// firing on record).  The cluster wires its flight recorder here, which
+  /// is how every engine's injector firings — rvm, vista, netram, perseas
+  /// — land in the blackbox with zero per-engine instrumentation.  Must
+  /// not call back into arm()/notify().
+  using Observer = std::function<void(std::string_view point, std::uint64_t hits)>;
+
   /// Arms `action` to run when `point` has been hit `after_hits` more times
   /// (0 = next hit).  Multiple arms on one point all fire.
   void arm(std::string point, std::uint64_t after_hits, Action action);
@@ -104,6 +112,9 @@ class FailureInjector {
   /// action whose countdown expires at this hit.  Cheap when nothing is
   /// armed.
   void notify(std::string_view point);
+
+  /// Installs (or with an empty function removes) the notify observer.
+  void set_observer(Observer observer);
 
   /// Total hits observed for `point` (for tests asserting coverage).
   [[nodiscard]] std::uint64_t hits(std::string_view point) const noexcept;
@@ -146,6 +157,7 @@ class FailureInjector {
   mutable sync::Mutex mu_;
   std::vector<Armed> armed_ PERSEAS_GUARDED_BY(mu_);
   std::vector<PointCount> counts_ PERSEAS_GUARDED_BY(mu_);
+  Observer observer_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::sim

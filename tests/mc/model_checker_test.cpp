@@ -158,6 +158,35 @@ TEST(McSelfTest, SeededBugYieldsMinimizedCounterexample) {
   EXPECT_TRUE(minimized) << "expected at least one counterexample smaller than the workload";
 }
 
+// Every counterexample must embed the flight-recorder narrative: the
+// seeded skip-flag-clear bug's violations carry a timeline whose lines are
+// the recorder's rendering ("@<ts>ns ..."), ending at the events that
+// doomed the run — the announcement (flag.set) is on it, and the report
+// JSON carries the same lines.
+TEST(McSelfTest, SeededBugCounterexamplesEmbedFlightTimeline) {
+  McOptions options;
+  options.engine = "perseas";
+  options.workload = "debit-credit";
+  options.txns = 2;
+  options.kinds = {sim::FailureKind::kSoftwareCrash};
+  options.seed_bug = true;
+  const McResult result = ModelChecker(options).run();
+  ASSERT_FALSE(result.ok());
+  bool saw_flag_set = false;
+  for (const auto& v : result.violations) {
+    ASSERT_FALSE(v.timeline.empty()) << v.invariant << ": " << v.detail;
+    for (const auto& line : v.timeline) {
+      ASSERT_FALSE(line.empty());
+      EXPECT_EQ(line[0], '@') << line;
+      saw_flag_set |= line.find(" flag.set ") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(saw_flag_set)
+      << "the announcement must appear in at least one embedded timeline";
+  const std::string text = mc_report_json(result).dump();
+  EXPECT_NE(text.find("\"timeline\":[\"@"), std::string::npos);
+}
+
 // Reproduction filters restrict exploration to one schedule from a report.
 TEST(McExplore, PointFilterReproducesOneSchedule) {
   McOptions options;

@@ -98,8 +98,8 @@ TEST(MetricsRegistry, SavePicksFormatByExtension) {
 
   const std::string prom_path = ::testing::TempDir() + "metrics_test.prom";
   const std::string json_path = ::testing::TempDir() + "metrics_test.json";
-  ASSERT_TRUE(reg.save(prom_path));
-  ASSERT_TRUE(reg.save(json_path));
+  ASSERT_NO_THROW(reg.save(prom_path));
+  ASSERT_NO_THROW(reg.save(json_path));
 
   const auto slurp = [](const std::string& path) {
     std::ifstream in(path);
@@ -112,7 +112,17 @@ TEST(MetricsRegistry, SavePicksFormatByExtension) {
   std::remove(prom_path.c_str());
   std::remove(json_path.c_str());
 
-  EXPECT_FALSE(reg.save("/nonexistent-dir-for-sure/metrics.json"));
+  // I/O failures must surface, with the errno string and the documented
+  // parent-directory behaviour in the message.
+  try {
+    reg.save("/nonexistent-dir-for-sure/metrics.json");
+    FAIL() << "save into a missing directory did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("parent directories are not created"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

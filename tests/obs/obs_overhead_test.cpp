@@ -12,6 +12,8 @@
 #include "core/perseas.hpp"
 #include "netram/cluster.hpp"
 #include "netram/remote_memory.hpp"
+#include "obs/cost_ledger.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "workload/engines.hpp"
@@ -86,6 +88,60 @@ TEST(ObsOverhead, EveryEngineCostIdenticalWithTracingOnAndOff) {
       workload::EngineLab lab(kind, lo);
       workload::SyntheticWorkload w(lab.engine(), 128);
       w.run(50);
+      return std::pair{lab.cluster().clock().now(),
+                       lab.cluster().stats().remote_write_bytes};
+    };
+    EXPECT_EQ(run(true), run(false)) << workload::to_string(kind);
+  }
+}
+
+/// The flight recorder is always-on, so the identity is tested the other
+/// way around: freezing it (set_enabled(false)) must change nothing the
+/// simulation can observe — recording truly charges zero simulated time.
+TEST(ObsOverhead, EveryEngineCostIdenticalWithFlightRecorderOnAndOff) {
+  for (const auto kind :
+       {workload::EngineKind::kPerseas, workload::EngineKind::kVista,
+        workload::EngineKind::kRvmRio, workload::EngineKind::kRvmDisk,
+        workload::EngineKind::kRvmNvram, workload::EngineKind::kRemoteWal,
+        workload::EngineKind::kFsMirror}) {
+    auto run = [kind](bool on) {
+      workload::LabOptions lo;
+      lo.db_size = 1 << 16;
+      workload::EngineLab lab(kind, lo);
+      lab.cluster().flight().set_enabled(on);
+      workload::SyntheticWorkload w(lab.engine(), 128);
+      w.run(50);
+      if (on) EXPECT_GT(lab.cluster().flight().recorded(), 0u);
+      return std::pair{lab.cluster().clock().now(),
+                       lab.cluster().stats().remote_write_bytes};
+    };
+    EXPECT_EQ(run(true), run(false)) << workload::to_string(kind);
+  }
+}
+
+/// Same contract for the cost ledger: attaching one only *observes* the
+/// clock, so the attributed run must be cost-identical to the bare run —
+/// and what it attributed must equal the clock delta exactly.
+TEST(ObsOverhead, EveryEngineCostIdenticalWithLedgerAttachedAndNot) {
+  for (const auto kind :
+       {workload::EngineKind::kPerseas, workload::EngineKind::kVista,
+        workload::EngineKind::kRvmRio, workload::EngineKind::kRvmDisk,
+        workload::EngineKind::kRvmNvram, workload::EngineKind::kRemoteWal,
+        workload::EngineKind::kFsMirror}) {
+    auto run = [kind](bool on) {
+      CostLedger ledger;
+      workload::LabOptions lo;
+      lo.db_size = 1 << 16;
+      workload::EngineLab lab(kind, lo);
+      const auto attach = lab.cluster().clock().now();
+      if (on) lab.cluster().set_ledger(&ledger);
+      workload::SyntheticWorkload w(lab.engine(), 128);
+      w.run(50);
+      if (on) {
+        EXPECT_EQ(ledger.total_ns(), lab.cluster().clock().now() - attach)
+            << workload::to_string(kind);
+        lab.cluster().set_ledger(nullptr);
+      }
       return std::pair{lab.cluster().clock().now(),
                        lab.cluster().stats().remote_write_bytes};
     };

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates the repo-root BENCH_trend.json perf-trajectory snapshot.
+#
+# The simulation is deterministic, so the document is bit-stable: CI runs
+# this script and then tools/bench-diff.py against the committed snapshot —
+# any unexplained latency drift fails the gate, with the regression
+# attributed to per-transaction cost-ledger phases.
+#
+# Usage:
+#   tools/bench-trend.sh [output.json]     (default: <repo-root>/BENCH_trend.json)
+#
+# Honors BUILD_DIR (default: <repo-root>/build); the bench binary must
+# already be built (cmake --build build --target bench_trend).
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$root/build}"
+out="${1:-$root/BENCH_trend.json}"
+bench="$build/bench/bench_trend"
+
+if [[ ! -x "$bench" ]]; then
+  echo "bench-trend: $bench not built (cmake --build $build --target bench_trend)" >&2
+  exit 1
+fi
+
+"$bench" --quick --metrics="$out" > /dev/null
+python3 "$root/tools/check-bench-json.py" "$out"
+echo "bench-trend: wrote $out"

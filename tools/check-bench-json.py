@@ -65,6 +65,47 @@ def check(doc):
         if "coalesce" in row and row["coalesce"] not in ("on", "off"):
             fail(f'rows[{i}].coalesce must be "on" or "off", got {row["coalesce"]!r}')
 
+    # Optional per-transaction cost-ledger section (bench_trend emits it):
+    # every charged simulated nanosecond keyed by (txn, phase, layer,
+    # channel), with conservation — sum(rows) == total_ns == the clock
+    # delta the bench measured — checked here a second time, on the
+    # serialized artifact.
+    ledger = doc.get("ledger")
+    if ledger is not None:
+        if not isinstance(ledger, dict):
+            fail("'ledger' must be an object")
+        lrows = ledger.get("rows")
+        if not isinstance(lrows, list) or not lrows:
+            fail("ledger.rows must be a non-empty array")
+        ns_sum = 0
+        for i, row in enumerate(lrows):
+            if not isinstance(row, dict):
+                fail(f"ledger.rows[{i}] must be an object")
+            for k in ("txn", "ns", "bytes"):
+                v = row.get(k)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    fail(f"ledger.rows[{i}].{k} must be a non-negative "
+                         f"integer, got {v!r}")
+            for k in ("phase", "layer", "channel"):
+                if not isinstance(row.get(k), str) or not row[k]:
+                    fail(f"ledger.rows[{i}].{k} must be a non-empty string")
+            ns_sum += row["ns"]
+        total = ledger.get("total_ns")
+        if total != ns_sum:
+            fail(f"ledger.total_ns ({total!r}) != sum of row ns ({ns_sum})")
+        delta = ledger.get("clock_delta_ns")
+        if delta is not None and delta != ns_sum:
+            fail(f"ledger conservation violated: sum(ledger) = {ns_sum} ns "
+                 f"but the simulated clock advanced {delta} ns")
+        phases = ledger.get("by_phase")
+        if not isinstance(phases, list) or not phases:
+            fail("ledger.by_phase must be a non-empty array")
+        by_phase_sum = sum(p.get("ns", 0) for p in phases
+                           if isinstance(p, dict))
+        if by_phase_sum != ns_sum:
+            fail(f"ledger.by_phase sums to {by_phase_sum} ns, "
+                 f"rows sum to {ns_sum}")
+
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         fail("'metrics' must be an object")

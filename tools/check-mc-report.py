@@ -173,6 +173,15 @@ def check(doc):
         if not isinstance(v.get("detail"), str) or not v["detail"]:
             fail(f"{where}.detail must be a non-empty string")
         require_uint(v, "minimized_txns", where)
+        timeline = v.get("timeline")
+        if not isinstance(timeline, list) or any(
+                not isinstance(line, str) for line in timeline):
+            fail(f"{where}.timeline must be an array of narrative strings")
+        # Registry rows are static findings with no execution behind them;
+        # every other invariant comes out of a run the flight recorder saw.
+        if v["invariant"] != "registry" and not timeline:
+            fail(f"{where}.timeline is empty: counterexamples must embed "
+                 "the flight-recorder narrative")
 
     if doc.get("ok") is not (len(violations) == 0):
         fail(f"'ok' is {doc.get('ok')!r} but the report lists "

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Render a PERSEAS flight-recorder blackbox dump as a human narrative.
+
+Usage:
+    perseas-blackbox.py <dump.bin> [--last=N]
+    perseas-blackbox.py --selftest
+
+The dump is the self-contained binary file obs::FlightRecorder::dump()
+writes (and note_anomaly() auto-writes when PERSEAS_BLACKBOX=<path> is
+set): magic "PSEASFR1", the event-kind table, the interned string table,
+and the retained ring events.  Because the kind table travels inside the
+dump, this renderer works on a bare CI artifact with no access to the
+source tree, and renders the same lines as FlightRecorder::narrative():
+
+    @<ts>ns txn=<id> <kind.name> <label>=<value> ...
+
+'$'-prefixed labels resolve through the embedded string table; a missing
+kind renders as kind#<id> so a newer dump still degrades gracefully.
+
+--last=N prints only the last N events (default: all).
+--selftest builds a synthetic dump in memory and checks the rendering.
+
+Exits 0 on success, 1 with a diagnostic otherwise, 2 on usage errors.
+Stdlib only: runs on any CI python3 without installs.
+"""
+
+import struct
+import sys
+
+MAGIC = b"PSEASFR1"
+
+
+def fail(msg):
+    print(f"perseas-blackbox: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n):
+        if self.pos + n > len(self.data):
+            fail(f"truncated dump: wanted {n} bytes at offset {self.pos}, "
+                 f"have {len(self.data) - self.pos}")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def u16(self):
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def string(self):
+        n = self.u16()
+        return self.take(n).decode("utf-8", errors="replace")
+
+
+def parse(data):
+    """Returns (header-dict, kinds {id: (name, cat, labels)}, strings, events)."""
+    r = Reader(data)
+    if r.take(8) != MAGIC:
+        fail(f"bad magic (not a {MAGIC.decode()} dump)")
+    header = {"recorded": r.u64(), "dropped": r.u64()}
+    kinds = {}
+    for _ in range(r.u32()):
+        kind_id = r.u16()
+        name = r.string()
+        category = r.string()
+        labels = (r.string(), r.string(), r.string())
+        kinds[kind_id] = (name, category, labels)
+    strings = [r.string() for _ in range(r.u32())]
+    events = []
+    for _ in range(r.u32()):
+        seq = r.u64()
+        ts = r.u64()
+        kind = r.u16()
+        txn = r.u64()
+        words = (r.u64(), r.u64(), r.u64())
+        events.append((seq, ts, kind, txn, words))
+    if r.pos != len(data):
+        fail(f"{len(data) - r.pos} trailing byte(s) after the event array")
+    return header, kinds, strings, events
+
+
+def render_event(event, kinds, strings):
+    """Mirrors obs::render_flight_event exactly (golden-tested in C++)."""
+    _seq, ts, kind, txn, words = event
+    line = f"@{ts}ns "
+    line += f"txn={txn}" if txn != 0 else "-"
+    if kind in kinds:
+        name, _category, labels = kinds[kind]
+    else:
+        name, labels = f"kind#{kind}", ("a", "b", "c")
+    line += f" {name}"
+    for label, word in zip(labels, words):
+        if not label:
+            continue
+        if label.startswith("$"):
+            value = strings[word] if word < len(strings) else "?"
+            line += f" {label[1:]}={value}"
+        else:
+            line += f" {label}={word}"
+    return line
+
+
+def render(data, last=0):
+    header, kinds, strings, events = parse(data)
+    lines = [f"# blackbox: {len(events)} event(s) retained, "
+             f"{header['recorded']} recorded, {header['dropped']} dropped, "
+             f"{len(kinds)} kind(s), {len(strings)} interned string(s)"]
+    shown = events[-last:] if last else events
+    if last and len(events) > last:
+        lines.append(f"# (showing the last {last})")
+    lines.extend(render_event(e, kinds, strings) for e in shown)
+    return lines
+
+
+def selftest():
+    """Builds a synthetic dump and checks the narrative byte-for-byte."""
+    def s(text):
+        b = text.encode()
+        return struct.pack("<H", len(b)) + b
+
+    buf = MAGIC
+    buf += struct.pack("<QQ", 5, 2)        # recorded=5, dropped=2
+    buf += struct.pack("<I", 2)            # two kinds
+    buf += struct.pack("<H", 1) + s("txn.begin") + s("txn") + s("open_txns") + s("") + s("")
+    buf += struct.pack("<H", 14) + s("fault.point") + s("fault") + s("$point") + s("hits") + s("")
+    buf += struct.pack("<I", 1) + s("perseas.commit.before_flags")   # string table
+    buf += struct.pack("<I", 3)            # three events
+    buf += struct.pack("<QQHQQQQ", 2, 100, 1, 7, 1, 0, 0)
+    buf += struct.pack("<QQHQQQQ", 3, 250, 14, 0, 0, 3, 0)
+    buf += struct.pack("<QQHQQQQ", 4, 300, 99, 0, 1, 2, 3)           # unknown kind
+    expected = [
+        "@100ns txn=7 txn.begin open_txns=1",
+        "@250ns - fault.point point=perseas.commit.before_flags hits=3",
+        "@300ns - kind#99 a=1 b=2 c=3",
+    ]
+    got = render(buf)
+    if got[1:] != expected:
+        fail("selftest rendering mismatch:\n  got:      %r\n  expected: %r"
+             % (got[1:], expected))
+    if "5 recorded, 2 dropped" not in got[0]:
+        fail(f"selftest header mismatch: {got[0]!r}")
+    print("perseas-blackbox: selftest OK")
+
+
+def main():
+    args = sys.argv[1:]
+    if args == ["--selftest"]:
+        selftest()
+        return
+    last = 0
+    paths = []
+    for arg in args:
+        if arg.startswith("--last="):
+            try:
+                last = int(arg.split("=", 1)[1])
+            except ValueError:
+                fail(f"bad --last value {arg!r}")
+        elif arg.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(paths[0], "rb") as f:
+            data = f.read()
+    except OSError as e:
+        fail(str(e))
+    for line in render(data, last):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,13 @@ Rules (each failure names its rule):
   E  nolint-budget    src/ carries zero inline NOLINT suppressions; a
                       clang-tidy finding is fixed or its check is disabled
                       (with rationale) in .clang-tidy.
+  F  event-registry   Every flight-recorder EventKind used in src/ is a
+                      row of the event registry
+                      (src/core/event_registry.hpp), every enum kind has
+                      exactly one row, every row is recorded somewhere (no
+                      dead kinds), and the table in docs/ANALYSIS.md §7
+                      matches the registry in both directions — the
+                      rule-A story, for protocol events.
 
 Exit status: 0 clean, 1 violations, 2 internal/usage error.
 
@@ -44,6 +51,7 @@ REPO = Path(__file__).resolve().parent.parent
 
 REGISTRY_HPP = "src/core/failure_points.hpp"
 PROTOCOL_HPP = "src/core/protocol_points.hpp"
+EVENTS_HPP = "src/core/event_registry.hpp"
 ERRORS_HPP = "src/core/errors.hpp"
 ANALYSIS_MD = "docs/ANALYSIS.md"
 
@@ -426,7 +434,97 @@ def rule_e(tree, out):
                     "check in .clang-tidy with a rationale)"))
 
 
-RULES = [rule_a, rule_b, rule_c, rule_d, rule_e]
+# --------------------------------------------------------------------------
+# Rule F: flight-recorder event kinds vs the central event registry.
+
+EVENT_ENUM_RE = re.compile(r"enum\s+class\s+EventKind[^{]*\{([^}]*)\}", re.DOTALL)
+EVENT_IDENT_RE = re.compile(r"\b(k[A-Z]\w*)\b")
+# A registry row carries the kind, the dotted name, the category, and the
+# three payload-word labels (parsed from the raw header text — the labels
+# are string literals the lexer would blank).
+EVENT_ROW_RE = re.compile(
+    r'\{\s*EventKind::(k\w+)\s*,\s*"([^"]+)"\s*,\s*"(\w+)"\s*,\s*'
+    r'"([^"]*)"\s*,\s*"([^"]*)"\s*,\s*"([^"]*)"\s*\}')
+EVENT_USE_RE = re.compile(r"\bEventKind::(k\w+)\b")
+# Docs table row: | `txn.begin` | txn | kTxnBegin | open_txns | - | - |
+# (the kind column's leading k[A-Z] keeps this regex from matching the
+# failure-point table, whose third column is a lowercase phase).
+EVENT_DOC_ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9_.]+)`\s*\|\s*(\w+)\s*\|\s*(k[A-Z]\w*)\s*\|"
+    r"\s*([^|]*?)\s*\|\s*([^|]*?)\s*\|\s*([^|]*?)\s*\|")
+
+
+def rule_f(tree, out):
+    header = tree.get(EVENTS_HPP, "")
+    enum_m = EVENT_ENUM_RE.search(lex(header)[0])
+    rows = EVENT_ROW_RE.findall(header)
+    if not enum_m or not rows:
+        out.append(Violation("F", EVENTS_HPP, 0, "event registry not found"))
+        return
+    enum_kinds = set(EVENT_IDENT_RE.findall(enum_m.group(1)))
+    row_kinds = [ident for ident, *_ in rows]
+
+    # Enum and table agree, one row per kind.
+    for ident in sorted(enum_kinds - set(row_kinds)):
+        out.append(Violation("F", EVENTS_HPP, 0,
+                             f"enum kind EventKind::{ident} has no registry row"))
+    for ident in row_kinds:
+        if ident not in enum_kinds:
+            out.append(Violation("F", EVENTS_HPP, 0,
+                                 f"registry row references undefined kind EventKind::{ident}"))
+    for ident in sorted({k for k in row_kinds if row_kinds.count(k) > 1}):
+        out.append(Violation("F", EVENTS_HPP, 0,
+                             f"duplicate registry row for EventKind::{ident}"))
+
+    # Every EventKind:: usage in src/ (outside the registry header, which
+    # *defines* the kinds) names a registered kind, and every registered
+    # kind is recorded somewhere (dead rows are stale documentation).
+    used = set()
+    registered = set(row_kinds) & enum_kinds
+    for path, text in src_files(tree).items():
+        if path == EVENTS_HPP:
+            continue
+        code, _ = lex(text)
+        for m in EVENT_USE_RE.finditer(code):
+            ident = m.group(1)
+            used.add(ident)
+            if ident not in registered:
+                line = code[: m.start()].count("\n") + 1
+                out.append(Violation(
+                    "F", path, line,
+                    f"unregistered event kind EventKind::{ident} "
+                    f"(add a row to {EVENTS_HPP})"))
+    for ident, name, *_ in rows:
+        if ident in registered and ident not in used:
+            out.append(Violation("F", EVENTS_HPP, 0,
+                                 f"registered event {name} (EventKind::{ident}) "
+                                 f"is never recorded"))
+
+    # The docs table and the registry agree in both directions, labels
+    # included ('-' in a docs cell means the payload word is unused).
+    doc_rows = {}
+    for m in (EVENT_DOC_ROW_RE.match(line)
+              for line in tree.get(ANALYSIS_MD, "").splitlines()):
+        if m:
+            labels = tuple("" if cell == "-" else cell for cell in m.group(4, 5, 6))
+            doc_rows[m.group(3)] = (m.group(1), m.group(2)) + labels
+    if not doc_rows:
+        out.append(Violation("F", ANALYSIS_MD, 0, "event-registry table not found"))
+        return
+    for ident, name, category, a, b, c in rows:
+        if ident not in doc_rows:
+            out.append(Violation("F", ANALYSIS_MD, 0,
+                                 f"registered event {name} missing from the docs table"))
+        elif doc_rows[ident] != (name, category, a, b, c):
+            out.append(Violation("F", ANALYSIS_MD, 0,
+                                 f"docs table row {name} disagrees with the registry"))
+    for ident in doc_rows:
+        if ident not in set(row_kinds):
+            out.append(Violation("F", ANALYSIS_MD, 0,
+                                 f"docs table lists unregistered kind EventKind::{ident}"))
+
+
+RULES = [rule_a, rule_b, rule_c, rule_d, rule_e, rule_f]
 
 
 def run_rules(tree):
@@ -455,6 +553,11 @@ def selftest(tree) -> int:
         # E: an inline suppression.
         "E": ("src/selftest_e.cpp",
               "int selftest_e;  // NOLINT(bugprone-selftest)\n"),
+        # F: a record() of a kind the event registry does not know.
+        "F": ("src/selftest_f.cpp",
+              "void h(perseas::obs::FlightRecorder& fr) {\n"
+              "  fr.record(perseas::core::EventKind::kSelftestPhantom, 0, 0, 0, 0);\n"
+              "}\n"),
     }
     mutated = dict(tree)
     for _rule, (path, text) in seeds.items():
@@ -472,6 +575,7 @@ def selftest(tree) -> int:
         "C": ("src/selftest_c.cpp", "std::mutex"),
         "D": ("src/selftest_d.cpp", "SelftestUndeclaredError"),
         "E": ("src/selftest_e.cpp", "NOLINT"),
+        "F": ("src/selftest_f.cpp", "kSelftestPhantom"),
     }
     status = 0
     for rule, (path, needle) in sorted(expected.items()):
@@ -491,7 +595,7 @@ def selftest(tree) -> int:
     for v in stray:
         print(f"selftest: unexpected pre-existing violation: {v}", file=sys.stderr)
         status = 1
-    print("selftest: " + ("OK (5/5 rules fire)" if status == 0 else "FAILED"))
+    print("selftest: " + ("OK (6/6 rules fire)" if status == 0 else "FAILED"))
     return status
 
 
@@ -522,7 +626,7 @@ def main() -> int:
     if n:
         print(f"perseas-lint: {n} violation{'s' if n != 1 else ''}")
         return 1
-    print(f"perseas-lint: clean ({len(src_files(tree))} source files, 5 rules)")
+    print(f"perseas-lint: clean ({len(src_files(tree))} source files, 6 rules)")
     return 0
 
 
