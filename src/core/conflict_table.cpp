@@ -4,12 +4,30 @@
 #include <string>
 
 namespace perseas::core {
+namespace {
+
+// Half-open [a, a+s) vs [b, b+t) overlap, exact even when a+s or b+t is
+// 2^64 (a naive end computation wraps to 0 there and misses every
+// conflict against such a claim).  Callers guarantee s > 0 and t > 0.
+bool ranges_overlap(std::uint64_t a, std::uint64_t s, std::uint64_t b,
+                    std::uint64_t t) noexcept {
+  return a <= b ? b - a < s : a - b < t;
+}
+
+// Overlapping *or adjacent* — the coalescing predicate for same-owner
+// claims (adjacent claims merge into one contiguous claim).
+bool ranges_touch(std::uint64_t a, std::uint64_t s, std::uint64_t b,
+                  std::uint64_t t) noexcept {
+  return a <= b ? b - a <= s : a - b <= t;
+}
+
+}  // namespace
 
 TxnConflict::TxnConflict(std::uint64_t txn, std::uint64_t holder, std::uint32_t record,
                          std::uint64_t offset, std::uint64_t size)
     : PerseasError("set_range: txn " + std::to_string(txn) + " conflicts with open txn " +
                    std::to_string(holder) + " on record " + std::to_string(record) +
-                   " range [" + std::to_string(offset) + ", " + std::to_string(offset + size) +
+                   " range [" + std::to_string(offset) + ", +" + std::to_string(size) +
                    ") — abort and retry"),
       txn_(txn),
       holder_(holder),
@@ -19,37 +37,49 @@ TxnConflict::TxnConflict(std::uint64_t txn, std::uint64_t holder, std::uint32_t 
 
 void ConflictTable::acquire(std::uint64_t txn, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) {
+  if (size == 0) return;  // an empty range claims no bytes
   sync::LockGuard lock(mu_);
-  std::vector<Claim>* claims = nullptr;
-  for (auto& [rec, cs] : records_) {
-    if (rec == record) {
-      claims = &cs;
-      break;
-    }
-  }
-  if (claims == nullptr) {
-    records_.emplace_back(record, std::vector<Claim>{});
-    claims = &records_.back().second;
-  }
-  const std::uint64_t end = offset + size;
-  for (const Claim& c : *claims) {
-    if (c.owner != txn && c.offset < end && offset < c.offset + c.size) {
+  std::vector<Claim>& claims = records_[record];
+  for (const Claim& c : claims) {
+    if (c.owner != txn && ranges_overlap(offset, size, c.offset, c.size)) {
       throw TxnConflict(txn, c.owner, record, offset, size);
     }
   }
-  claims->push_back(Claim{offset, size, txn});
+  // Fold the new range into the owner's existing claims: absorb every own
+  // claim it touches (re-declarations and adjacent extensions), so the
+  // claim set stays proportional to the number of *disjoint* regions the
+  // transaction writes, not the number of set_range calls.  Endpoint
+  // arithmetic in 128 bits: a claim may end exactly at 2^64.
+  using u128 = unsigned __int128;
+  u128 begin = offset;
+  u128 end = static_cast<u128>(offset) + size;
+  for (std::size_t i = 0; i < claims.size();) {
+    const Claim& c = claims[i];
+    if (c.owner == txn &&
+        ranges_touch(static_cast<std::uint64_t>(begin),
+                     static_cast<std::uint64_t>(end - begin), c.offset, c.size)) {
+      begin = std::min<u128>(begin, c.offset);
+      end = std::max<u128>(end, static_cast<u128>(c.offset) + c.size);
+      claims[i] = claims.back();
+      claims.pop_back();
+      i = 0;  // the widened range may now touch claims already scanned
+    } else {
+      ++i;
+    }
+  }
+  claims.push_back(Claim{static_cast<std::uint64_t>(begin),
+                         static_cast<std::uint64_t>(end - begin), txn});
 }
 
 void ConflictTable::release(std::uint64_t txn) noexcept {
   sync::LockGuard lock(mu_);
-  for (auto& [rec, claims] : records_) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    auto& claims = it->second;
     claims.erase(std::remove_if(claims.begin(), claims.end(),
                                 [txn](const Claim& c) { return c.owner == txn; }),
                  claims.end());
+    it = claims.empty() ? records_.erase(it) : std::next(it);
   }
-  records_.erase(std::remove_if(records_.begin(), records_.end(),
-                                [](const auto& entry) { return entry.second.empty(); }),
-                 records_.end());
 }
 
 bool ConflictTable::empty() const noexcept {

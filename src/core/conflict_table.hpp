@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/errors.hpp"
@@ -48,7 +49,12 @@ class ConflictTable {
   /// Claims [offset, offset+size) of `record` for `txn`.  Overlap with a
   /// claim held by a *different* transaction throws TxnConflict (the table
   /// is left unchanged); overlap with txn's own claims is fine — ranges a
-  /// transaction re-declares are its own business.
+  /// transaction re-declares are its own business, and they coalesce with
+  /// its existing claims so a long transaction rewriting the same ranges
+  /// holds a bounded claim set instead of one entry per declaration.
+  /// Empty ranges (size == 0) claim nothing and conflict with nothing.
+  /// The overlap test is exact for ranges ending at the very top of the
+  /// 64-bit address space (where a naive `offset + size` wraps to 0).
   void acquire(std::uint64_t txn, std::uint32_t record, std::uint64_t offset,
                std::uint64_t size);
 
@@ -69,10 +75,13 @@ class ConflictTable {
   /// transactions, and first-writer-wins is only meaningful if the
   /// overlap-scan-then-insert in acquire() is atomic.
   mutable sync::Mutex mu_;
-  /// Per touched record (first-touch order): its claims, unordered — the
-  /// table holds a handful of ranges per record, so a linear overlap scan
-  /// beats maintaining sorted invariants across owners.
-  std::vector<std::pair<std::uint32_t, std::vector<Claim>>> records_ PERSEAS_GUARDED_BY(mu_);
+  /// Hashed per-record claim index: acquire touches exactly the bucket of
+  /// the record it declares, so the scan under mu_ is O(claims on that
+  /// record) instead of O(records × claims) — the table mutex is the one
+  /// lock every threaded set_range crosses, and a linear record scan there
+  /// would serialize the whole frontend on cold-cache pointer chasing.
+  /// Claims within a record stay unordered (a handful of ranges each).
+  std::unordered_map<std::uint32_t, std::vector<Claim>> records_ PERSEAS_GUARDED_BY(mu_);
 };
 
 }  // namespace perseas::core

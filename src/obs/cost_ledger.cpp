@@ -6,24 +6,31 @@ namespace perseas::obs {
 
 CostEntry& CostLedger::entry_for_top() {
   static const CostKey kRoot{};
-  const CostKey& key = scopes_.empty() ? kRoot : scopes_.back();
-  if (last_hit_ < entries_.size() && entries_[last_hit_].key == key) {
-    return entries_[last_hit_];
+  ScopeStack& stack = stacks_[sim::current_worker_id()];
+  const CostKey& key = stack.scopes.empty() ? kRoot : stack.scopes.back();
+  if (stack.last_hit < entries_.size() && entries_[stack.last_hit].key == key) {
+    return entries_[stack.last_hit];
   }
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].key == key) {
-      last_hit_ = i;
+      stack.last_hit = i;
       return entries_[i];
     }
   }
   entries_.push_back(CostEntry{key, 0, 0});
-  last_hit_ = entries_.size() - 1;
+  stack.last_hit = entries_.size() - 1;
   return entries_.back();
 }
 
 void CostLedger::on_advance(sim::SimDuration d) noexcept {
   sync::LockGuard lock(mu_);
   entry_for_top().ns += d;
+}
+
+void CostLedger::on_reset() noexcept {
+  sync::LockGuard lock(mu_);
+  entries_.clear();
+  for (auto& [worker, stack] : stacks_) stack.last_hit = 0;
 }
 
 void CostLedger::add_bytes(std::uint64_t n) noexcept {
@@ -33,12 +40,13 @@ void CostLedger::add_bytes(std::uint64_t n) noexcept {
 
 void CostLedger::push_scope(CostKey key) {
   sync::LockGuard lock(mu_);
-  scopes_.push_back(std::move(key));
+  stacks_[sim::current_worker_id()].scopes.push_back(std::move(key));
 }
 
 void CostLedger::pop_scope() noexcept {
   sync::LockGuard lock(mu_);
-  if (!scopes_.empty()) scopes_.pop_back();
+  auto& scopes = stacks_[sim::current_worker_id()].scopes;
+  if (!scopes.empty()) scopes.pop_back();
 }
 
 std::vector<CostEntry> CostLedger::entries() const {
@@ -109,8 +117,7 @@ Json CostLedger::to_json() const {
 void CostLedger::clear() noexcept {
   sync::LockGuard lock(mu_);
   entries_.clear();
-  scopes_.clear();
-  last_hit_ = 0;
+  stacks_.clear();
 }
 
 }  // namespace perseas::obs

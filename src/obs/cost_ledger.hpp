@@ -25,11 +25,19 @@
 // Like all of perseas::obs, the ledger charges no simulated time and no
 // simulated traffic of its own; with no ledger installed the clock hook
 // is a null-pointer check and runs are bit-for-bit cost-identical.
+//
+// Threading: the ledger is one shared instance behind one mutex, but the
+// scope *stacks* are per worker (keyed by sim::current_worker_id(), 0 for
+// the main thread), so a charge made on worker 3 is booked to the scope
+// worker 3 pushed — not to whatever scope another thread happens to have
+// open.  The conservation law survives threads because the clock's total
+// is itself the sum of every thread's charges (see sim::ThreadClock).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/sync.hpp"
@@ -64,14 +72,23 @@ class CostLedger final : public sim::SimClock::ChargeObserver {
   CostLedger(const CostLedger&) = delete;
   CostLedger& operator=(const CostLedger&) = delete;
 
-  /// sim::SimClock::ChargeObserver: books `d` under the current scope.
+  /// sim::SimClock::ChargeObserver: books `d` under the calling thread's
+  /// current scope.
   void on_advance(sim::SimDuration d) noexcept override;
+
+  /// sim::SimClock::ChargeObserver: the clock was reset to t=0 — the
+  /// accumulated rows refer to a dead epoch, so drop them (scopes held by
+  /// live ScopedCost guards survive; their charges book into the new
+  /// epoch).  Keeps the conservation law exact across a reset instead of
+  /// silently off by the pre-reset total.
+  void on_reset() noexcept override;
 
   /// Books `n` SCI bytes under the current scope (called by the cluster's
   /// charged data movers; control RPCs move no payload bytes).
   void add_bytes(std::uint64_t n) noexcept;
 
-  /// Scope stack (prefer the ScopedCost RAII wrapper).
+  /// Scope stack of the calling thread's worker (prefer the ScopedCost
+  /// RAII wrapper).  Push and pop must happen on the same thread.
   void push_scope(CostKey key);
   void pop_scope() noexcept;
 
@@ -94,13 +111,22 @@ class CostLedger final : public sim::SimClock::ChargeObserver {
   void clear() noexcept;
 
  private:
+  /// One worker's attribution state: its scope stack plus a cache of the
+  /// row its last charge landed in (consecutive charges usually hit one
+  /// key, and with threads the cache must be per worker or threads would
+  /// evict each other's hit every charge).
+  struct ScopeStack {
+    std::vector<CostKey> scopes;
+    std::size_t last_hit = 0;
+  };
+
   [[nodiscard]] CostEntry& entry_for_top() PERSEAS_REQUIRES(mu_);
 
   mutable sync::Mutex mu_;
   std::vector<CostEntry> entries_ PERSEAS_GUARDED_BY(mu_);
-  std::vector<CostKey> scopes_ PERSEAS_GUARDED_BY(mu_);
-  /// Consecutive charges usually hit one key; remember the last row.
-  std::size_t last_hit_ PERSEAS_GUARDED_BY(mu_) = 0;
+  /// Per-worker scope stacks, keyed by sim::current_worker_id() (0 = main
+  /// thread / any thread without a sim::ThreadClock).
+  std::unordered_map<std::uint32_t, ScopeStack> stacks_ PERSEAS_GUARDED_BY(mu_);
 };
 
 /// RAII attribution scope.  Null-safe: with `ledger == nullptr` (the

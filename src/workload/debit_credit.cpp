@@ -167,6 +167,55 @@ void DebitCredit::apply_slot(std::uint32_t slot, std::uint64_t branch, std::uint
   }
 }
 
+DebitCredit::TxnPlan DebitCredit::plan_partitioned(std::uint32_t part, std::uint32_t parts,
+                                                   std::uint64_t seq, sim::Rng& rng,
+                                                   bool raid_partition0) const {
+  if (parts == 0 || part >= parts) {
+    throw std::invalid_argument("DebitCredit: partition out of range");
+  }
+  if (parts > options_.branches || parts > options_.history_capacity) {
+    throw std::invalid_argument("DebitCredit: more partitions than branches/history to split");
+  }
+  TxnPlan plan;
+  if (raid_partition0) {
+    plan.branch = 0;  // partition 0's first branch — guaranteed contested
+  } else {
+    const std::uint64_t owned = (options_.branches - part + parts - 1) / parts;
+    plan.branch = part + static_cast<std::uint64_t>(parts) * rng.below(owned);
+  }
+  plan.teller =
+      plan.branch * options_.tellers_per_branch + rng.below(options_.tellers_per_branch);
+  plan.account =
+      plan.branch * options_.accounts_per_branch + rng.below(options_.accounts_per_branch);
+  plan.delta = rng.between(-99'999, 99'999);
+  // Disjoint history windows: partition p owns [p*window, (p+1)*window).
+  const std::uint64_t window = options_.history_capacity / parts;
+  plan.history_slot = static_cast<std::uint64_t>(part) * window + seq % window;
+  return plan;
+}
+
+void DebitCredit::apply_plan(std::uint32_t slot, const TxnPlan& plan) const {
+  auto db = engine_->db();
+  const auto adjust_balance = [&](std::uint64_t row_offset) {
+    const std::uint64_t field = row_offset + offsetof(Row, balance);
+    engine_->set_range_slot(slot, row_offset, kRowBytes);
+    auto balance = read_at<std::int64_t>(db, field);
+    balance += plan.delta;
+    write_at(db, field, balance);
+  };
+  adjust_balance(account_offset(plan.account));
+  adjust_balance(teller_offset(plan.teller));
+  adjust_balance(branch_offset(plan.branch));
+
+  engine_->set_range_slot(slot, history_offset(plan.history_slot), kHistoryBytes);
+  History h{};
+  h.account = plan.account;
+  h.teller = plan.teller;
+  h.branch = plan.branch;
+  h.delta = plan.delta;
+  write_at(db, history_offset(plan.history_slot), h);
+}
+
 DebitCredit::InterleavedResult DebitCredit::run_interleaved(std::uint64_t rounds,
                                                             const InterleavedOptions& o) {
   if (o.ways == 0) throw std::invalid_argument("DebitCredit: ways must be at least 1");

@@ -72,6 +72,48 @@ class DebitCredit {
   /// afterwards exactly as for run().
   InterleavedResult run_interleaved(std::uint64_t rounds, const InterleavedOptions& options);
 
+  /// One pre-picked debit-credit transaction, for drivers (the threaded
+  /// frontend) that must pick and apply without touching DebitCredit's
+  /// mutable state.  history_slot is an absolute slot in the history file;
+  /// the shared history cursor is never advanced by a plan.
+  struct TxnPlan {
+    std::uint64_t branch = 0;
+    std::uint64_t teller = 0;
+    std::uint64_t account = 0;
+    std::int64_t delta = 0;
+    std::uint64_t history_slot = 0;
+  };
+
+  /// Picks a transaction for partition `part` of `parts`: partitions own
+  /// the branches congruent to them modulo `parts` (tellers and accounts
+  /// follow their branch) and disjoint windows of the history file, so
+  /// plans from different partitions never overlap.  `seq` indexes the
+  /// partition's history window (one slot per committed transaction,
+  /// wrapping).  With `raid_partition0` the plan instead targets
+  /// partition 0's first branch (branch 0): its declaration deterministically
+  /// overlaps whatever partition 0 — or a pre-held victim claim — holds
+  /// there, exercising the first-writer-wins conflict path from another
+  /// thread.  Thread-safe: reads only immutable options, draws from the
+  /// caller's rng.
+  [[nodiscard]] TxnPlan plan_partitioned(std::uint32_t part, std::uint32_t parts,
+                                         std::uint64_t seq, sim::Rng& rng,
+                                         bool raid_partition0 = false) const;
+
+  /// Applies `plan` inside the already-begun transaction of engine slot
+  /// `slot`: three balance adjustments plus the plan's history entry.
+  /// Thread-safe for plans with disjoint write sets: mutates no DebitCredit
+  /// state — fold the delta in with add_committed_delta() after the commit
+  /// (threaded drivers: after join, per-worker sums).  Throws TxnConflict
+  /// (table untouched for the losing declaration) if the plan overlaps
+  /// another open transaction's claims; the caller aborts the slot and
+  /// retries with a fresh plan.
+  void apply_plan(std::uint32_t slot, const TxnPlan& plan) const;
+
+  /// Folds the delta of a committed plan into the invariant bookkeeping
+  /// (sum of balances == sum of committed deltas).  Not thread-safe: call
+  /// from the coordinating thread (e.g. once per worker after join).
+  void add_committed_delta(std::int64_t delta) noexcept { total_delta_ += delta; }
+
   /// Consistency invariant: the sum of balances at every level equals the
   /// sum of all applied deltas.  Throws std::logic_error on violation.
   void check_invariants() const;

@@ -1,0 +1,167 @@
+// Real-concurrency stress tests: ≥4 OS threads driving one shared Perseas
+// through the workload slot API — the first time the perseas::sync
+// annotations (PR 6) and the concurrent core (PR 5) face actual parallel
+// callers rather than single-threaded interleaving.  Run under TSan in CI
+// (the analysis workflow's tsan leg reruns this binary by name).
+//
+// What must hold under threads, exactly and every run:
+//   - the debit-credit balance invariants (sum at every level == sum of
+//     committed deltas) after disjoint and forced-conflict runs;
+//   - cost conservation: the shared clock's delta equals the sum of every
+//     worker's busy time, and equals the CostLedger total when attached
+//     (charges flow through per-thread sim::ThreadClock fronts and merge
+//     at commit/conflict — see sim/clock.hpp);
+//   - commits reach threads × txns_per_thread (conflict losers retry).
+// Exact latency values are NOT asserted at threads > 1: shared undo-log
+// allocation order depends on thread interleaving.
+#include <gtest/gtest.h>
+
+#include "core/perseas.hpp"
+#include "obs/cost_ledger.hpp"
+#include "sim/clock.hpp"
+#include "workload/debit_credit.hpp"
+#include "workload/engines.hpp"
+#include "workload/mt_driver.hpp"
+
+namespace perseas {
+namespace {
+
+workload::DebitCreditOptions bank_options() {
+  workload::DebitCreditOptions o;
+  o.branches = 8;  // partitions evenly across up to 8 workers
+  o.tellers_per_branch = 10;
+  o.accounts_per_branch = 200;
+  return o;
+}
+
+struct MtLab {
+  workload::LabOptions lo;
+  workload::EngineLab lab;
+  workload::DebitCredit bank;
+
+  explicit MtLab(const workload::DebitCreditOptions& o)
+      : lo([&o] {
+          workload::LabOptions l;
+          l.db_size = workload::DebitCredit::required_db_size(o);
+          l.perseas.undo_capacity = 4 << 20;
+          return l;
+        }()),
+        lab(workload::EngineKind::kPerseas, lo),
+        bank(lab.engine(), o) {
+    bank.load();
+  }
+};
+
+TEST(PerseasMtTest, DisjointWorkloadCommitsEverythingAndConservesCost) {
+  const auto o = bank_options();
+  MtLab t(o);
+
+  obs::CostLedger ledger;
+  t.lab.cluster().set_ledger(&ledger);
+  const sim::SimTime attach = t.lab.cluster().clock().now();
+
+  workload::MtOptions mo;
+  mo.threads = 4;
+  mo.txns_per_thread = 50;
+  mo.app_compute = o.app_compute;
+  const auto r = workload::run_mt_debit_credit(t.lab.engine(), t.bank, mo);
+
+  const auto clock_delta = t.lab.cluster().clock().now() - attach;
+  t.lab.cluster().set_ledger(nullptr);
+
+  EXPECT_EQ(r.commits, 4u * 50u);
+  EXPECT_EQ(r.conflicts, 0u) << "disjoint partitions must never collide";
+  ASSERT_EQ(r.workers.size(), 4u);
+  for (const auto& w : r.workers) {
+    EXPECT_EQ(w.commits, 50u);
+    EXPECT_EQ(w.latencies.size(), 50u);
+    EXPECT_GT(w.busy_ns, 0);
+  }
+  // Conservation, exact: the shared clock absorbed precisely the workers'
+  // merged charges, and the ledger booked every one of those nanoseconds.
+  EXPECT_EQ(r.total_work_ns, clock_delta);
+  EXPECT_EQ(static_cast<sim::SimDuration>(ledger.total_ns()), clock_delta);
+  // The parallel timeline is shorter than the total work (4 workers) but
+  // at least work/threads (the slowest worker bounds below the average).
+  EXPECT_LT(r.makespan_ns, r.total_work_ns);
+  EXPECT_GE(r.makespan_ns * 4, r.total_work_ns);
+
+  EXPECT_NO_THROW(t.bank.check_invariants());
+}
+
+TEST(PerseasMtTest, DisjointThroughputScalesAcrossThreads) {
+  const auto o = bank_options();
+  const auto run = [&o](std::uint32_t threads) {
+    MtLab t(o);
+    workload::MtOptions mo;
+    mo.threads = threads;
+    mo.txns_per_thread = 50;
+    mo.app_compute = o.app_compute;
+    const auto r = workload::run_mt_debit_credit(t.lab.engine(), t.bank, mo);
+    t.bank.check_invariants();
+    return r.txns_per_second();
+  };
+  const double one = run(1);
+  const double four = run(4);
+  ASSERT_GT(one, 0.0);
+  // The acceptance floor for the threaded frontend: simulated throughput
+  // at 4 threads on disjoint partitions beats 1.5x the 1-thread run (it
+  // lands near 4x — the timelines overlap almost fully).
+  EXPECT_GT(four, 1.5 * one) << "4-thread speedup " << four / one << "x under the floor";
+}
+
+TEST(PerseasMtTest, ForcedConflictsLoseRecoverAndKeepTheBooks) {
+  const auto o = bank_options();
+  MtLab t(o);
+  auto& engine = t.lab.engine();
+  ASSERT_GE(engine.max_open_txns(), 5u);
+
+  // A victim transaction on a spare slot, held by the main thread for the
+  // whole run, claims branch 0's row — the row every raid declares last.
+  // Every raid therefore loses deterministically, whatever the thread
+  // timing; worker 0's own picks of branch 0 lose too and retry until
+  // they land on its other branch.
+  engine.begin_slot(4);
+  engine.set_range_slot(4, 0, workload::DebitCredit::kRowBytes);
+
+  obs::CostLedger ledger;
+  t.lab.cluster().set_ledger(&ledger);
+  const sim::SimTime attach = t.lab.cluster().clock().now();
+
+  workload::MtOptions mo;
+  mo.threads = 4;
+  mo.txns_per_thread = 40;
+  mo.conflict_every = 8;  // workers 1..3 raid partition 0 every 8th txn
+  mo.app_compute = o.app_compute;
+  const auto r = workload::run_mt_debit_credit(engine, t.bank, mo);
+
+  const auto clock_delta = t.lab.cluster().clock().now() - attach;
+  t.lab.cluster().set_ledger(nullptr);
+  engine.abort_slot(4);  // release the victim's claim
+
+  EXPECT_EQ(r.commits, 4u * 40u) << "every loser must retry to a commit";
+  // 3 raiding workers × (40 / 8) raids each, all guaranteed losses; worker
+  // 0 may add more (its legitimate branch-0 picks hit the victim too).
+  EXPECT_GE(r.conflicts, 3u * 5u);
+  EXPECT_EQ(r.total_work_ns, clock_delta);
+  EXPECT_EQ(static_cast<sim::SimDuration>(ledger.total_ns()), clock_delta);
+  EXPECT_NO_THROW(t.bank.check_invariants());
+}
+
+TEST(PerseasMtTest, EightThreadsHammerOneEngine) {
+  // Max-width smoke for TSan: all eight slots live at once, smaller txn
+  // count so the sanitizer run stays fast.
+  const auto o = bank_options();
+  MtLab t(o);
+  workload::MtOptions mo;
+  mo.threads = 8;
+  mo.txns_per_thread = 25;
+  mo.conflict_every = 10;
+  mo.app_compute = o.app_compute;
+  const auto r = workload::run_mt_debit_credit(t.lab.engine(), t.bank, mo);
+  EXPECT_EQ(r.commits, 8u * 25u);
+  EXPECT_NO_THROW(t.bank.check_invariants());
+}
+
+}  // namespace
+}  // namespace perseas

@@ -101,6 +101,64 @@ TEST(ConflictTableTest, OwnOverlapIsAllowed) {
   EXPECT_NO_THROW(table.acquire(1, 0, 125, 100));
 }
 
+// Regression: the overlap test used to compute `offset + size` in raw
+// u64, so a claim ending exactly at 2^64 wrapped to end=0 and conflicted
+// with nothing — writers at the top of the address space silently shared
+// ranges.
+TEST(ConflictTableTest, RangesAtTheTopOfTheAddressSpaceStillConflict) {
+  constexpr std::uint64_t kTop = ~std::uint64_t{0};  // 2^64 - 1
+  ConflictTable table;
+  table.acquire(1, 0, kTop - 7, 8);  // [2^64-8, 2^64): end unrepresentable
+  // Overlapping tail claims by another txn must be rejected...
+  EXPECT_THROW(table.acquire(2, 0, kTop - 3, 4), TxnConflict);
+  EXPECT_THROW(table.acquire(2, 0, kTop - 7, 8), TxnConflict);
+  EXPECT_THROW(table.acquire(2, 0, kTop, 1), TxnConflict);
+  EXPECT_EQ(table.claims_of(2), 0u);
+  // ...while adjacent-below and far-away ranges still pass.
+  EXPECT_NO_THROW(table.acquire(2, 0, kTop - 15, 8));  // [2^64-16, 2^64-8)
+  EXPECT_NO_THROW(table.acquire(2, 0, 0, 16));
+  EXPECT_EQ(table.claims_of(2), 2u);
+  // The inverse order wraps the same way: probe low, holder at the top.
+  ConflictTable inverse;
+  inverse.acquire(1, 0, kTop, 1);
+  EXPECT_THROW(inverse.acquire(2, 0, kTop - 1, 2), TxnConflict);
+}
+
+// Regression: same-owner re-declarations used to push one Claim each, so a
+// long transaction rewriting one field grew the table without bound.  They
+// now coalesce (overlapping or adjacent ranges merge); disjoint claims stay
+// separate.
+TEST(ConflictTableTest, SameOwnerRedeclarationsCoalesce) {
+  ConflictTable table;
+  for (int i = 0; i < 1'000; ++i) table.acquire(1, 0, 100, 50);
+  EXPECT_EQ(table.claims_of(1), 1u) << "identical re-declarations must not accumulate";
+
+  table.acquire(1, 0, 125, 100);  // overlapping: widens to [100, 225)
+  table.acquire(1, 0, 225, 25);   // adjacent: widens to [100, 250)
+  EXPECT_EQ(table.claims_of(1), 1u);
+  table.acquire(1, 0, 400, 10);  // disjoint: its own claim
+  EXPECT_EQ(table.claims_of(1), 2u);
+  // A bridge between the two absorbs both into one claim.
+  table.acquire(1, 0, 250, 150);
+  EXPECT_EQ(table.claims_of(1), 1u);
+
+  // The merged claim still defends its full extent against other txns.
+  EXPECT_THROW(table.acquire(2, 0, 409, 1), TxnConflict);
+  EXPECT_THROW(table.acquire(2, 0, 100, 1), TxnConflict);
+  EXPECT_NO_THROW(table.acquire(2, 0, 410, 10));
+}
+
+TEST(ConflictTableTest, EmptyRangeClaimsNothing) {
+  ConflictTable table;
+  table.acquire(1, 0, 100, 0);
+  EXPECT_EQ(table.claims_of(1), 0u);
+  EXPECT_TRUE(table.empty());
+  // And never conflicts, even inside a foreign claim.
+  table.acquire(2, 0, 50, 100);
+  EXPECT_NO_THROW(table.acquire(1, 0, 75, 0));
+  EXPECT_EQ(table.claims_of(1), 0u);
+}
+
 TEST(ConflictTableTest, ReleaseDropsAllClaimsOfOneTxn) {
   ConflictTable table;
   table.acquire(1, 0, 0, 10);

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/perseas.hpp"
@@ -170,6 +171,119 @@ TEST_F(CostLedgerTest, ToJsonCarriesRowsAndTotals) {
   EXPECT_NE(json.find("\"by_phase\":"), std::string::npos);
   EXPECT_NE(json.find("\"total_ns\":"), std::string::npos);
   EXPECT_NE(json.find("\"remote_undo\""), std::string::npos);
+}
+
+// Regression: SimClock::reset() used to leave the ledger attached with its
+// pre-reset rows, so `sum(ledger) == clock delta` silently broke for every
+// measurement taken after the reset.  The clock now tells its observer to
+// open a new epoch.
+TEST(CostLedgerReset, ConservationHoldsAcrossClockReset) {
+  sim::SimClock clock;
+  CostLedger ledger;
+  clock.set_observer(&ledger);
+
+  ledger.push_scope(CostKey{1, "warmup", "test", "-"});
+  clock.advance(100);
+  ledger.pop_scope();
+  EXPECT_EQ(ledger.total_ns(), 100);
+
+  clock.reset();
+  EXPECT_EQ(ledger.total_ns(), 0) << "pre-reset books belong to a dead epoch";
+  EXPECT_EQ(clock.observer(), &ledger);
+
+  ledger.push_scope(CostKey{2, "measured", "test", "-"});
+  clock.advance(40);
+  clock.advance(2);
+  ledger.pop_scope();
+  // Conservation against the new epoch, exactly.
+  EXPECT_EQ(ledger.total_ns(), clock.now());
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].key.phase, "measured");
+}
+
+// A scope survives the reset when its RAII guard is still live: charges
+// after the reset book into the (fresh) row of the same key.
+TEST(CostLedgerReset, LiveScopeKeepsAttributingAfterReset) {
+  sim::SimClock clock;
+  CostLedger ledger;
+  clock.set_observer(&ledger);
+  ScopedCost scope(&ledger, 7, "phase", "test", "-");
+  clock.advance(10);
+  clock.reset();
+  clock.advance(5);
+  EXPECT_EQ(ledger.total_ns(), 5);
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].key.txn, 7u);
+  EXPECT_EQ(ledger.entries()[0].ns, 5);
+}
+
+// The scope stacks are per worker (keyed by sim::current_worker_id()): a
+// charge made behind a ThreadClock front books to the scope that worker
+// pushed, not to the main thread's.
+TEST(CostLedgerWorkers, ScopesAreKeyedByWorker) {
+  sim::SimClock clock;
+  CostLedger ledger;
+  clock.set_observer(&ledger);
+
+  ledger.push_scope(CostKey{1, "main", "test", "-"});  // worker 0's stack
+  clock.advance(3);
+  {
+    sim::ThreadClock tc(clock, 7);  // this thread now reports worker 7
+    clock.advance(10);              // worker 7 has no scope: root row
+    ledger.push_scope(CostKey{2, "worker", "test", "-"});
+    clock.advance(5);
+    ledger.pop_scope();
+  }
+  clock.advance(4);  // worker 0 again: back to "main"
+  ledger.pop_scope();
+
+  sim::SimDuration main_ns = 0;
+  sim::SimDuration worker_ns = 0;
+  sim::SimDuration root_ns = 0;
+  for (const auto& e : ledger.entries()) {
+    if (e.key.phase == "main") main_ns = e.ns;
+    if (e.key.phase == "worker") worker_ns = e.ns;
+    if (e.key.phase == "unattributed") root_ns = e.ns;
+  }
+  EXPECT_EQ(main_ns, 7);
+  EXPECT_EQ(worker_ns, 5);
+  EXPECT_EQ(root_ns, 10);
+  EXPECT_EQ(ledger.total_ns(), clock.now()) << "conservation across workers";
+}
+
+// Concurrent attribution: racing workers, each inside its own scope, book
+// exactly their own charges — per-row totals and the conservation law are
+// exact whatever the interleaving.
+TEST(CostLedgerWorkers, ConcurrentChargesLandInTheChargingThreadsScope) {
+  sim::SimClock clock;
+  CostLedger ledger;
+  clock.set_observer(&ledger);
+  constexpr int kThreads = 4;
+  constexpr int kCharges = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock, &ledger, t] {
+      sim::ThreadClock tc(clock, static_cast<std::uint32_t>(t) + 1);
+      ScopedCost scope(&ledger, static_cast<std::uint64_t>(t) + 1,
+                       "w" + std::to_string(t), "test", "-");
+      for (int i = 0; i < kCharges; ++i) {
+        clock.advance(t + 1);  // worker t charges (t+1) ns per op
+        if (i % 50 == 49) tc.merge();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    sim::SimDuration ns = 0;
+    for (const auto& e : ledger.entries()) {
+      if (e.key.phase == "w" + std::to_string(t)) ns += e.ns;
+    }
+    EXPECT_EQ(ns, static_cast<sim::SimDuration>(t + 1) * kCharges)
+        << "worker " << t << " row must hold exactly its own charges";
+  }
+  EXPECT_EQ(ledger.total_ns(), clock.now());
 }
 
 TEST_F(CostLedgerTest, DetachStopsAttribution) {

@@ -2,8 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace perseas::sim {
 namespace {
+
+/// Counts observer callbacks; used by the reset/threading tests below.
+/// Atomic because the observer hook runs on whichever thread charges (the
+/// production observer, obs::CostLedger, is internally locked).
+struct CountingObserver final : SimClock::ChargeObserver {
+  std::atomic<SimDuration> charged{0};
+  std::atomic<int> advances{0};
+  std::atomic<int> resets{0};
+  void on_advance(SimDuration d) noexcept override {
+    charged.fetch_add(d, std::memory_order_relaxed);
+    advances.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_reset() noexcept override { resets.fetch_add(1, std::memory_order_relaxed); }
+};
 
 TEST(SimClock, StartsAtZero) {
   SimClock clock;
@@ -34,6 +52,26 @@ TEST(SimClock, ResetClearsEverything) {
   EXPECT_EQ(clock.advance_count(), 0u);
 }
 
+// Regression: reset() used to leave the observer attached with its stale
+// accumulated state, silently breaking any conservation law the observer
+// maintains.  Now the observer stays attached but is told to start a new
+// epoch.
+TEST(SimClock, ResetNotifiesTheObserverAndKeepsItAttached) {
+  SimClock clock;
+  CountingObserver obs;
+  clock.set_observer(&obs);
+  clock.advance(100);
+  EXPECT_EQ(obs.charged.load(), 100);
+
+  clock.reset();
+  EXPECT_EQ(obs.resets.load(), 1);
+  EXPECT_EQ(clock.observer(), &obs) << "reset must not silently detach";
+
+  clock.advance(40);
+  EXPECT_EQ(obs.charged.load(), 140) << "post-reset charges still reach the observer";
+  EXPECT_EQ(obs.advances.load(), 2);
+}
+
 TEST(StopWatch, MeasuresOnlyItsWindow) {
   SimClock clock;
   clock.advance(us(10));
@@ -52,6 +90,110 @@ TEST(StopWatch, RestartRebasesTheWindow) {
   watch.restart();
   clock.advance(us(2));
   EXPECT_EQ(watch.elapsed(), us(2.0));
+}
+
+// Regression: a watch started before SimClock::reset() used to underflow
+// (now < start makes elapsed() negative).  Stale watches now clamp to zero
+// until the clock passes their start again — and restart() rebases them
+// onto the new epoch.
+TEST(StopWatch, StaleWatchAfterResetClampsToZero) {
+  SimClock clock;
+  clock.advance(us(10));
+  StopWatch watch(clock);
+  clock.advance(us(5));
+  EXPECT_EQ(watch.elapsed(), us(5.0));
+
+  clock.reset();
+  EXPECT_EQ(watch.elapsed(), 0) << "stale watch must not go negative";
+  clock.advance(us(3));
+  EXPECT_EQ(watch.elapsed(), 0) << "still behind its pre-reset start";
+
+  watch.restart();
+  clock.advance(us(2));
+  EXPECT_EQ(watch.elapsed(), us(2.0));
+}
+
+// --- ThreadClock: the per-thread virtual-time front ---------------------
+
+TEST(ThreadClock, AccumulatesLocallyAndFoldsInAtMerge) {
+  SimClock clock;
+  EXPECT_EQ(current_worker_id(), 0u);
+  {
+    ThreadClock tc(clock, 3);
+    EXPECT_EQ(current_worker_id(), 3u);
+    EXPECT_EQ(clock.thread_fronts(), 1u);
+
+    clock.advance(100);
+    clock.advance(50);
+    // This thread sees its own timeline immediately...
+    EXPECT_EQ(clock.now(), 150);
+    EXPECT_EQ(tc.local_time(), 150);
+    // ...but the shared counters move only at the merge sync point.
+    EXPECT_EQ(clock.advance_count(), 0u);
+
+    tc.merge();
+    EXPECT_EQ(clock.now(), 150);
+    EXPECT_EQ(clock.advance_count(), 2u);
+
+    clock.advance(25);
+    EXPECT_EQ(clock.now(), 175);
+    EXPECT_EQ(tc.local_time(), 175) << "local_time spans merges";
+  }
+  // Destruction merged the remaining 25 and unregistered the front.
+  EXPECT_EQ(current_worker_id(), 0u);
+  EXPECT_EQ(clock.thread_fronts(), 0u);
+  EXPECT_EQ(clock.now(), 175);
+  EXPECT_EQ(clock.advance_count(), 3u);
+}
+
+TEST(ThreadClock, ObserverSeesChargesBeforeTheMerge) {
+  SimClock clock;
+  CountingObserver obs;
+  clock.set_observer(&obs);
+  ThreadClock tc(clock, 1);
+  clock.advance(70);
+  // No merge yet — the conservation hook must still have seen the charge,
+  // or a ledger would drop nanoseconds that later fold into the clock.
+  EXPECT_EQ(obs.charged.load(), 70);
+  EXPECT_EQ(obs.advances.load(), 1);
+}
+
+TEST(ThreadClock, FrontOnOneClockDoesNotCaptureAnother) {
+  SimClock mine;
+  SimClock other;
+  ThreadClock tc(mine, 1);
+  other.advance(30);  // different clock: the classic direct path
+  EXPECT_EQ(other.now(), 30);
+  EXPECT_EQ(other.advance_count(), 1u);
+  EXPECT_EQ(tc.local_time(), 0);
+}
+
+TEST(ThreadClock, ConcurrentWorkersSumExactlyIntoTheSharedClock) {
+  SimClock clock;
+  CountingObserver obs;
+  clock.set_observer(&obs);
+  constexpr int kThreads = 4;
+  constexpr int kChargesPerThread = 1'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock, t] {
+      ThreadClock tc(clock, static_cast<std::uint32_t>(t) + 1);
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        clock.advance(7);
+        if (i % 100 == 99) tc.merge();
+      }
+      // Remaining charges merge in the destructor.
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The shared clock is the exact total of every thread's charges —
+  // whatever the interleaving of the merges.
+  EXPECT_EQ(clock.now(), static_cast<SimTime>(kThreads) * kChargesPerThread * 7);
+  EXPECT_EQ(clock.advance_count(),
+            static_cast<std::uint64_t>(kThreads) * kChargesPerThread);
+  EXPECT_EQ(obs.charged.load(), clock.now()) << "observer saw every charge";
+  EXPECT_EQ(clock.thread_fronts(), 0u);
 }
 
 }  // namespace

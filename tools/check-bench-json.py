@@ -64,6 +64,29 @@ def check(doc):
         # value (PERSEAS_COALESCE may override what the bench requested).
         if "coalesce" in row and row["coalesce"] not in ("on", "off"):
             fail(f'rows[{i}].coalesce must be "on" or "off", got {row["coalesce"]!r}')
+        # Thread-sweep rows (bench_mt): the multi-threaded frontend reports
+        # one row per thread count.  The accounting identities must hold on
+        # the serialized artifact too: every simulated nanosecond the workers
+        # charged reached the shared clock (total_work_ns == clock_delta_ns),
+        # and a disjoint-partition run saw zero conflicts.
+        if "threads" in row:
+            threads = row["threads"]
+            if not isinstance(threads, int) or threads < 1:
+                fail(f"rows[{i}].threads must be a positive integer, "
+                     f"got {threads!r}")
+            for k in ("txns_per_second", "makespan_ns"):
+                v = row.get(k)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+                    fail(f"rows[{i}].{k} must be positive, got {v!r}")
+            work = row.get("total_work_ns")
+            delta = row.get("clock_delta_ns")
+            if work is not None and delta is not None and work != delta:
+                fail(f"rows[{i}]: per-thread accounting leaked virtual time: "
+                     f"total_work_ns = {work} but the shared clock "
+                     f"advanced {delta} ns")
+            if row.get("mode") == "disjoint" and row.get("conflicts", 0) != 0:
+                fail(f"rows[{i}]: disjoint partitions must not conflict, "
+                     f"got conflicts={row.get('conflicts')!r}")
 
     # Optional per-transaction cost-ledger section (bench_trend emits it):
     # every charged simulated nanosecond keyed by (txn, phase, layer,
