@@ -24,8 +24,15 @@ std::uint64_t short_txn_count(workload::EngineKind kind) {
   switch (kind) {
     case workload::EngineKind::kRvmDisk: return 300;
     case workload::EngineKind::kRvmRio: return 3'000;
-    default: return 60'000;  // enough to saturate remote-wal's disk buffer
+    case workload::EngineKind::kPerseas:
+    case workload::EngineKind::kVista:
+    case workload::EngineKind::kRvmDiskGroupCommit:
+    case workload::EngineKind::kRvmNvram:
+    case workload::EngineKind::kRemoteWal:
+    case workload::EngineKind::kFsMirror:
+      return 60'000;  // enough to saturate remote-wal's disk buffer
   }
+  return 60'000;  // unreachable: the switch above is exhaustive
 }
 
 void print_short_synthetic() {

@@ -16,12 +16,24 @@
 //     sweep fired every row marked mc-reachable.
 //
 // Columns: `engine` is the namespace that owns the point (first dotted
-// component), `phase` the protocol step (second component), and `mc`
+// component), `phase` the protocol step (second component), `order` the
+// point's position in the engine's protocol (see below), and `mc`
 // whether the canonical exhaustive perseas-mc sweep for that engine
 // (debit-credit workload, --nested 1) reaches the point.  Rows with
 // mc=false document why in a trailing comment — they need substrate the
 // mc fixtures don't assemble (extra mirrors, tiny undo logs) and are
 // exercised by targeted tier-1 tests instead.
+//
+// `order` is the write-ahead ordering contract made machine-checkable:
+// within one engine, a smaller order means "must have happened first".
+// The numbers are unique per engine and spaced by 10 so a new point can
+// land between two existing ones without renumbering.  The contract is
+// *intraprocedural*: tools/perseas-verify.py (check V1) requires the
+// points a single function notifies directly to fire in non-decreasing
+// order on every path through that function — which is exactly the
+// paper's protocol order for set_range/commit/recover, while still
+// permitting helpers like rvm's maybe_truncate() to be called from both
+// the commit and recover paths.  docs/ANALYSIS.md §8 defines the check.
 #pragma once
 
 #include <string_view>
@@ -58,53 +70,54 @@ struct FailurePoint {
   const char* name;
   const char* engine;  ///< owning namespace: perseas | netram | rvm | vista
   const char* phase;   ///< protocol step (second dotted component)
+  int order;           ///< per-engine protocol position (unique, ascending)
   bool mc;             ///< reached by the canonical exhaustive mc sweep
 };
 
 inline constexpr FailurePoint kFailurePoints[] = {
     // PERSEAS protocol (three-copy commit; core/perseas.cpp + components).
-    {kAfterLocalUndo, "perseas", "set_range", true},
-    {kAfterRemoteUndo, "perseas", "set_range", true},
-    {kAfterFlagSet, "perseas", "commit", true},
-    {kAfterRangeCopy, "perseas", "commit", true},
-    {kBeforeFlagClear, "perseas", "commit", true},
-    {kAfterFlagClear, "perseas", "commit", true},
-    {kCommitDone, "perseas", "commit", true},
-    {kAbortDone, "perseas", "abort", false},  // debit-credit never aborts
-    {kUndoAfterGrowth, "perseas", "undo", false},  // needs a deliberately tiny undo log
-    {kRecoverAfterMeta, "perseas", "recover", true},
-    {kRecoverConnected, "perseas", "recover", true},
-    {kRecoverAfterUndoScan, "perseas", "recover", true},
-    {kRecoverAfterRollback, "perseas", "recover", true},
-    {kRecoverAfterFlagClear, "perseas", "recover", true},
-    {kRecoverAfterPull, "perseas", "recover", true},
-    {kRebuildSegments, "perseas", "rebuild", false},  // needs >= 2 mirror servers
-    {kRebuildDone, "perseas", "rebuild", false},      // needs >= 2 mirror servers
-    {kRecoverDone, "perseas", "recover", true},
+    {kAfterLocalUndo, "perseas", "set_range", 10, true},
+    {kUndoAfterGrowth, "perseas", "undo", 15, false},  // needs a deliberately tiny undo log
+    {kAfterRemoteUndo, "perseas", "set_range", 20, true},
+    {kAfterFlagSet, "perseas", "commit", 30, true},
+    {kAfterRangeCopy, "perseas", "commit", 40, true},
+    {kBeforeFlagClear, "perseas", "commit", 50, true},
+    {kAfterFlagClear, "perseas", "commit", 60, true},
+    {kCommitDone, "perseas", "commit", 70, true},
+    {kAbortDone, "perseas", "abort", 75, false},  // debit-credit never aborts
+    {kRecoverAfterMeta, "perseas", "recover", 100, true},
+    {kRecoverConnected, "perseas", "recover", 110, true},
+    {kRecoverAfterUndoScan, "perseas", "recover", 120, true},
+    {kRecoverAfterRollback, "perseas", "recover", 130, true},
+    {kRecoverAfterFlagClear, "perseas", "recover", 140, true},
+    {kRecoverAfterPull, "perseas", "recover", 150, true},
+    {kRebuildSegments, "perseas", "rebuild", 160, false},  // needs >= 2 mirror servers
+    {kRebuildDone, "perseas", "rebuild", 170, false},      // needs >= 2 mirror servers
+    {kRecoverDone, "perseas", "recover", 180, true},
 
     // Gathered SCI store sequences (netram/remote_memory.cpp); fires on the
     // PERSEAS engine's commit path, so it belongs to the perseas sweep.
-    {kSciWritevBeforeBurst, "netram", "sci_writev", true},
+    {kSciWritevBeforeBurst, "netram", "sci_writev", 10, true},
 
     // RVM write-ahead log (wal/rvm.cpp; rvm-disk / rvm-rio / rvm-nvram).
-    {kRvmAfterUndo, "rvm", "set_range", true},
-    {kRvmAfterBuffer, "rvm", "commit", true},
-    {kRvmCommitDone, "rvm", "commit", true},
-    {kRvmForceAfterBody, "rvm", "force", true},
-    {kRvmForceAfterMark, "rvm", "force", true},
-    {kRvmTruncateAfterPages, "rvm", "truncate", true},
-    {kRvmTruncateDone, "rvm", "truncate", true},
-    {kRvmRecoverAfterImage, "rvm", "recover", true},
-    {kRvmRecoverAfterReplay, "rvm", "recover", true},
-    {kRvmRecoverDone, "rvm", "recover", true},
+    {kRvmAfterUndo, "rvm", "set_range", 10, true},
+    {kRvmAfterBuffer, "rvm", "commit", 20, true},
+    {kRvmForceAfterBody, "rvm", "force", 30, true},
+    {kRvmForceAfterMark, "rvm", "force", 40, true},
+    {kRvmTruncateAfterPages, "rvm", "truncate", 50, true},
+    {kRvmTruncateDone, "rvm", "truncate", 60, true},
+    {kRvmCommitDone, "rvm", "commit", 70, true},
+    {kRvmRecoverAfterImage, "rvm", "recover", 80, true},
+    {kRvmRecoverAfterReplay, "rvm", "recover", 90, true},
+    {kRvmRecoverDone, "rvm", "recover", 100, true},
 
     // Vista over the Rio cache (wal/vista.cpp).
-    {kVistaAfterEntry, "vista", "set_range", true},
-    {kVistaAfterHeader, "vista", "set_range", true},
-    {kVistaCommitDone, "vista", "commit", true},
-    {kVistaRecoverAfterScan, "vista", "recover", true},
-    {kVistaRecoverAfterApply, "vista", "recover", true},
-    {kVistaRecoverDone, "vista", "recover", true},
+    {kVistaAfterEntry, "vista", "set_range", 10, true},
+    {kVistaAfterHeader, "vista", "set_range", 20, true},
+    {kVistaCommitDone, "vista", "commit", 30, true},
+    {kVistaRecoverAfterScan, "vista", "recover", 40, true},
+    {kVistaRecoverAfterApply, "vista", "recover", 50, true},
+    {kVistaRecoverDone, "vista", "recover", 60, true},
 };
 
 inline constexpr std::size_t kFailurePointCount =
@@ -124,5 +137,32 @@ inline constexpr std::size_t kFailurePointCount =
 
 static_assert(is_registered("perseas.commit.done"));
 static_assert(!is_registered("perseas.commit.dome"));
+
+namespace detail {
+// Two points of one engine with the same order would make the V1
+// write-ahead-ordering check vacuous between them.
+constexpr bool orders_unique_per_engine() noexcept {
+  for (std::size_t i = 0; i < kFailurePointCount; ++i) {
+    for (std::size_t j = i + 1; j < kFailurePointCount; ++j) {
+      if (std::string_view(kFailurePoints[i].engine) == kFailurePoints[j].engine &&
+          kFailurePoints[i].order == kFailurePoints[j].order) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+constexpr bool orders_positive() noexcept {
+  for (const FailurePoint& p : kFailurePoints) {
+    if (p.order <= 0) return false;
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::orders_unique_per_engine(),
+              "failure-point orders must be unique within an engine");
+static_assert(detail::orders_positive(),
+              "failure-point orders must be positive");
 
 }  // namespace perseas::core::points

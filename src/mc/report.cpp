@@ -18,6 +18,13 @@ obs::Json points_json(const std::vector<sim::FailureInjector::PointHits>& points
 
 }  // namespace
 
+std::vector<std::string> registry_domains(std::string_view mc_engine) {
+  if (mc_engine == "perseas") return {"perseas", "netram"};
+  if (mc_engine == "vista") return {"vista"};
+  if (mc_engine.rfind("rvm", 0) == 0) return {"rvm"};  // rvm-disk[-group]/-rio/-nvram
+  return {};
+}
+
 obs::Json mc_report_json(const McResult& result) {
   obs::Json doc = obs::Json::object();
   doc.set("schema", kMcReportSchema)
@@ -29,6 +36,14 @@ obs::Json mc_report_json(const McResult& result) {
       .set("txns", result.txns)
       .set("points", points_json(result.points))
       .set("recovery_points", points_json(result.recovery_points));
+  // Omitted (not emitted empty) for engines without a registry domain, so
+  // the field's schema contract stays "non-empty array when present".
+  const std::vector<std::string> owned = registry_domains(result.engine);
+  if (!owned.empty()) {
+    obs::Json domains = obs::Json::array();
+    for (const std::string& engine : owned) domains.push(engine);
+    doc.set("registry_engines", std::move(domains));
+  }
 
   doc.set("exploration", obs::Json::object()
                              .set("total", result.explorations)

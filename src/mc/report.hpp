@@ -5,6 +5,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "mc/model_checker.hpp"
 #include "obs/json.hpp"
@@ -12,6 +13,15 @@
 namespace perseas::mc {
 
 inline constexpr std::string_view kMcReportSchema = "perseas-mc/1";
+
+/// The failure-point registry engines (core/failure_points.hpp `engine`
+/// column) whose points a sweep of `mc_engine` is responsible for firing.
+/// The netram point fires on the PERSEAS commit path, so the perseas
+/// sweep owns it; every rvm-* store variant drives the same WAL code.
+/// Serialized into the report as "registry_engines" so downstream
+/// checkers (tools/check-mc-report.py --registry, tools/perseas-verify.py
+/// check V3) need no parallel copy of this table.
+[[nodiscard]] std::vector<std::string> registry_domains(std::string_view mc_engine);
 
 [[nodiscard]] obs::Json mc_report_json(const McResult& result);
 

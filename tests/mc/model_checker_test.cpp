@@ -213,6 +213,20 @@ TEST(McReport, SchemaShape) {
   EXPECT_NE(text.find("\"exploration\":"), std::string::npos);
   EXPECT_NE(text.find("\"violations\":"), std::string::npos);
   EXPECT_NE(text.find("\"ok\":true"), std::string::npos);
+  // The report declares which registry engines its sweep owns, so the
+  // python checkers need no parallel copy of the domain table.
+  EXPECT_NE(text.find("\"registry_engines\":[\"perseas\",\"netram\"]"),
+            std::string::npos);
+}
+
+TEST(McReport, RegistryDomainsCoverEveryKnownEngine) {
+  using Domains = std::vector<std::string>;
+  EXPECT_EQ(registry_domains("perseas"), (Domains{"perseas", "netram"}));
+  EXPECT_EQ(registry_domains("vista"), (Domains{"vista"}));
+  for (const char* rvm : {"rvm-disk", "rvm-disk-group", "rvm-rio", "rvm-nvram"}) {
+    EXPECT_EQ(registry_domains(rvm), (Domains{"rvm"})) << rvm;
+  }
+  EXPECT_TRUE(registry_domains("no-such-engine").empty());
 }
 
 TEST(McFixtureTest, KnownEnginesAndWorkloadsAreExposed) {

@@ -65,7 +65,9 @@ TEST(FlightRecorder, ExactCapacityEdgeThenWrap) {
   ASSERT_EQ(all.size(), 8u);
   for (std::size_t i = 0; i < all.size(); ++i) {
     EXPECT_EQ(all[i].a, 92 + i);
-    if (i > 0) EXPECT_EQ(all[i].seq, all[i - 1].seq + 1);
+    if (i > 0) {
+      EXPECT_EQ(all[i].seq, all[i - 1].seq + 1);
+    }
   }
 }
 

@@ -111,7 +111,9 @@ TEST(ObsOverhead, EveryEngineCostIdenticalWithFlightRecorderOnAndOff) {
       lab.cluster().flight().set_enabled(on);
       workload::SyntheticWorkload w(lab.engine(), 128);
       w.run(50);
-      if (on) EXPECT_GT(lab.cluster().flight().recorded(), 0u);
+      if (on) {
+        EXPECT_GT(lab.cluster().flight().recorded(), 0u);
+      }
       return std::pair{lab.cluster().clock().now(),
                        lab.cluster().stats().remote_write_bytes};
     };

@@ -35,7 +35,10 @@ KINDS = {"software-crash", "power-outage", "hardware-fault"}
 
 # Which registry engines a perseas-mc engine's sweep is responsible for:
 # the netram point fires on the PERSEAS commit path, so the perseas sweep
-# owns it; every rvm-* store variant drives the same WAL code.
+# owns it; every rvm-* store variant drives the same WAL code.  Reports
+# since perseas-mc grew the "registry_engines" field carry this domain
+# themselves (mc::registry_domains); the table below is the fallback for
+# older snapshots and must stay in sync with src/mc/report.cpp.
 ENGINE_DOMAINS = {
     "perseas": {"perseas", "netram"},
     "vista": {"vista"},
@@ -44,6 +47,18 @@ ENGINE_DOMAINS = {
     "rvm-rio": {"rvm"},
     "rvm-nvram": {"rvm"},
 }
+
+
+def report_domains(doc):
+    """The registry engines this report's sweep owns, preferring the
+    report's own registry_engines field over the ENGINE_DOMAINS fallback."""
+    declared = doc.get("registry_engines")
+    if declared is not None:
+        if (not isinstance(declared, list) or not declared or
+                any(not isinstance(e, str) or not e for e in declared)):
+            fail("'registry_engines' must be a non-empty array of strings")
+        return set(declared)
+    return ENGINE_DOMAINS.get(doc["engine"])
 
 
 def load_registry():
@@ -60,7 +75,7 @@ def load_registry():
             r'inline\s+constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]+)"\s*;',
             path.read_text()))
     rows = re.findall(
-        r'\{\s*(k\w+)\s*,\s*"(\w+)"\s*,\s*"\w+"\s*,\s*(true|false)\s*\}',
+        r'\{\s*(k\w+)\s*,\s*"(\w+)"\s*,\s*"\w+"\s*,\s*\d+\s*,\s*(true|false)\s*\}',
         (core / "failure_points.hpp").read_text())
     if not rows:
         fail("--registry: no rows parsed from failure_points.hpp")
@@ -74,7 +89,7 @@ def load_registry():
 
 def check_registry_coverage(doc):
     engine = doc["engine"]
-    domains = ENGINE_DOMAINS.get(engine)
+    domains = report_domains(doc)
     if domains is None:
         fail(f"--registry: no registry domain known for engine {engine!r}")
     registry = load_registry()
@@ -129,6 +144,8 @@ def check(doc):
             fail(f"'{key}' must be a non-empty string")
     if doc["mode"] not in ("exhaustive", "sampled"):
         fail(f"mode must be 'exhaustive' or 'sampled', got {doc['mode']!r}")
+    if "registry_engines" in doc:
+        report_domains(doc)  # shape check; the field is optional
     require_uint(doc, "nested", "doc")
     require_uint(doc, "seed", "doc")
     if require_uint(doc, "txns", "doc") < 1:

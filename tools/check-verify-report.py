@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a perseas-verify/1 static-verifier report (tools/perseas-verify.py
+--report).
+
+Usage:
+    check-verify-report.py [--require-frontend=ast|internal] <report.json>
+
+Checks the stable schema perseas-verify.py emits and fails (exit 1) when
+the report records any violation, when its shape is off, or when the
+static reachable sets are implausibly empty (an empty set would make the
+V3 coverage check vacuous).  --require-frontend pins which frontend must
+have produced the report — CI's verify job runs with clang available and
+uses it to prove the AST frontend did not silently fall back.
+
+Exits 0 on success, 1 with a diagnostic otherwise, 2 on usage errors.
+Stdlib only: runs on any CI python3 without installs.
+"""
+
+import json
+import sys
+
+import ci_json
+
+SCHEMA = "perseas-verify/1"
+CHECKS = {"V1", "V2", "V3"}
+GROUPS = {"perseas", "rvm", "vista"}
+
+
+def fail(msg):
+    ci_json.fail("check-verify-report", msg)
+
+
+def require_uint(obj, key, where):
+    v = obj.get(key)
+    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+        fail(f"{where}.{key} must be a non-negative integer, got {v!r}")
+    return v
+
+
+def check(doc):
+    if not isinstance(doc, dict):
+        fail("document is not a JSON object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if doc.get("frontend") not in ("ast", "internal"):
+        fail(f"frontend must be 'ast' or 'internal', got {doc.get('frontend')!r}")
+    if require_uint(doc, "files", "doc") < 1:
+        fail("report covers zero files")
+    if require_uint(doc, "functions", "doc") < 1:
+        fail("report covers zero functions")
+
+    entries = doc.get("entry_points")
+    if not isinstance(entries, list) or not entries:
+        fail("'entry_points' must be a non-empty array")
+    for i, e in enumerate(entries):
+        where = f"entry_points[{i}]"
+        if not isinstance(e, dict) or not isinstance(e.get("function"), str):
+            fail(f"{where} must be an object with a 'function' string")
+        if e.get("charge") not in ("require", "exempt"):
+            fail(f"{where}.charge must be 'require' or 'exempt'")
+
+    checks = doc.get("checks")
+    if not isinstance(checks, dict) or set(checks) != CHECKS:
+        fail(f"'checks' must cover exactly {sorted(CHECKS)}")
+    for name in sorted(CHECKS):
+        require_uint(checks[name], "violations", f"checks.{name}")
+
+    reach = doc.get("reachable")
+    if not isinstance(reach, dict) or set(reach) != GROUPS:
+        fail(f"'reachable' must cover exactly {sorted(GROUPS)}")
+    for group in sorted(GROUPS):
+        pts = reach[group]
+        if not isinstance(pts, list) or not pts or any(
+                not isinstance(p, str) or "." not in p for p in pts):
+            fail(f"reachable.{group} must be a non-empty array of dotted "
+                 f"point names (empty would make V3 vacuous)")
+
+    violations = doc.get("violations")
+    if not isinstance(violations, list):
+        fail("'violations' must be an array")
+    for i, v in enumerate(violations):
+        where = f"violations[{i}]"
+        if not isinstance(v, dict):
+            fail(f"{where} must be an object")
+        if v.get("check") not in CHECKS:
+            fail(f"{where}.check {v.get('check')!r} not in {sorted(CHECKS)}")
+        if not isinstance(v.get("message"), str) or not v["message"]:
+            fail(f"{where}.message must be a non-empty string")
+        require_uint(v, "line", where)
+
+    warnings = doc.get("warnings")
+    if not isinstance(warnings, list) or any(
+            not isinstance(w, str) for w in warnings):
+        fail("'warnings' must be an array of strings")
+
+    if sum(checks[c]["violations"] for c in CHECKS) != len(violations):
+        fail("per-check violation counts do not sum to len(violations)")
+    if doc.get("ok") is not (len(violations) == 0):
+        fail(f"'ok' is {doc.get('ok')!r} but the report lists "
+             f"{len(violations)} violation(s)")
+    return doc
+
+
+def main():
+    args = sys.argv[1:]
+    required_frontend = None
+    while args and args[0].startswith("--"):
+        if args[0].startswith("--require-frontend="):
+            required_frontend = args[0].split("=", 1)[1]
+            if required_frontend not in ("ast", "internal"):
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+        else:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        args = args[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    text = ci_json.read_text("check-verify-report", args[0])
+    try:
+        doc = check(json.loads(text))
+    except json.JSONDecodeError as e:
+        fail(f"invalid JSON: {e}")
+
+    if required_frontend and doc["frontend"] != required_frontend:
+        fail(f"frontend is {doc['frontend']!r} but --require-frontend demands "
+             f"{required_frontend!r} (the AST frontend silently fell back?)")
+    if doc["violations"]:
+        worst = doc["violations"][0]
+        fail(f"{len(doc['violations'])} violation(s); first: "
+             f"[{worst['check']}] {worst['message']}")
+    reach = doc["reachable"]
+    print(f"check-verify-report: OK: frontend={doc['frontend']} "
+          f"functions={doc['functions']} entries={len(doc['entry_points'])} "
+          f"static points: "
+          + " ".join(f"{g}={len(reach[g])}" for g in sorted(reach)))
+
+
+if __name__ == "__main__":
+    main()

@@ -101,6 +101,18 @@ class Violation:
 # preserved) and the string literals with their line numbers.
 
 
+def _is_raw_string(text: str, i: int) -> bool:
+    """True when the '"' at `i` opens a raw string literal (R"...", with an
+    optional u8/u/U/L encoding prefix).  The prefix must not be the tail of
+    a longer identifier (FooR"..." is a user-defined literal on Foo, not a
+    raw string — close enough: we only need to not mis-lex real code)."""
+    for pre in ("u8R", "uR", "UR", "LR", "R"):
+        start = i - len(pre)
+        if start >= 0 and text[start:i] == pre:
+            return start == 0 or not (text[start - 1].isalnum() or text[start - 1] == "_")
+    return False
+
+
 def lex(text: str):
     """Returns (code, strings) where `code` has comments and string/char
     literals replaced by spaces (newlines kept, so line numbers survive)
@@ -125,6 +137,27 @@ def lex(text: str):
                     line += 1
                 i += 1
             i += 2
+        elif c == '"' and _is_raw_string(text, i):
+            # Raw string literal: R"delim( ... )delim".  No escape
+            # processing — the contents end only at the exact close
+            # sequence, so `\"`, `//`, and unbalanced quotes inside are
+            # all literal text.  Newlines are real and must survive in
+            # `code` so later line numbers stay correct.
+            start_line = line
+            paren = text.find("(", i + 1)
+            delim = text[i + 1 : paren] if paren != -1 else ""
+            close = ")" + delim + '"'
+            end = text.find(close, paren + 1) if paren != -1 else -1
+            if paren == -1 or end == -1:  # unterminated: rest of file
+                body = text[paren + 1 :] if paren != -1 else ""
+                i = n
+            else:
+                body = text[paren + 1 : end]
+                i = end + len(close)
+            strings.append((start_line, body))
+            code.append('""')
+            code.append("\n" * body.count("\n"))
+            line += body.count("\n")
         elif c == '"':
             start_line = line
             i += 1
@@ -202,20 +235,22 @@ def src_files(tree):
 CONST_RE = re.compile(
     r'inline\s+constexpr\s+const\s+char\*\s+(k\w+)\s*=\s*"([^"]+)"\s*;')
 ROW_RE = re.compile(
-    r'\{\s*(k\w+)\s*,\s*"(\w+)"\s*,\s*"(\w+)"\s*,\s*(true|false)\s*\}')
+    r'\{\s*(k\w+)\s*,\s*"(\w+)"\s*,\s*"(\w+)"\s*,\s*(\d+)\s*,\s*(true|false)\s*\}')
 DOC_ROW_RE = re.compile(
-    r'^\|\s*`([a-z0-9_.]+)`\s*\|\s*(\w+)\s*\|\s*(\w+)\s*\|\s*(yes|no)\s*\|')
+    r'^\|\s*`([a-z0-9_.]+)`\s*\|\s*(\w+)\s*\|\s*(\w+)\s*\|\s*(\d+)\s*\|\s*(yes|no)\s*\|')
 
 
 def parse_registry(tree):
-    """Returns (constants {ident: literal}, rows [(literal, engine, phase, mc)])."""
+    """Returns (constants {ident: literal},
+    rows [(literal, ident, engine, phase, order, mc)])."""
     constants = {}
     for path in (PROTOCOL_HPP, REGISTRY_HPP):
         for ident, literal in CONST_RE.findall(tree.get(path, "")):
             constants[ident] = literal
     rows = []
-    for ident, engine, phase, mc in ROW_RE.findall(tree.get(REGISTRY_HPP, "")):
-        rows.append((constants.get(ident), ident, engine, phase, mc == "true"))
+    for ident, engine, phase, order, mc in ROW_RE.findall(tree.get(REGISTRY_HPP, "")):
+        rows.append((constants.get(ident), ident, engine, phase, int(order),
+                     mc == "true"))
     return constants, rows
 
 
@@ -226,8 +261,12 @@ def rule_a(tree, out):
         return
     registered = {name for name, *_ in rows if name}
 
-    # Registry self-consistency: rows resolve, columns match the name.
-    for name, ident, engine, phase, _mc in rows:
+    # Registry self-consistency: rows resolve, columns match the name, and
+    # the write-ahead order column is usable (positive, unique per engine —
+    # the header's static_asserts enforce the same thing at compile time,
+    # but the linter runs on unconfigured checkouts too).
+    seen_orders = {}
+    for name, ident, engine, phase, order, _mc in rows:
         if name is None:
             out.append(Violation("A", REGISTRY_HPP, 0,
                                  f"registry row references undefined constant {ident}"))
@@ -238,6 +277,15 @@ def rule_a(tree, out):
                 "A", REGISTRY_HPP, 0,
                 f"registry row {name}: engine/phase columns ({engine}, {phase}) "
                 f"do not match the dotted name"))
+        if order <= 0:
+            out.append(Violation("A", REGISTRY_HPP, 0,
+                                 f"registry row {name}: order must be positive"))
+        prior = seen_orders.setdefault((engine, order), name)
+        if prior != name:
+            out.append(Violation(
+                "A", REGISTRY_HPP, 0,
+                f"registry rows {prior} and {name} share order {order} "
+                f"within engine {engine}"))
 
     # Every point constant has a registry row (a constant added to
     # protocol_points.hpp without a row would otherwise escape the scan).
@@ -276,17 +324,18 @@ def rule_a(tree, out):
     doc_rows = {}
     for m in (DOC_ROW_RE.match(line) for line in tree.get(ANALYSIS_MD, "").splitlines()):
         if m:
-            doc_rows[m.group(1)] = (m.group(2), m.group(3), m.group(4) == "yes")
+            doc_rows[m.group(1)] = (m.group(2), m.group(3), int(m.group(4)),
+                                    m.group(5) == "yes")
     if not doc_rows:
         out.append(Violation("A", ANALYSIS_MD, 0, "failure-point table not found"))
         return
-    for name, _ident, engine, phase, mc in rows:
+    for name, _ident, engine, phase, order, mc in rows:
         if name is None:
             continue
         if name not in doc_rows:
             out.append(Violation("A", ANALYSIS_MD, 0,
                                  f"registered point {name} missing from the docs table"))
-        elif doc_rows[name] != (engine, phase, mc):
+        elif doc_rows[name] != (engine, phase, order, mc):
             out.append(Violation("A", ANALYSIS_MD, 0,
                                  f"docs table row {name} disagrees with the registry"))
     for name in doc_rows:

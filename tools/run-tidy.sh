@@ -36,6 +36,17 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   cmake -B "$BUILD_DIR" -S . > /dev/null
 fi
 
+# A stale database silently drops new sources and compile flags from the
+# run, making the gate pass vacuously — fail loudly instead of guessing.
+STALE=$(find . -name CMakeLists.txt -not -path "./$BUILD_DIR/*" \
+          -newer "$BUILD_DIR/compile_commands.json" | sort)
+if [ -n "$STALE" ]; then
+  echo "run-tidy: FAILED: $BUILD_DIR/compile_commands.json is older than:" >&2
+  echo "$STALE" | sed 's/^/run-tidy:   /' >&2
+  echo "run-tidy: re-run \`cmake -B $BUILD_DIR -S .\` and retry" >&2
+  exit 1
+fi
+
 FILES=$(find src bench examples tools -name '*.cpp' | sort)
 if [ "${TIDY_TESTS:-1}" = "1" ]; then
   FILES="$FILES $(find tests -name '*.cpp' | sort)"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Direct unit tests for the perseas-lint lexer (tools/perseas-lint.py lex).
+
+Every static gate in the repo — perseas-lint's six rules, and
+perseas-verify's statement-tree frontend — sits on top of this one
+function, so its edge cases get first-class tests instead of relying on
+the gates' selftests to trip over a mis-lex indirectly: raw strings
+(delimited, with quotes/comment-markers/newlines inside), escaped quotes,
+`//` inside string literals, block-comment edges, char literals, and the
+newline-preservation contract that keeps every downstream line number
+honest.
+
+Exit status: 0 all pass, 1 failures.  Stdlib only.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location(
+        "perseas_lint", Path(__file__).resolve().parent / "perseas-lint.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+lex = _load_lint().lex
+
+FAILURES = []
+
+
+def check(name, cond, detail=""):
+    if cond:
+        print(f"lexer-test: PASSED: {name}")
+    else:
+        FAILURES.append(name)
+        print(f"lexer-test: FAILED: {name}{': ' + detail if detail else ''}",
+              file=sys.stderr)
+
+
+def main():
+    # --- plain strings and escapes ---------------------------------------
+    code, strings = lex('x = "a\\"b";')
+    check("escaped quote stays inside the literal",
+          strings == [(1, 'a\\"b')] and '"a' not in code, repr((code, strings)))
+
+    code, strings = lex('url = "http://example.com";  // trailing comment')
+    check("// inside a string literal is not a comment",
+          strings == [(1, "http://example.com")], repr(strings))
+    check("real trailing comment is stripped", "trailing" not in code, repr(code))
+
+    code, strings = lex('a = "x"; /* "not a string" */ b = "y";')
+    check("quotes inside a block comment are not literals",
+          [s for _, s in strings] == ["x", "y"], repr(strings))
+
+    # --- char literals ----------------------------------------------------
+    code, strings = lex("c = '\"'; d = '\\''; e = 'x';")
+    check("char literals are blanked without opening a string",
+          strings == [] and code.count("' '") == 3, repr((code, strings)))
+
+    # --- block-comment edges ---------------------------------------------
+    code, _ = lex("a /**/ b /* x ** y */ c /*/ still comment */ d")
+    check("block-comment edge forms terminate correctly",
+          "a" in code and "b" in code and "c" in code and "d" in code
+          and "still" not in code, repr(code))
+
+    code, _ = lex("line1\n/* two\nline comment */\nline4")
+    check("newlines inside block comments survive in code",
+          code.count("\n") == 3 and code.splitlines()[3] == "line4", repr(code))
+
+    code, _ = lex("before /* unterminated\ncomment")
+    check("unterminated block comment consumes the rest",
+          "unterminated" not in code and "before" in code, repr(code))
+
+    # --- raw strings ------------------------------------------------------
+    code, strings = lex('auto s = R"(hello "quoted" // not a comment)";')
+    check("raw string keeps quotes and comment markers literal",
+          strings == [(1, 'hello "quoted" // not a comment')], repr(strings))
+    check("raw string is blanked to an empty literal in code",
+          'quoted' not in code and '""' in code, repr(code))
+
+    body = 'a")not the end("b'
+    code, strings = lex(f'auto s = R"delim({body})delim";')
+    check("delimited raw string ignores an inner \")\" close",
+          strings == [(1, body)], repr(strings))
+
+    code, strings = lex('auto s = R"(line1\nline2\nline3)"; int x;')
+    check("raw-string newlines preserved for later line numbers",
+          code.count("\n") == 2 and "int x" in code.splitlines()[2],
+          repr((code, strings)))
+    check("raw-string contents keep their newlines",
+          strings[0][1].count("\n") == 2, repr(strings))
+
+    for prefix in ("u8R", "uR", "UR", "LR"):
+        _, strings = lex(f'auto s = {prefix}"(abc)";')
+        check(f"{prefix} raw-string prefix recognised",
+              strings == [(1, "abc")], repr(strings))
+
+    _, strings = lex('auto s = FooR"(not raw)";')
+    check("identifier ending in R is not a raw-string prefix",
+          strings and strings[0][1] != "not raw", repr(strings))
+
+    code, strings = lex('auto s = R"(unterminated raw\nrest of file')
+    check("unterminated raw string consumes the rest",
+          len(strings) == 1 and "rest" not in code, repr((code, strings)))
+
+    # --- line-number bookkeeping -----------------------------------------
+    text = ('// comment\n'
+            'auto a = "one";\n'
+            'auto b = R"(two\nspans)";\n'
+            'auto c = "three";\n')
+    code, strings = lex(text)
+    check("string line numbers are exact across mixed forms",
+          [(ln, s) for ln, s in strings] == [(2, "one"), (3, "two\nspans"),
+                                             (5, "three")], repr(strings))
+    check("lexed code has the same line count as the input",
+          code.count("\n") == text.count("\n"),
+          f"{code.count(chr(10))} != {text.count(chr(10))}")
+
+    n = len(FAILURES)
+    if n:
+        print(f"lexer-test: {n} failure{'s' if n != 1 else ''}", file=sys.stderr)
+        return 1
+    print("lexer-test: OK (all lexer cases pass)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
