@@ -3,46 +3,57 @@
 #include <algorithm>
 #include <string>
 
+#include "core/range_set.hpp"
+
 namespace perseas::core {
 namespace {
 
-// Half-open [a, a+s) vs [b, b+t) overlap, exact even when a+s or b+t is
-// 2^64 (a naive end computation wraps to 0 there and misses every
-// conflict against such a claim).  Callers guarantee s > 0 and t > 0.
-bool ranges_overlap(std::uint64_t a, std::uint64_t s, std::uint64_t b,
-                    std::uint64_t t) noexcept {
-  return a <= b ? b - a < s : a - b < t;
-}
-
-// Overlapping *or adjacent* — the coalescing predicate for same-owner
-// claims (adjacent claims merge into one contiguous claim).
-bool ranges_touch(std::uint64_t a, std::uint64_t s, std::uint64_t b,
-                  std::uint64_t t) noexcept {
-  return a <= b ? b - a <= s : a - b <= t;
+std::string conflict_message(std::uint64_t txn, std::uint64_t holder, std::uint32_t record,
+                             std::uint64_t offset, std::uint64_t size, AbortReason reason) {
+  const std::string where = "record " + std::to_string(record) + " range [" +
+                            std::to_string(offset) + ", +" + std::to_string(size) + ")";
+  switch (reason) {
+    case AbortReason::kConflict:
+      return "set_range: txn " + std::to_string(txn) + " conflicts with open txn " +
+             std::to_string(holder) + " on " + where + " — abort and retry";
+    case AbortReason::kWounded:
+      return "set_range: txn " + std::to_string(txn) + " (younger) dies on " + where +
+             " held by older txn " + std::to_string(holder) + " (wait-die) — abort and retry";
+    case AbortReason::kValidationFailed:
+      return "commit: txn " + std::to_string(txn) +
+             " failed backward validation against committed txn " + std::to_string(holder) +
+             " — abort and retry";
+  }
+  return "txn " + std::to_string(txn) + " rejected by concurrency control";
 }
 
 }  // namespace
 
 TxnConflict::TxnConflict(std::uint64_t txn, std::uint64_t holder, std::uint32_t record,
-                         std::uint64_t offset, std::uint64_t size)
-    : PerseasError("set_range: txn " + std::to_string(txn) + " conflicts with open txn " +
-                   std::to_string(holder) + " on record " + std::to_string(record) +
-                   " range [" + std::to_string(offset) + ", +" + std::to_string(size) +
-                   ") — abort and retry"),
+                         std::uint64_t offset, std::uint64_t size, AbortReason reason)
+    : PerseasError(conflict_message(txn, holder, record, offset, size, reason)),
       txn_(txn),
       holder_(holder),
       record_(record),
       offset_(offset),
-      size_(size) {}
+      size_(size),
+      reason_(reason) {}
 
 void ConflictTable::acquire(std::uint64_t txn, std::uint32_t record, std::uint64_t offset,
                             std::uint64_t size) {
-  if (size == 0) return;  // an empty range claims no bytes
+  if (const std::uint64_t holder = try_acquire(txn, record, offset, size); holder != 0) {
+    throw TxnConflict(txn, holder, record, offset, size);
+  }
+}
+
+std::uint64_t ConflictTable::try_acquire(std::uint64_t txn, std::uint32_t record,
+                                         std::uint64_t offset, std::uint64_t size) {
+  if (size == 0) return 0;  // an empty range claims no bytes
   sync::LockGuard lock(mu_);
   std::vector<Claim>& claims = records_[record];
   for (const Claim& c : claims) {
     if (c.owner != txn && ranges_overlap(offset, size, c.offset, c.size)) {
-      throw TxnConflict(txn, c.owner, record, offset, size);
+      return c.owner;
     }
   }
   // Fold the new range into the owner's existing claims: absorb every own
@@ -69,6 +80,7 @@ void ConflictTable::acquire(std::uint64_t txn, std::uint32_t record, std::uint64
   }
   claims.push_back(Claim{static_cast<std::uint64_t>(begin),
                          static_cast<std::uint64_t>(end - begin), txn});
+  return 0;
 }
 
 void ConflictTable::release(std::uint64_t txn) noexcept {

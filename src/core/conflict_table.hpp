@@ -22,19 +22,33 @@
 
 namespace perseas::core {
 
-/// set_range tried to declare a byte range already claimed by another open
-/// transaction.  Purely local and non-corrupting: nothing was logged or
-/// pushed for the losing declaration; the caller aborts and retries.
+/// Why a concurrency-control policy rejected a transaction.  Carried by
+/// TxnConflict so retry loops (and PerseasStats) can tell an ordinary
+/// first-writer-wins loss from a wait-die wound and from a failed OCC
+/// backward validation.
+enum class AbortReason {
+  kConflict,          ///< declaration lost to a live claim (fww, wait-die's older waiter)
+  kWounded,           ///< wait-die: the younger requester dies immediately
+  kValidationFailed,  ///< validate-at-commit: a committed writer overlapped the read set
+};
+
+/// A concurrency-control policy rejected the transaction: a declaration hit
+/// a range claimed by another open transaction, or commit-time validation
+/// found a conflicting committed writer.  Purely local and non-corrupting:
+/// nothing was logged, pushed or propagated for the losing operation; the
+/// caller aborts and retries.
 class TxnConflict : public PerseasError {
  public:
   TxnConflict(std::uint64_t txn, std::uint64_t holder, std::uint32_t record,
-              std::uint64_t offset, std::uint64_t size);
+              std::uint64_t offset, std::uint64_t size,
+              AbortReason reason = AbortReason::kConflict);
 
   [[nodiscard]] std::uint64_t txn() const noexcept { return txn_; }
   [[nodiscard]] std::uint64_t holder() const noexcept { return holder_; }
   [[nodiscard]] std::uint32_t record() const noexcept { return record_; }
   [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
   [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] AbortReason reason() const noexcept { return reason_; }
 
  private:
   std::uint64_t txn_;
@@ -42,6 +56,7 @@ class TxnConflict : public PerseasError {
   std::uint32_t record_;
   std::uint64_t offset_;
   std::uint64_t size_;
+  AbortReason reason_;
 };
 
 class ConflictTable {
@@ -53,10 +68,20 @@ class ConflictTable {
   /// its existing claims so a long transaction rewriting the same ranges
   /// holds a bounded claim set instead of one entry per declaration.
   /// Empty ranges (size == 0) claim nothing and conflict with nothing.
-  /// The overlap test is exact for ranges ending at the very top of the
-  /// 64-bit address space (where a naive `offset + size` wraps to 0).
+  /// The overlap test (core::ranges_overlap) is exact for ranges ending at
+  /// the very top of the 64-bit address space (where a naive
+  /// `offset + size` wraps to 0).
   void acquire(std::uint64_t txn, std::uint32_t record, std::uint64_t offset,
                std::uint64_t size);
+
+  /// acquire() that reports instead of throwing: returns 0 when the claim
+  /// was taken (or the range was empty), else the id of the conflicting
+  /// holder with the table unchanged.  The seam the pluggable
+  /// concurrency-control policies (core/cc_policy.hpp) decide on — what to
+  /// *do* about the holder (lose, wait, wound) is their business, not the
+  /// table's.
+  [[nodiscard]] std::uint64_t try_acquire(std::uint64_t txn, std::uint32_t record,
+                                          std::uint64_t offset, std::uint64_t size);
 
   /// Drops every claim held by `txn` (commit, abort, or conflict-retry).
   void release(std::uint64_t txn) noexcept;

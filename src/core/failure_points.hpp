@@ -77,6 +77,8 @@ struct FailurePoint {
 inline constexpr FailurePoint kFailurePoints[] = {
     // PERSEAS protocol (three-copy commit; core/perseas.cpp + components).
     {kAfterLocalUndo, "perseas", "set_range", 10, true},
+    {kValidateFail, "perseas", "commit", 12, false},  // needs cc_policy=validate + a read-write race
+    {kAfterValidate, "perseas", "commit", 13, true},
     {kUndoAfterGrowth, "perseas", "undo", 15, false},  // needs a deliberately tiny undo log
     {kAfterRemoteUndo, "perseas", "set_range", 20, true},
     {kAfterFlagSet, "perseas", "commit", 30, true},

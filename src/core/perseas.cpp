@@ -29,6 +29,25 @@ void apply_coalesce_env(PerseasConfig& config) {
   }
 }
 
+/// PERSEAS_CC=fww|wait-die|validate overrides the configured concurrency-
+/// control policy.  Same override-the-config semantics as PERSEAS_COALESCE:
+/// the CI model-check legs sweep every policy through one binary, and the
+/// mc fixture builds a default config it could not otherwise reach into.
+void apply_cc_env(PerseasConfig& config) {
+  const char* v = std::getenv("PERSEAS_CC");
+  if (v == nullptr) return;
+  if (std::strcmp(v, "fww") == 0) {
+    config.cc_policy = CcPolicyKind::kFirstWriterWins;
+  } else if (std::strcmp(v, "wait-die") == 0) {
+    config.cc_policy = CcPolicyKind::kWaitDie;
+  } else if (std::strcmp(v, "validate") == 0) {
+    config.cc_policy = CcPolicyKind::kValidateAtCommit;
+  } else {
+    throw UsageError("PERSEAS_CC: unknown policy '" + std::string(v) +
+                     "' (expected fww, wait-die or validate)");
+  }
+}
+
 /// PERSEAS_MC_SEED_BUG=skip-flag-clear plants a deliberate protocol bug —
 /// the commit-point store clearing propagating_txn is skipped — so the
 /// model checker's self-test can prove it detects and minimizes real
@@ -60,6 +79,8 @@ Perseas::Perseas(netram::Cluster& cluster, netram::NodeId local,
       mirror_set_(cluster, client_, local, config_, stats_),
       undo_log_(cluster, client_, config_, stats_) {
   apply_coalesce_env(config_);
+  apply_cc_env(config_);
+  cc_ = make_cc_policy(config_);
   mc_skip_flag_clear_ = seeded_bug_skip_flag_clear();
   maybe_install_observers();
   if (mirrors.empty()) throw UsageError("Perseas: at least one mirror is required");
@@ -80,6 +101,8 @@ Perseas::Perseas(AttachTag, netram::Cluster& cluster, netram::NodeId local, Pers
       mirror_set_(cluster, client_, local, config_, stats_),
       undo_log_(cluster, client_, config_, stats_) {
   apply_coalesce_env(config_);
+  apply_cc_env(config_);
+  cc_ = make_cc_policy(config_);
   mc_skip_flag_clear_ = seeded_bug_skip_flag_clear();
   maybe_install_observers();
 }
@@ -195,6 +218,9 @@ Transaction Perseas::begin_transaction() {
   // historical behaviour.
   if (open_.empty()) undo_log_.reset_tail();
   ++txn_counter_;
+  // Begin order doubles as the policy timestamp (wait-die age, OCC begin
+  // snapshot); ids are never reused, so the order is total.
+  cc_->on_begin(txn_counter_);
   open_.push_back(std::make_unique<TxnContext>(txn_counter_));
   stats_.max_open_txns = std::max<std::uint64_t>(stats_.max_open_txns, open_.size());
   cluster_->flight().record(EventKind::kTxnBegin, txn_counter_, open_.size());
@@ -220,7 +246,7 @@ std::vector<const TxnContext*> Perseas::open_contexts() const {
 }
 
 void Perseas::close_context(std::uint64_t txn_id) noexcept {
-  conflicts_.release(txn_id);
+  cc_->on_release(txn_id);
   for (auto it = open_.begin(); it != open_.end(); ++it) {
     if ((*it)->id() == txn_id) {
       open_.erase(it);
@@ -283,15 +309,28 @@ void Perseas::txn_set_range_impl(std::uint64_t txn_id, std::uint32_t record,
   if (offset + size > records_[record].size || offset + size < offset) {
     throw UsageError("set_range: range exceeds record");
   }
-  // First-writer-wins before anything else observes the declaration: a
-  // losing set_range leaves the transaction, the stats and the logs exactly
-  // as they were, so the caller can abort and retry.
-  try {
-    conflicts_.acquire(txn_id, record, offset, size);
-  } catch (const TxnConflict& e) {
+  // Consult the concurrency-control policy before anything else observes
+  // the declaration: a rejected set_range leaves the transaction, the stats
+  // and the logs exactly as they were, so the caller can abort and retry.
+  // The policy only *decides*; every observable consequence (the charged
+  // wait, the stats, the flight event, the throw) happens right here so the
+  // cost model and the verifier see one declaration path for all policies.
+  if (const auto rejection = cc_->on_declare(txn_id, record, offset, size)) {
+    if (rejection->wait > 0) {
+      // Wait-die's timestamp wait: the older requester spends simulated
+      // time parked before retrying.  Charged under its own scope so the
+      // ledger attributes the idleness to waiting, not to set_range work.
+      const obs::ScopedCost wait_scope(cluster_->ledger(), txn_id, "cc_wait", "core", "cpu");
+      const sim::StopWatch wait_watch(cluster_->clock());
+      cluster_->clock().wait(rejection->wait);
+      ++stats_.cc_waits;
+      stats_.time_cc_wait += wait_watch.elapsed();
+    }
     ++stats_.txns_conflicted;
-    cluster_->flight().record(EventKind::kTxnConflict, txn_id, e.holder(), record, offset);
-    throw;
+    if (rejection->reason == AbortReason::kWounded) ++stats_.txns_wounded;
+    cluster_->flight().record(EventKind::kTxnConflict, txn_id, rejection->holder, record,
+                              offset);
+    throw TxnConflict(txn_id, rejection->holder, record, offset, size, rejection->reason);
   }
   if (observer_) observer_->on_set_range(txn_id, record, offset, size);
   ++stats_.set_ranges;
@@ -370,6 +409,24 @@ void Perseas::txn_set_range_impl(std::uint64_t txn_id, std::uint32_t record,
   }
 }
 
+void Perseas::txn_read_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                             std::uint64_t size) {
+  sync::LockGuard lock(mu_);
+  TxnContext* ctx = find_context(txn_id);
+  if (ctx == nullptr) throw UsageError("read_range: transaction is not active");
+  if (record >= records_.size()) throw UsageError("read_range: record index out of range");
+  if (size == 0) return;  // an empty read observes nothing
+  if (offset + size > records_[record].size || offset + size < offset) {
+    throw UsageError("read_range: range exceeds record");
+  }
+  // Pure bookkeeping: the declared range joins the read set the validate
+  // phase checks at commit.  No cost is charged (the application already
+  // pays for its own loads), no protocol point fires, and the pessimistic
+  // policies ignore the read set entirely — reads never block or wound.
+  ctx->declare_read(record, offset, size);
+  ++stats_.read_ranges;
+}
+
 void Perseas::txn_commit_impl(std::uint64_t txn_id) {
   sync::LockGuard lock(mu_);
   const obs::ScopedCost cost_scope(cluster_->ledger(), txn_id, "commit", "core", "cpu");
@@ -386,6 +443,28 @@ void Perseas::txn_commit_impl(std::uint64_t txn_id) {
     const auto views = observer_views();
     observer_->on_commit(txn_id, views);
   }
+
+  // Validate phase: the policy's last chance to reject the transaction
+  // before any byte reaches a mirror.  For the pessimistic policies this is
+  // a constant-time no-op (their decisions already happened at declare
+  // time); for ValidateAtCommit it is OCC backward validation of the read
+  // set.  A failure here is purely local — nothing has been propagated, so
+  // the caller aborts exactly as it would after a declare-time conflict.
+  {
+    const obs::ScopedCost validate_scope(cluster_->ledger(), txn_id, "validate", "core",
+                                         "cpu");
+    const sim::StopWatch validate_watch(cluster_->clock());
+    const std::uint64_t writer = cc_->on_validate(*ctx);
+    stats_.time_validate += validate_watch.elapsed();
+    if (writer != 0) {
+      ++stats_.txns_conflicted;
+      ++stats_.txns_validation_failed;
+      cluster_->flight().record(EventKind::kTxnConflict, txn_id, writer, 0, 0);
+      cluster_->failures().notify(points::kValidateFail);
+      throw TxnConflict(txn_id, writer, 0, 0, 0, AbortReason::kValidationFailed);
+    }
+  }
+  cluster_->failures().notify(points::kAfterValidate);
 
   if (!config_.eager_remote_undo) {
     // Lazy mode: make the undo images durable on the mirrors now, before
@@ -427,6 +506,7 @@ void Perseas::txn_commit_impl(std::uint64_t txn_id) {
   }
 
   if (ctx->undo().empty()) {  // read-only transaction: nothing to propagate
+    cc_->on_commit(*ctx);
     close_context(txn_id);
     ++stats_.txns_committed;
     cluster_->flight().record(EventKind::kTxnCommitted, txn_id, 1);
@@ -494,6 +574,10 @@ void Perseas::txn_commit_impl(std::uint64_t txn_id) {
     cluster_->failures().notify(points::kAfterFlagClear);
   }
 
+  // Record the committed write set with the policy while the context is
+  // still alive: ValidateAtCommit's history is built from exactly the
+  // coalesced unions the mirrors just received.
+  cc_->on_commit(*ctx);
   close_context(txn_id);
   ++stats_.txns_committed;
   cluster_->flight().record(EventKind::kTxnCommitted, txn_id, 0);

@@ -26,7 +26,9 @@
 //   core/txn_context.hpp    per-transaction state (several may be open),
 //   core/undo_log.hpp       the shared tagged remote undo log,
 //   core/mirror_set.hpp     remote segment lifecycle and data pushes,
-//   core/conflict_table.hpp first-writer-wins range claims (TxnConflict).
+//   core/cc_policy.hpp      pluggable concurrency control over the range
+//                           claim table (first-writer-wins, wait-die,
+//                           validate-at-commit; TxnConflict on rejection).
 //
 // Public API mapping to the paper's interface:
 //   PERSEAS_init               -> Perseas constructor
@@ -44,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cc_policy.hpp"
 #include "core/conflict_table.hpp"
 #include "core/errors.hpp"
 #include "core/layout.hpp"
@@ -123,8 +126,10 @@ class RecordHandle {
 /// An open transaction.  Move-only RAII: destroying an active transaction
 /// aborts it.  Several transactions may be open concurrently on one
 /// Perseas instance as long as their write sets are disjoint — set_range
-/// raises TxnConflict (first-writer-wins) when two open transactions
-/// declare overlapping ranges; the loser aborts and retries.
+/// raises TxnConflict when two open transactions declare overlapping
+/// ranges (which loser, and whether commit additionally validates reads,
+/// is the concurrency-control policy's call — PerseasConfig::cc_policy);
+/// the loser aborts and retries.
 class Transaction {
  public:
   Transaction(Transaction&& other) noexcept;
@@ -139,6 +144,16 @@ class Transaction {
   /// overlaps another open transaction's declarations.
   void set_range(const RecordHandle& record, std::uint64_t offset, std::uint64_t size);
   void set_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size);
+
+  /// Declares [offset, offset+size) of `record` as read by this
+  /// transaction.  Plain local bookkeeping — no claim, no before-image, no
+  /// simulated charge — consulted only by the validate-at-commit policy,
+  /// whose commit intersects the read set with write sets committed since
+  /// begin and raises TxnConflict (AbortReason::kValidationFailed) on
+  /// overlap.  Under the declare-time policies the set is tracked but
+  /// never judged, so workloads can declare reads unconditionally.
+  void read_range(const RecordHandle& record, std::uint64_t offset, std::uint64_t size);
+  void read_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size);
 
   void commit();
   void abort();
@@ -337,6 +352,11 @@ class Perseas {
   // wins loss is protocol behaviour, not an anomaly.
   void txn_set_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
                      std::uint64_t size);
+  /// Transaction::read_range's backend: records the range in the context's
+  /// read set.  No funnel wrapper — it charges nothing, stores nothing,
+  /// and can only throw UsageError.
+  void txn_read_range(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
+                      std::uint64_t size);
   void txn_commit(std::uint64_t txn_id);
   void txn_abort(std::uint64_t txn_id);
   void txn_set_range_impl(std::uint64_t txn_id, std::uint32_t record, std::uint64_t offset,
@@ -363,7 +383,12 @@ class Perseas {
   // component call is downstream of an entry point holding it.
   MirrorSet mirror_set_;
   UndoLog undo_log_;
-  ConflictTable conflicts_;
+  /// The concurrency-control policy (PerseasConfig::cc_policy, overridable
+  /// via PERSEAS_CC).  Owns the range claim table; consulted at begin /
+  /// declare / commit-validate / release.  Pure decision logic: every
+  /// observable consequence (stats, charges, flight events, failure
+  /// points, throws) happens here in the orchestration layer.
+  std::unique_ptr<CcPolicy> cc_;
 
   std::vector<LocalRecord> records_ PERSEAS_GUARDED_BY(mu_);
   /// Open transactions in begin order; each owns its TxnContext at a

@@ -17,6 +17,28 @@ class MetricsRegistry;
 
 namespace perseas::core {
 
+/// Which concurrency-control policy arbitrates between concurrently open
+/// transactions (core/cc_policy.hpp).  All three keep declare-time write
+/// exclusion as the *mechanism* (in-place updates share one local mapping,
+/// so two live writers on the same bytes would corrupt each other's
+/// before-images regardless of policy); they differ in what a collision
+/// *means* and in when reads are judged.
+enum class CcPolicyKind {
+  /// The historical default: the later declaration loses immediately
+  /// (TxnConflict, AbortReason::kConflict).  Bit-identical costs to the
+  /// pre-policy code.
+  kFirstWriterWins,
+  /// Timestamp-ordered (begin order): an older requester waits a bounded
+  /// slice of simulated time (PerseasConfig::cc_wait) and retries; a
+  /// younger requester dies immediately (AbortReason::kWounded).
+  kWaitDie,
+  /// OCC: reads are optimistic (Transaction::read_range tracks them
+  /// without locking); commit backward-validates the read set against
+  /// every write set committed since this transaction began and aborts
+  /// with AbortReason::kValidationFailed on intersection.
+  kValidateAtCommit,
+};
+
 struct PerseasConfig {
   /// Name of this database: namespaces its segment keys on the mirrors, so
   /// several PERSEAS databases can share one remote-memory server.  The
@@ -68,13 +90,26 @@ struct PerseasConfig {
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   std::uint32_t trace_track = 0;
+  /// Concurrency-control policy for concurrently open transactions.  The
+  /// environment variable PERSEAS_CC=fww|wait-die|validate overrides the
+  /// config (like PERSEAS_COALESCE: the CI model-check legs could not
+  /// select a policy otherwise).
+  CcPolicyKind cc_policy = CcPolicyKind::kFirstWriterWins;
+  /// Simulated time a wait-die older requester waits before its retry
+  /// throw — the "wait" half of wait-die, modelled in virtual time because
+  /// real blocking under the orchestration lock could never succeed (the
+  /// holder needs that lock to release).  Charged through
+  /// sim::SimClock::wait, so ledger conservation sees it.
+  sim::SimDuration cc_wait = sim::us(5.0);
 };
 
 struct PerseasStats {
   std::uint64_t txns_committed = 0;
   std::uint64_t txns_aborted = 0;
-  /// set_range declarations rejected with TxnConflict (the range was
-  /// claimed by another open transaction; the caller aborts and retries).
+  /// Operations rejected with TxnConflict for *any* AbortReason: a
+  /// declaration lost to another open transaction's claim, a wait-die
+  /// wound, or a failed commit-time validation.  The caller aborts and
+  /// retries.  txns_wounded and txns_validation_failed below are subsets.
   std::uint64_t txns_conflicted = 0;
   std::uint64_t set_ranges = 0;
   std::uint64_t bytes_undo_local = 0;
@@ -97,6 +132,15 @@ struct PerseasStats {
   std::uint64_t undo_writes = 0;            ///< SCI store ops pushing undo entries (all mirrors)
   std::uint64_t propagate_writes = 0;       ///< SCI store ops issued by propagation (all mirrors)
 
+  // Concurrency control (PerseasConfig::cc_policy).  txns_conflicted above
+  // counts every rejection regardless of reason; these break the losses
+  // down per AbortReason and account for wait-die's simulated waiting.
+  // All stay zero under the default first-writer-wins policy.
+  std::uint64_t txns_wounded = 0;            ///< wait-die: younger requester died
+  std::uint64_t txns_validation_failed = 0;  ///< OCC: commit-time backward validation failed
+  std::uint64_t cc_waits = 0;                ///< wait-die: charged waits before a retry throw
+  std::uint64_t read_ranges = 0;             ///< Transaction::read_range declarations tracked
+
   // Simulated time spent per protocol phase (figure 3's three copies plus
   // the commit-point stores): lets benches print where a transaction's
   // microseconds go.
@@ -104,6 +148,8 @@ struct PerseasStats {
   sim::SimDuration time_remote_undo = 0;     // step 2: undo push to mirrors
   sim::SimDuration time_propagation = 0;     // step 3: db ranges to mirrors
   sim::SimDuration time_commit_flags = 0;    // propagating set/clear stores
+  sim::SimDuration time_cc_wait = 0;         // wait-die waiting before retry throws
+  sim::SimDuration time_validate = 0;        // commit-time validate phase
 };
 
 }  // namespace perseas::core

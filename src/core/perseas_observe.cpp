@@ -98,9 +98,24 @@ void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
   count("perseas_txns_total", "Transactions finished, by outcome", stats_.txns_aborted,
         db + ",outcome=\"aborted\"");
   count("perseas_txn_conflicts_total",
-        "set_range declarations rejected with TxnConflict (first-writer-wins)",
-        stats_.txns_conflicted, db);
+        "Operations rejected with TxnConflict, any abort reason", stats_.txns_conflicted, db);
+  // Per-reason breakdown of the conflicts counter.  The kConflict share is
+  // derived (total minus the named subsets), so the three series sum to
+  // perseas_txn_conflicts_total by construction — checked by
+  // tools/check-bench-json.py.
+  const char* reject_help = "TxnConflict rejections, by abort reason";
+  count("perseas_cc_rejections_total", reject_help,
+        stats_.txns_conflicted - stats_.txns_wounded - stats_.txns_validation_failed,
+        db + ",reason=\"conflict\"");
+  count("perseas_cc_rejections_total", reject_help, stats_.txns_wounded,
+        db + ",reason=\"wounded\"");
+  count("perseas_cc_rejections_total", reject_help, stats_.txns_validation_failed,
+        db + ",reason=\"validation_failed\"");
+  count("perseas_cc_waits_total",
+        "Charged waits taken before a conflict rejection (wait-die)", stats_.cc_waits, db);
   count("perseas_set_ranges_total", "set_range declarations", stats_.set_ranges, db);
+  count("perseas_read_ranges_total", "read_range declarations joining a read set",
+        stats_.read_ranges, db);
   count("perseas_undo_growths_total", "Undo-log doubling events", stats_.undo_growths, db);
   count("perseas_mirror_rebuilds_total", "rebuild_mirror invocations", stats_.mirror_rebuilds,
         db);
@@ -142,6 +157,10 @@ void Perseas::export_metrics(obs::MetricsRegistry& reg) const {
         static_cast<std::uint64_t>(stats_.time_propagation), db + ",phase=\"propagate\"");
   count("perseas_phase_ns_total", phase_help,
         static_cast<std::uint64_t>(stats_.time_commit_flags), db + ",phase=\"commit_flags\"");
+  count("perseas_phase_ns_total", phase_help, static_cast<std::uint64_t>(stats_.time_cc_wait),
+        db + ",phase=\"cc_wait\"");
+  count("perseas_phase_ns_total", phase_help, static_cast<std::uint64_t>(stats_.time_validate),
+        db + ",phase=\"validate\"");
 
   reg.gauge("perseas_undo_capacity_bytes", "Current undo-log capacity", db)
       .set(static_cast<double>(undo_log_.capacity()));

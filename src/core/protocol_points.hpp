@@ -12,6 +12,8 @@ namespace perseas::core::points {
 
 inline constexpr const char* kAfterLocalUndo = "perseas.set_range.after_local_undo";
 inline constexpr const char* kAfterRemoteUndo = "perseas.set_range.after_remote_undo";
+inline constexpr const char* kValidateFail = "perseas.commit.validate_fail";
+inline constexpr const char* kAfterValidate = "perseas.commit.after_validate";
 inline constexpr const char* kAfterFlagSet = "perseas.commit.after_flag_set";
 inline constexpr const char* kAfterRangeCopy = "perseas.commit.after_range_copy";
 inline constexpr const char* kBeforeFlagClear = "perseas.commit.before_flag_clear";

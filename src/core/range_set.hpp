@@ -20,6 +20,32 @@ struct ByteRange {
   friend bool operator==(const ByteRange&, const ByteRange&) = default;
 };
 
+/// Half-open [a, a+s) vs [b, b+t) overlap, exact even when a+s or b+t is
+/// 2^64 (a naive end computation wraps to 0 there and misses every
+/// intersection with such a range).  Empty ranges (s == 0 or t == 0)
+/// overlap nothing.  Shared by the conflict table's claim scan and the
+/// OCC backward-validation read/write intersection, so both layers agree
+/// on what "conflicting bytes" means all the way to the top of the
+/// address space.
+[[nodiscard]] inline bool ranges_overlap(std::uint64_t a, std::uint64_t s, std::uint64_t b,
+                                         std::uint64_t t) noexcept {
+  if (s == 0 || t == 0) return false;
+  return a <= b ? b - a < s : a - b < t;
+}
+
+[[nodiscard]] inline bool ranges_overlap(const ByteRange& x, const ByteRange& y) noexcept {
+  return ranges_overlap(x.offset, x.size, y.offset, y.size);
+}
+
+/// Overlapping *or adjacent* — the coalescing predicate (adjacent ranges
+/// merge into one contiguous range).  Same 2^64-exactness as
+/// ranges_overlap.
+[[nodiscard]] inline bool ranges_touch(std::uint64_t a, std::uint64_t s, std::uint64_t b,
+                                       std::uint64_t t) noexcept {
+  if (s == 0 || t == 0) return false;
+  return a <= b ? b - a <= s : a - b <= t;
+}
+
 /// Inserts [offset, offset+size) into `ranges` (sorted by offset, disjoint,
 /// non-touching — the invariant this function maintains), merging
 /// overlapping and adjacent intervals.  Returns the sub-ranges of the

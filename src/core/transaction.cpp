@@ -51,6 +51,16 @@ void Transaction::set_range(std::uint32_t record, std::uint64_t offset, std::uin
   owner_->txn_set_range(id_, record, offset, size);
 }
 
+void Transaction::read_range(const RecordHandle& record, std::uint64_t offset,
+                             std::uint64_t size) {
+  read_range(record.index(), offset, size);
+}
+
+void Transaction::read_range(std::uint32_t record, std::uint64_t offset, std::uint64_t size) {
+  if (!active()) throw UsageError("Transaction::read_range: transaction not active");
+  owner_->txn_read_range(id_, record, offset, size);
+}
+
 void Transaction::commit() {
   if (!active()) throw UsageError("Transaction::commit: transaction not active");
   // On failure (e.g. a mirror crashed mid-propagation) the transaction

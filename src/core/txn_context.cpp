@@ -19,4 +19,19 @@ std::vector<ByteRange> TxnContext::declare(std::uint32_t record, std::uint64_t o
   return merge_range(*ranges, offset, size);
 }
 
+void TxnContext::declare_read(std::uint32_t record, std::uint64_t offset, std::uint64_t size) {
+  std::vector<ByteRange>* ranges = nullptr;
+  for (auto& [rec, rs] : read_set_) {
+    if (rec == record) {
+      ranges = &rs;
+      break;
+    }
+  }
+  if (ranges == nullptr) {
+    read_set_.emplace_back(record, std::vector<ByteRange>{});
+    ranges = &read_set_.back().second;
+  }
+  merge_range(*ranges, offset, size);
+}
+
 }  // namespace perseas::core

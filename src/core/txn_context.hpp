@@ -43,11 +43,24 @@ class TxnContext {
   std::vector<ByteRange> declare(std::uint32_t record, std::uint64_t offset,
                                  std::uint64_t size);
 
+  /// Merges a read_range declaration into this transaction's read set.
+  /// Reads are plain bookkeeping — no before-image, no claim, no charge;
+  /// only the validate-at-commit policy (core/cc_policy.hpp) ever consults
+  /// the set, intersecting it with write sets committed since begin.
+  void declare_read(std::uint32_t record, std::uint64_t offset, std::uint64_t size);
+
   /// The write set: per touched record (first-touch order), the merged,
   /// sorted union of declared intervals.  Commit propagates these.
   [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>>&
   write_set() const noexcept {
     return write_set_;
+  }
+
+  /// The read set, same shape as write_set(): per record, the merged union
+  /// of read_range declarations.
+  [[nodiscard]] const std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>>&
+  read_set() const noexcept {
+    return read_set_;
   }
 
   /// Local undo images in declaration order.  The prefix already pushed to
@@ -77,6 +90,7 @@ class TxnContext {
   std::vector<UndoImage> undo_;
   std::size_t pushed_entries_ = 0;
   std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>> write_set_;
+  std::vector<std::pair<std::uint32_t, std::vector<ByteRange>>> read_set_;
   std::uint64_t declared_bytes_ = 0;
   PhaseTimes times_;
 };

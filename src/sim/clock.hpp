@@ -63,6 +63,13 @@ class SimClock {
   /// way, so no charged nanosecond ever escapes the ledger.
   void advance(SimDuration d) noexcept;
 
+  /// Deliberate waiting (conflict backoff, wait-die's timestamp wait): the
+  /// caller's timeline moves forward by `d` without modelling any work.
+  /// Pure sugar over advance(), so the ledger's conservation law and the
+  /// per-thread fronts treat waiting exactly like any other charge — the
+  /// name exists so wait sites read as waits, not as mis-attributed work.
+  void wait(SimDuration d) noexcept { advance(d); }
+
   /// Installs (or with nullptr removes) the charge observer; not owned.
   /// Must not race with advances: install before worker threads register.
   void set_observer(ChargeObserver* observer) noexcept { observer_ = observer; }
@@ -156,6 +163,14 @@ class ThreadClock {
   [[nodiscard]] SimDuration local_time() const noexcept { return total_; }
 
   [[nodiscard]] std::uint32_t worker() const noexcept { return worker_; }
+
+  /// Charged wait on this thread's front: the thread's own timeline (and,
+  /// at the next merge, the shared total) moves forward by `d` while the
+  /// thread does no modelled work.  Retry loops back off with this instead
+  /// of spinning at the same simulated instant — under wait-die, an
+  /// immediate retry would re-collide with the very claim it just lost to.
+  /// Must be called from the owning thread (like every charge).
+  void wait(SimDuration d) noexcept { clock_->wait(d); }
 
   /// Sync point: folds the pending local time into the shared clock and
   /// joins this thread's base to the merged timeline.  Cheap when nothing

@@ -58,6 +58,14 @@ class TxnEngine {
     check_slot(slot);
     set_range(offset, size);
   }
+  /// Declares a read for the slot's transaction.  Only engines with an
+  /// optimistic validate phase (PERSEAS under validate-at-commit) act on
+  /// the declaration; the default accepts and ignores it, so workloads can
+  /// issue reads uniformly against every comparator.
+  virtual void read_range_slot(std::uint32_t slot, std::uint64_t /*offset*/,
+                               std::uint64_t /*size*/) {
+    check_slot(slot);
+  }
   virtual void commit_slot(std::uint32_t slot) {
     check_slot(slot);
     commit();

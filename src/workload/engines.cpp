@@ -27,6 +27,14 @@ void PerseasEngine::set_range_slot(std::uint32_t slot, std::uint64_t offset,
   slots_[slot]->set_range(record_, offset, size);
 }
 
+void PerseasEngine::read_range_slot(std::uint32_t slot, std::uint64_t offset,
+                                    std::uint64_t size) {
+  check_slot(slot);
+  sync::LockGuard lock(mu_);
+  if (!slots_[slot]) throw core::UsageError("PerseasEngine: read_range outside a transaction");
+  slots_[slot]->read_range(record_, offset, size);
+}
+
 void PerseasEngine::commit_slot(std::uint32_t slot) {
   check_slot(slot);
   sync::LockGuard lock(mu_);

@@ -54,6 +54,7 @@ class PerseasEngine final : public TxnEngine {
   [[nodiscard]] std::uint32_t max_open_txns() const noexcept override { return kTxnSlots; }
   void begin_slot(std::uint32_t slot) override;
   void set_range_slot(std::uint32_t slot, std::uint64_t offset, std::uint64_t size) override;
+  void read_range_slot(std::uint32_t slot, std::uint64_t offset, std::uint64_t size) override;
   void commit_slot(std::uint32_t slot) override;
   void abort_slot(std::uint32_t slot) override;
 

@@ -1,6 +1,8 @@
 #include "workload/mt_driver.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <string>
@@ -9,10 +11,22 @@
 #include "core/conflict_table.hpp"
 #include "sim/clock.hpp"
 #include "sim/random.hpp"
+#include "workload/zipf.hpp"
 
 namespace perseas::workload {
 
 namespace {
+
+/// The bounded exponential backoff shared by both worker loops: the k-th
+/// consecutive loss (attempt = k, 1-based) waits base << min(k-1,
+/// cap_shift) on the worker's own simulated timeline.  No-op when base is
+/// zero (the historical immediate retry).
+void backoff_wait(sim::ThreadClock& tc, sim::SimDuration base, std::uint32_t cap_shift,
+                  std::uint64_t attempt) {
+  if (base <= 0 || attempt == 0) return;
+  const std::uint64_t shift = std::min<std::uint64_t>(attempt - 1, cap_shift);
+  tc.wait(base << shift);
+}
 
 // One worker's loop body: commit txns_per_thread transactions on its own
 // slot/partition, behind its own ThreadClock.  Runs on a spawned thread;
@@ -36,6 +50,7 @@ void worker_loop(TxnEngine& engine, const DebitCredit& bank, const MtOptions& o,
     // partition (mirrors run_interleaved's retry semantics), so the raid
     // costs one abort, never a livelock against a long-held claim.
     bool raid = o.conflict_every != 0 && w != 0 && (i + 1) % o.conflict_every == 0;
+    std::uint64_t attempt = 0;
     for (;;) {
       const DebitCredit::TxnPlan plan =
           bank.plan_partitioned(w, o.threads, res.commits, rng, raid);
@@ -48,6 +63,8 @@ void worker_loop(TxnEngine& engine, const DebitCredit& bank, const MtOptions& o,
       } catch (const core::TxnConflict&) {
         engine.abort_slot(w);
         ++res.conflicts;
+        ++attempt;
+        backoff_wait(tc, o.backoff_base, o.backoff_cap_shift, attempt);
         tc.merge();  // sync point: the aborted attempt's cost joins the books
         raid = false;
         continue;
@@ -114,6 +131,142 @@ MtResult run_mt_debit_credit(TxnEngine& engine, DebitCredit& bank, const MtOptio
     if (w.busy_ns > out.makespan_ns) out.makespan_ns = w.busy_ns;
     for (const sim::SimDuration d : w.latencies) out.latency.record(d);
     bank.add_committed_delta(w.delta_sum);
+  }
+  return out;
+}
+
+namespace {
+
+// One contention worker: commit txns_per_thread skewed read/write
+// transactions on slot w.  Writes are whole-row set_range + pattern store
+// (covered by the claim, so no two threads ever touch one row's bytes
+// concurrently); reads only declare, so the optimistic policy's read set
+// grows without any unsynchronised byte loads.
+void contention_loop(TxnEngine& engine, const ContentionOptions& o, const FastZipf& zipf,
+                     std::uint32_t w, const std::atomic<bool>& start,
+                     const std::atomic<bool>& quit, std::atomic<std::uint32_t>& ready,
+                     ContentionWorkerResult& res) {
+  sim::Rng rng(sim::SplitMix64(o.seed + w).next());
+  res.worker = w;
+  res.latencies.reserve(o.txns_per_thread);
+  const std::span<std::byte> db = engine.db();
+
+  ready.fetch_add(1, std::memory_order_release);
+  while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  sim::ThreadClock tc(engine.cluster().clock(), w + 1);
+  for (std::uint64_t i = 0; i < o.txns_per_thread; ++i) {
+    if (quit.load(std::memory_order_acquire)) break;
+    std::uint64_t attempt = 0;
+    for (;;) {
+      if (++attempt > o.max_attempts) {
+        throw std::runtime_error("run_contention: worker " + std::to_string(w) +
+                                 " exceeded max_attempts — livelocked policy?");
+      }
+      const std::uint32_t ops = rng.chance(o.long_fraction) ? o.long_ops : o.short_ops;
+      const sim::SimDuration before = tc.local_time();
+      engine.begin_slot(w);
+      try {
+        for (std::uint32_t op = 0; op < ops; ++op) {
+          const std::uint64_t row = zipf.next(rng);
+          const std::uint64_t offset = row * o.row_bytes;
+          if (rng.chance(o.write_ratio)) {
+            engine.set_range_slot(w, offset, o.row_bytes);
+            // The claim covers the row, so this store can never race
+            // another worker's: losers above threw before touching bytes.
+            std::memset(db.subspan(offset, o.row_bytes).data(),
+                        static_cast<int>((w + op) & 0xff), o.row_bytes);
+          } else {
+            engine.read_range_slot(w, offset, o.row_bytes);
+          }
+          // Yield between operations so open transactions really overlap:
+          // each op is brief real time, and without the handoff a worker
+          // often runs its whole loop before the next worker is scheduled
+          // — no claims would ever be held concurrently.
+          std::this_thread::yield();
+        }
+        engine.cluster().charge_cpu(engine.app_node(), o.app_compute);
+        engine.commit_slot(w);
+      } catch (const core::TxnConflict& e) {
+        engine.abort_slot(w);
+        ++res.conflicts;
+        switch (e.reason()) {
+          case core::AbortReason::kWounded: ++res.wounded; break;
+          case core::AbortReason::kValidationFailed: ++res.validation_failed; break;
+          case core::AbortReason::kConflict: break;
+        }
+        backoff_wait(tc, o.backoff_base, o.backoff_cap_shift, attempt);
+        tc.merge();  // sync point: the aborted attempt's cost joins the books
+        continue;
+      }
+      res.latencies.push_back(tc.local_time() - before);
+      ++res.commits;
+      tc.merge();  // sync point: commit
+      break;
+    }
+  }
+  res.busy_ns = tc.local_time();
+}
+
+}  // namespace
+
+ContentionResult run_contention(TxnEngine& engine, const ContentionOptions& options) {
+  if (options.threads == 0) {
+    throw std::invalid_argument("run_contention: need at least one thread");
+  }
+  if (engine.max_open_txns() < options.threads) {
+    throw std::invalid_argument("run_contention: engine '" + std::string(engine.name()) +
+                                "' cannot keep " + std::to_string(options.threads) +
+                                " transactions open");
+  }
+  if (options.rows == 0 || options.row_bytes == 0) {
+    throw std::invalid_argument("run_contention: rows and row_bytes must be positive");
+  }
+  if (options.rows * options.row_bytes > engine.db_size()) {
+    throw std::invalid_argument("run_contention: rows * row_bytes exceeds the database");
+  }
+
+  // One shared sampler: the O(rows) normalisation constant is paid once,
+  // then every worker draws from its own Rng stream through it (next() is
+  // const — the sampler itself holds no mutable state).
+  const FastZipf zipf(options.rows, options.theta);
+
+  ContentionResult out;
+  out.workers.resize(options.threads);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> quit{false};
+  std::atomic<std::uint32_t> ready{0};
+  std::vector<std::exception_ptr> errors(options.threads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.threads);
+  for (std::uint32_t w = 0; w < options.threads; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        contention_loop(engine, options, zipf, w, start, quit, ready, out.workers[w]);
+      } catch (...) {
+        errors[w] = std::current_exception();
+        quit.store(true, std::memory_order_release);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < options.threads) std::this_thread::yield();
+  start.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  for (const std::exception_ptr& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+
+  for (const ContentionWorkerResult& w : out.workers) {
+    out.commits += w.commits;
+    out.conflicts += w.conflicts;
+    out.wounded += w.wounded;
+    out.validation_failed += w.validation_failed;
+    out.total_work_ns += w.busy_ns;
+    if (w.busy_ns > out.makespan_ns) out.makespan_ns = w.busy_ns;
+    for (const sim::SimDuration d : w.latencies) out.latency.record(d);
   }
   return out;
 }

@@ -51,6 +51,13 @@ struct MtOptions {
   /// Application-side compute charged per transaction (matches
   /// DebitCreditOptions::app_compute).
   sim::SimDuration app_compute = sim::us(2.0);
+  /// Bounded exponential backoff after a lost conflict, charged to the
+  /// worker's own timeline via sim::ThreadClock::wait(): the k-th
+  /// consecutive loss of one transaction waits base << min(k-1, cap_shift)
+  /// before retrying.  0 keeps the historical immediate retry (and the
+  /// recorded bench_mt trend rows) bit-identical.
+  sim::SimDuration backoff_base = 0;
+  std::uint32_t backoff_cap_shift = 6;
 };
 
 /// One worker's tally, aggregated by the coordinator after join.
@@ -90,5 +97,77 @@ struct MtResult {
 /// exceptions are re-thrown on the calling thread (after all threads have
 /// been joined).
 MtResult run_mt_debit_credit(TxnEngine& engine, DebitCredit& bank, const MtOptions& options);
+
+// --- the contention workload -----------------------------------------------
+// Skewed read/write transactions over a flat row space, built to make the
+// concurrency-control policies disagree: a workload::FastZipf picks rows
+// (theta 0 = uniform .. 0.99 = hot spot), each operation writes with
+// probability write_ratio (else declares a read), and a long_fraction of
+// transactions touch long_ops rows instead of short_ops — the classic
+// short-vs-long mix where wait-die wounds the young and validation punishes
+// the long reader.  Row claims are whole rows, so conflicts are exactly
+// same-row collisions.
+
+struct ContentionOptions {
+  std::uint32_t threads = 4;
+  /// Commits each worker must reach (losses are retried with fresh picks).
+  std::uint64_t txns_per_thread = 100;
+  /// Row space; rows * row_bytes must fit the engine's database.
+  std::uint64_t rows = 1024;
+  std::uint64_t row_bytes = 64;
+  /// Zipf skew over rows, in [0, 1): 0 uniform, >= 0.9 hot-spot.
+  double theta = 0.0;
+  /// Probability an operation writes its row; reads only join the read set.
+  double write_ratio = 0.5;
+  /// Rows touched by a short / long transaction, and the long share.
+  std::uint32_t short_ops = 4;
+  std::uint32_t long_ops = 32;
+  double long_fraction = 0.1;
+  std::uint64_t seed = 42;
+  /// Application-side compute charged per transaction attempt.
+  sim::SimDuration app_compute = sim::us(2.0);
+  /// Same bounded backoff as MtOptions, but on by default: under a hot
+  /// spot an immediate retry re-collides with the claim it just lost to.
+  sim::SimDuration backoff_base = sim::us(1.0);
+  std::uint32_t backoff_cap_shift = 6;
+  /// Hard cap on attempts per transaction — a livelocked policy surfaces
+  /// as a thrown error, not a hung test.
+  std::uint64_t max_attempts = 100000;
+};
+
+/// One worker's tally, with the conflict losses split by abort reason.
+struct ContentionWorkerResult {
+  std::uint32_t worker = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t conflicts = 0;            ///< all TxnConflict losses
+  std::uint64_t wounded = 0;              ///< wait-die wound aborts
+  std::uint64_t validation_failed = 0;    ///< OCC backward-validation aborts
+  sim::SimDuration busy_ns = 0;
+  std::vector<sim::SimDuration> latencies;
+};
+
+struct ContentionResult {
+  std::vector<ContentionWorkerResult> workers;
+  std::uint64_t commits = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t wounded = 0;
+  std::uint64_t validation_failed = 0;
+  sim::SimDuration makespan_ns = 0;
+  sim::SimDuration total_work_ns = 0;
+  sim::LatencyRecorder latency;
+
+  [[nodiscard]] double txns_per_second() const noexcept {
+    return makespan_ns > 0 ? static_cast<double>(commits) * 1e9 /
+                                 static_cast<double>(makespan_ns)
+                           : 0.0;
+  }
+};
+
+/// Runs options.threads real threads of the contention workload against
+/// `engine` through its slot API (same threading regime as
+/// run_mt_debit_credit).  Every worker reaches txns_per_thread commits;
+/// conflicted attempts abort the slot, back off on the worker's simulated
+/// timeline, and retry with fresh row picks.
+ContentionResult run_contention(TxnEngine& engine, const ContentionOptions& options);
 
 }  // namespace perseas::workload

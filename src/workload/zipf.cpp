@@ -1,0 +1,38 @@
+#include "workload/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace perseas::workload {
+
+double zipf_zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+FastZipf::FastZipf(std::uint64_t n, double theta) : FastZipf(n, theta, zipf_zeta(n, theta)) {}
+
+FastZipf::FastZipf(std::uint64_t n, double theta, double zetan) : n_(n), theta_(theta) {
+  assert(n_ > 0);
+  assert(theta_ >= 0.0 && theta_ < 1.0);
+  if (theta_ == 0.0) return;  // uniform: the constants are never read
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zetan;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zipf_zeta(2, theta_) / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+std::uint64_t FastZipf::next(sim::Rng& rng) const noexcept {
+  if (theta_ == 0.0) return rng.below(n_);
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const auto v = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace perseas::workload

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "mc/fixture.hpp"
 #include "mc/model_checker.hpp"
@@ -107,6 +108,30 @@ TEST(McExplore, PerseasInterleavedExhaustiveIsClean) {
                                    : result.violations.front().invariant + ": " +
                                          result.violations.front().detail);
   EXPECT_GT(result.crashed, 0u);
+}
+
+// The same interleaved crash sweep must stay clean under every
+// concurrency-control policy: the CC decision layer gates which
+// transactions proceed, but crash atomicity is owned by the propagation
+// protocol underneath, which the policies do not touch.  The fixture
+// builds its PerseasConfig from defaults, so PERSEAS_CC reaches it.
+TEST(McExplore, PerseasInterleavedIsCleanUnderEveryCcPolicy) {
+  for (const char* policy : {"wait-die", "validate"}) {  // fww is the default above
+    ASSERT_EQ(setenv("PERSEAS_CC", policy, 1), 0);
+    McOptions options;
+    options.engine = "perseas";
+    options.workload = "interleaved";
+    options.txns = 4;
+    options.kinds = {sim::FailureKind::kSoftwareCrash};
+    const McResult result = ModelChecker(options).run();
+    unsetenv("PERSEAS_CC");
+    EXPECT_TRUE(result.ok()) << policy << ": "
+                             << (result.violations.empty()
+                                     ? std::string("?")
+                                     : result.violations.front().invariant + ": " +
+                                           result.violations.front().detail);
+    EXPECT_GT(result.crashed, 0u) << policy;
+  }
 }
 
 // Single-slot comparison engines cannot run the interleaved schedule; the

@@ -87,6 +87,44 @@ def check(doc):
             if row.get("mode") == "disjoint" and row.get("conflicts", 0) != 0:
                 fail(f"rows[{i}]: disjoint partitions must not conflict, "
                      f"got conflicts={row.get('conflicts')!r}")
+        # CC-policy sweep rows (bench_cc): per-row structural invariants.
+        # The interleavings are not deterministic, so golden values are out;
+        # what must always hold is the abort-reason accounting and the
+        # confinement of each specialised reason to the one policy that can
+        # produce it.
+        if row.get("mode") == "cc_sweep":
+            policy = row.get("policy")
+            if policy not in ("fww", "wait-die", "validate"):
+                fail(f"rows[{i}].policy must name a known CC policy, "
+                     f"got {policy!r}")
+            for k in ("conflicts", "wounded", "validation_failed", "txns"):
+                v = row.get(k)
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    fail(f"rows[{i}].{k} must be a non-negative integer, "
+                         f"got {v!r}")
+            if row["wounded"] + row["validation_failed"] > row["conflicts"]:
+                fail(f"rows[{i}] ({policy}): wounded + validation_failed "
+                     f"exceeds the conflict total")
+            if policy != "wait-die" and row["wounded"] != 0:
+                fail(f"rows[{i}] ({policy}): only wait-die wounds, "
+                     f"got wounded={row['wounded']}")
+            if policy != "validate" and row["validation_failed"] != 0:
+                fail(f"rows[{i}] ({policy}): only validate-at-commit fails "
+                     f"validation, got "
+                     f"validation_failed={row['validation_failed']}")
+            expected = row.get("threads", 0) * row.get("txns_per_thread", 0)
+            if expected and row["txns"] != expected:
+                fail(f"rows[{i}] ({policy}): committed {row['txns']} of "
+                     f"{expected} transactions — a policy wedged the "
+                     f"workload")
+
+    # A cc_sweep document must compare all three policies — a sweep that
+    # silently dropped one would still pass every per-row check above.
+    cc_policies = {row["policy"] for row in rows
+                   if isinstance(row, dict) and row.get("mode") == "cc_sweep"}
+    if cc_policies and cc_policies != {"fww", "wait-die", "validate"}:
+        fail(f"cc_sweep rows cover policies {sorted(cc_policies)}, "
+             f"expected all of ['fww', 'validate', 'wait-die']")
 
     # Optional per-transaction cost-ledger section (bench_trend emits it):
     # every charged simulated nanosecond keyed by (txn, phase, layer,
